@@ -1,0 +1,33 @@
+"""Ablation A4: the QoS mapping matrix (paper §5.2).
+
+Exercises every (policy x host capability) combination end to end —
+including the RDMA and XDP datapaths the paper describes but had not yet
+integrated — and checks the default mapping strategy's choices and the
+resulting latency ordering: RDMA < DPDK < XDP < kernel UDP.
+"""
+
+from repro.bench.ablations import run_ablation_qos
+
+
+def test_ablation_qos_matrix(once):
+    rows = once(run_ablation_qos, rounds=120)
+    by = {(r["host"], r["policy"]): r for r in rows}
+
+    # mapping choices (paper's default strategy)
+    assert by[("all datapaths", "accelerated")]["datapath"] == "rdma"
+    assert by[("all datapaths", "accelerated, constrained")]["datapath"] == "rdma"
+    assert by[("no RDMA NIC", "accelerated")]["datapath"] == "dpdk"
+    assert by[("no RDMA NIC", "accelerated, constrained")]["datapath"] == "xdp"
+    for host in ("all datapaths", "no RDMA NIC", "kernel only"):
+        assert by[(host, "no acceleration")]["datapath"] == "udp"
+
+    # fallback with warning when nothing accelerated exists
+    assert by[("kernel only", "accelerated")]["fallback"]
+    assert not by[("no RDMA NIC", "accelerated")]["fallback"]
+
+    # measured latency ordering across technologies
+    rdma = by[("all datapaths", "accelerated")]["rtt_us"]
+    dpdk = by[("no RDMA NIC", "accelerated")]["rtt_us"]
+    xdp = by[("no RDMA NIC", "accelerated, constrained")]["rtt_us"]
+    udp = by[("kernel only", "no acceleration")]["rtt_us"]
+    assert rdma < dpdk < xdp < udp

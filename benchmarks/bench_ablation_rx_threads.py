@@ -1,0 +1,18 @@
+"""Ablation A5: multiple polling threads per datapath (paper §8).
+
+The paper identifies the receive pipeline as CPU-bound ("a single sender
+easily overflows a single-core sink") and proposes mapping datapath
+plugins to multiple polling threads.  INSANE's configuration supports it
+(§5.3); this ablation quantifies the effect the paper deferred to future
+work.
+"""
+
+from repro.bench.ablations import run_ablation_rx_threads
+
+
+def test_ablation_rx_threads(once):
+    results = once(run_ablation_rx_threads, messages=6000)
+    # a second polling thread substantially relieves the receive bottleneck
+    assert results[(2, 1)] > 1.5 * results[(1, 1)]
+    # and lifts the heavily contended 8-sink configuration as well
+    assert results[(2, 8)] > 1.5 * results[(1, 8)]

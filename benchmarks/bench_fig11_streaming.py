@@ -1,0 +1,35 @@
+"""Fig. 11: LUNAR Streaming vs sendfile (FPS and per-frame latency).
+
+Shape asserted (paper §7.2): LUNAR fast consistently beats sendfile; FPS
+above 1000 for low-quality images and above 100 up to 4K; latency below
+10 ms up to 4K; FPS decreases and latency increases monotonically with
+resolution for every system.
+"""
+
+from repro.bench.runner import run_fig11
+
+
+def test_fig11_streaming(once):
+    results = once(run_fig11, quick=True)
+    resolutions = ("HD", "FullHD", "2K", "4K", "8K")
+    # LUNAR fast consistently performs better than the sendfile version
+    for resolution in resolutions:
+        fast_fps, fast_ms = results[("lunar_fast", resolution)]
+        sendfile_fps, sendfile_ms = results[("sendfile", resolution)]
+        slow_fps, _slow_ms = results[("lunar_slow", resolution)]
+        assert fast_fps > 2 * sendfile_fps
+        assert fast_ms < sendfile_ms
+        assert fast_fps > slow_fps
+    # >1000 FPS for low-quality images, >100 FPS up to 4K
+    assert results[("lunar_fast", "HD")][0] > 1000
+    for resolution in ("FullHD", "2K", "4K"):
+        assert results[("lunar_fast", resolution)][0] > 100
+    # latency never exceeds 10 ms up to 4K
+    for resolution in ("HD", "FullHD", "2K", "4K"):
+        assert results[("lunar_fast", resolution)][1] < 10.0
+    # monotone in resolution
+    for system in ("lunar_fast", "lunar_slow", "sendfile"):
+        fps_series = [results[(system, r)][0] for r in resolutions]
+        ms_series = [results[(system, r)][1] for r in resolutions]
+        assert fps_series == sorted(fps_series, reverse=True)
+        assert ms_series == sorted(ms_series)

@@ -1,0 +1,57 @@
+"""Fig. 5: RTT for increasing payload sizes, local and cloud testbeds.
+
+Shape asserted (paper §6.2): raw DPDK < INSANE fast << kernel UDP < INSANE
+slow on both testbeds; INSANE adds ~1 us RTT over its native technology;
+payload size barely matters; the cloud testbed is uniformly slower.
+"""
+
+import pytest
+
+from repro.bench.runner import FIG5_SIZES, run_fig5
+
+ROUNDS = 400
+
+
+@pytest.fixture(scope="module")
+def local_results():
+    return run_fig5(profile="local", rounds=ROUNDS)
+
+
+def test_fig5a_local(once, local_results=None):
+    results = once(run_fig5, profile="local", rounds=ROUNDS)
+    for size in FIG5_SIZES:
+        raw = results[("raw_dpdk", size)].median
+        fast = results[("insane_fast", size)].median
+        udp = results[("udp_nonblocking", size)].median
+        slow = results[("insane_slow", size)].median
+        assert raw < fast < udp < slow
+        # INSANE adds around 1 us RTT to each native technology
+        assert 500 < fast - raw < 2500
+        assert 500 < slow - udp < 2500
+    # flat across payload sizes
+    fast_64 = results[("insane_fast", 64)].median
+    fast_1k = results[("insane_fast", 1024)].median
+    assert (fast_1k - fast_64) / fast_64 < 0.2
+
+
+def test_fig5b_cloud(once):
+    results = once(run_fig5, profile="cloud", rounds=ROUNDS)
+    for size in FIG5_SIZES:
+        assert (
+            results[("raw_dpdk", size)].median
+            < results[("insane_fast", size)].median
+            < results[("udp_nonblocking", size)].median
+            < results[("insane_slow", size)].median
+        )
+
+
+def test_fig5_cloud_slower_than_local(once):
+    def both():
+        return (
+            run_fig5(profile="local", rounds=ROUNDS),
+            run_fig5(profile="cloud", rounds=ROUNDS),
+        )
+
+    local, cloud = once(both)
+    for key, local_tally in local.items():
+        assert cloud[key].median > local_tally.median

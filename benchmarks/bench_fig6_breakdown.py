@@ -1,0 +1,24 @@
+"""Fig. 6: INSANE fast latency breakdown (64 B) on both testbeds.
+
+Shape asserted (paper §6.2): cloud totals ~2x local (paper: 10.43 vs
+4.95 us); the cloud increase comes from the network (the switch) AND from
+visibly larger send/receive components (the slower EPYC processor hits the
+runtime's IPC-heavy path hardest).
+"""
+
+from repro.bench.runner import run_fig6
+
+
+def test_fig6_breakdown(once):
+    results = once(run_fig6, rounds=300)
+    local, cloud = results["local"], results["cloud"]
+    local_total = sum(local.values())
+    cloud_total = sum(cloud.values())
+    # totals match Fig. 7's INSANE fast averages (4.95 / 10.43 us) within 10 %
+    assert abs(local_total - 4.95) / 4.95 < 0.10
+    assert abs(cloud_total - 10.43) / 10.43 < 0.10
+    # the switch inflates the network component
+    assert cloud["network"] > 2 * local["network"]
+    # the slower processor inflates send and receive, not just the network
+    assert cloud["send"] > 1.4 * local["send"]
+    assert cloud["receive"] > 1.3 * local["receive"]

@@ -1,0 +1,30 @@
+"""Fig. 8b: INSANE fast per-sink goodput vs number of sinks (1 KB).
+
+Shape asserted (paper §6.2): "for up to 6 concurrent sinks, the average
+received throughput drops only by 8 % compared to the single-sink
+solution. A significant degradation starts to emerge with 8 sinks
+(-39 %)."
+"""
+
+import pytest
+
+from repro.bench.runner import run_fig8b
+
+MESSAGES = 8000
+
+
+def test_fig8b_multisink(once):
+    results = once(run_fig8b, messages=MESSAGES)
+    single = results[1]
+    # paper anchor: 25.98 Gbps single sink
+    assert single == pytest.approx(25.98, rel=0.10)
+    # gentle degradation up to 6 sinks (paper: -8 %)
+    for sinks in (2, 4, 6):
+        drop = (single - results[sinks]) / single
+        assert drop < 0.15, "%d sinks dropped %.0f%%" % (sinks, 100 * drop)
+    # the cliff at 8 sinks (paper: -39 %)
+    drop_8 = (single - results[8]) / single
+    assert 0.25 < drop_8 < 0.55, "8 sinks dropped %.0f%%" % (100 * drop_8)
+    # monotone non-increasing across the sweep
+    ordered = [results[s] for s in (1, 2, 4, 6, 8)]
+    assert all(a >= b - 0.5 for a, b in zip(ordered, ordered[1:]))

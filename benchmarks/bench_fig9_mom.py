@@ -1,0 +1,64 @@
+"""Fig. 9: LUNAR MoM vs Cyclone-DDS-like vs ZeroMQ-like (local testbed).
+
+Shape asserted (paper §7.1): LUNAR fast has the lowest latency, LUNAR adds
+only ns-scale overhead to raw INSANE, Cyclone sits ~45 % above LUNAR slow
+with higher variability, ZeroMQ adds another ~20 us; in throughput LUNAR
+fast dominates while Cyclone and LUNAR slow behave similarly (ZeroMQ is
+excluded, as in the paper).
+"""
+
+import pytest
+
+from repro.bench.harness import run_pingpong
+from repro.bench.runner import run_fig9a, run_fig9b
+
+ROUNDS = 400
+MESSAGES = 8000
+
+
+def test_fig9a_latency(once):
+    results = once(run_fig9a, rounds=ROUNDS)
+    for size in (64, 256, 1024):
+        lunar_fast = results[("lunar_fast", size)].mean
+        lunar_slow = results[("lunar_slow", size)].mean
+        cyclone = results[("cyclone_dds", size)].mean
+        zeromq = results[("zeromq", size)].mean
+        assert lunar_fast < lunar_slow < cyclone < zeromq
+        # ZeroMQ adds ~20 us over Cyclone
+        assert 10_000 < zeromq - cyclone < 35_000
+    # Cyclone ~ +45 % over LUNAR slow at 64 B
+    ratio = results[("cyclone_dds", 64)].mean / results[("lunar_slow", 64)].mean
+    assert 1.25 < ratio < 1.70
+    # Cyclone shows higher variability than LUNAR
+    assert (
+        results[("cyclone_dds", 64)].stddev > results[("lunar_fast", 64)].stddev
+    )
+
+
+def test_fig9a_lunar_overhead_is_ns_scale(once):
+    """LUNAR adds ns-scale latency over raw INSANE (paper §7.1)."""
+
+    def measure():
+        from repro.bench.mom import mom_pingpong
+
+        lunar = mom_pingpong("lunar_fast", rounds=ROUNDS, size=64)
+        insane = run_pingpong("insane_fast", rounds=ROUNDS, size=64)
+        return lunar.mean, insane.mean
+
+    lunar_mean, insane_mean = once(measure)
+    overhead = lunar_mean - insane_mean
+    assert 0 < overhead < 1000, "LUNAR overhead %.0f ns is not ns-scale" % overhead
+
+
+def test_fig9b_throughput(once):
+    results = once(run_fig9b, messages=MESSAGES)
+    for size in (64, 256, 1024):
+        fast = results[("lunar_fast", size)]
+        slow = results[("lunar_slow", size)]
+        cyclone = results[("cyclone_dds", size)]
+        # DPDK lets LUNAR fast significantly increase bandwidth utilization
+        assert fast > 3 * slow
+        # Cyclone and LUNAR slow have similar behaviour
+        assert abs(cyclone - slow) / max(cyclone, slow) < 0.25
+    # paper anchor: LUNAR fast 22.82 Gbps at 1 KB (we allow 15 %)
+    assert results[("lunar_fast", 1024)] == pytest.approx(22.82, rel=0.15)

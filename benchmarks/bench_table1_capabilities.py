@@ -1,0 +1,21 @@
+"""Table 1: the end-host networking technology comparison matrix."""
+
+from repro.bench.runner import run_table1
+
+
+def test_table1_capabilities(once):
+    rows = once(run_table1)
+    by_name = {row[0]: row for row in rows}
+    assert set(by_name) == {"udp", "xdp", "dpdk", "rdma"}
+    # kernel integration column
+    assert by_name["udp"][1] == "in-kernel"
+    assert by_name["xdp"][1] == "in-kernel"
+    assert by_name["dpdk"][1] == "kernel-bypassing"
+    assert by_name["rdma"][1] == "kernel-bypassing"
+    # zero-copy: everything but the kernel stack
+    assert by_name["udp"][3] == "no"
+    for tech in ("xdp", "dpdk", "rdma"):
+        assert by_name[tech][3] == "yes"
+    # only RDMA needs dedicated hardware
+    assert by_name["rdma"][5] == "yes"
+    assert all(by_name[t][5] == "no" for t in ("udp", "xdp", "dpdk"))

@@ -1,0 +1,18 @@
+"""Table 3: LoC of the benchmarking application per interface.
+
+Paper: INSANE 189, UDP socket 227 (+20 %), DPDK 384 (+103 %).  We assert
+the *relative* shape on our runnable Python implementations: UDP costs
+roughly a fifth more code than INSANE, DPDK roughly twice as much.
+"""
+
+from repro.bench.runner import run_table3
+
+
+def test_table3_loc(once):
+    rows = once(run_table3)
+    loc = {row["interface"]: row["loc"] for row in rows}
+    assert loc["insane"] < loc["udp"] < loc["dpdk"]
+    udp_increase = (loc["udp"] - loc["insane"]) / loc["insane"]
+    dpdk_increase = (loc["dpdk"] - loc["insane"]) / loc["insane"]
+    assert 0.10 <= udp_increase <= 0.35      # paper: +20 %
+    assert 0.80 <= dpdk_increase <= 1.30     # paper: +103 %

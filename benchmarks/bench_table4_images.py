@@ -1,0 +1,15 @@
+"""Table 4: raw image sizes of the streaming benchmark."""
+
+import pytest
+
+from repro.bench.runner import run_table4
+
+#: Paper Table 4 (MB).
+PAPER = {"HD": 2.76, "FullHD": 6.22, "2K": 11.6, "4K": 24.88, "8K": 99.53}
+
+
+def test_table4_image_sizes(once):
+    rows = once(run_table4)
+    sizes = {row["resolution"]: row["size_mb"] for row in rows}
+    for resolution, paper_mb in PAPER.items():
+        assert sizes[resolution] == pytest.approx(paper_mb, rel=0.01)

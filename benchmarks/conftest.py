@@ -1,0 +1,26 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and asserts
+its qualitative shape (orderings, gaps, crossovers).  Results print to
+stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Simulated experiments are deterministic: repeating them only re-measures
+    host CPU speed, so a single round is the right cost/benefit.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

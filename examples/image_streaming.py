@@ -1,0 +1,77 @@
+"""LUNAR Streaming example: real-time product inspection (paper §7.2).
+
+Cameras photograph semi-finished products on a production line; frames are
+streamed to a computing node for defect detection.  This example streams
+small *real* frames (bytes are carried and verified end to end) so you can
+see the fragmentation/reassembly machinery working, then reports FPS and
+per-frame latency.
+
+Run with::
+
+    python examples/image_streaming.py [--frames 12] [--width 320]
+"""
+
+import argparse
+
+from repro.apps.lunar_streaming import LunarStreamClient, LunarStreamServer
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+def synth_frame(width, height, index):
+    """A fake RGB image with a recognizable per-frame pattern."""
+    row = bytes((index + x) % 256 for x in range(width * 3))
+    return row * height
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=12)
+    parser.add_argument("--width", type=int, default=320)
+    parser.add_argument("--height", type=int, default=180)
+    parser.add_argument("--mode", choices=("fast", "slow"), default="fast")
+    args = parser.parse_args()
+
+    testbed = Testbed.local(seed=3)
+    sim = testbed.sim
+    deployment = InsaneDeployment(testbed)
+    server = LunarStreamServer(deployment.runtime(0), mode=args.mode)
+    client = LunarStreamClient(deployment.runtime(1), mode=args.mode)
+
+    frames = [synth_frame(args.width, args.height, i) for i in range(args.frames)]
+    delivered = []
+
+    def camera_server():
+        yield from server.wait_for_client()
+        queue = list(frames)
+        yield from server.loop(
+            get_frame=lambda: queue.pop(0) if queue else None,
+            wait_next=lambda: iter(()),
+            frames=args.frames,
+        )
+
+    def inspection_client():
+        yield from client.connect()
+        received = yield from client.receive_frames(args.frames)
+        delivered.extend(received)
+
+    sim.process(camera_server())
+    sim.process(inspection_client())
+    sim.run()
+
+    # verify every frame arrived bit-exact
+    for index, (frame, _done) in enumerate(delivered):
+        assert frame == frames[index], "frame %d corrupted in transit" % index
+
+    latencies = [done - start for (_f, done), start in zip(delivered, server.frame_starts)]
+    elapsed = delivered[-1][1] - server.frame_starts[0]
+    frame_kb = len(frames[0]) / 1024.0
+    print("streamed  : %d frames of %.0f KB (%dx%d RGB) over %s"
+          % (args.frames, frame_kb, args.width, args.height, server.stream.datapath))
+    print("integrity : all frames verified bit-exact after reassembly")
+    print("rate      : %.0f FPS" % (args.frames * 1e9 / elapsed))
+    print("latency   : mean %.0f us per frame" % (sum(latencies) / len(latencies) / 1e3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""The benchmarking application written against the INSANE API (Table 3).
+
+Latency (ping-pong) and throughput (flood) in one program.  Note what is
+ABSENT compared to the UDP and DPDK versions: no socket/port setup, no poll
+strategy choice, no memory-pool management, no header processing — the
+middleware owns all of it; the application only states its QoS.
+"""
+
+import argparse
+
+from repro.bench.harness import make_testbed
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.simnet import RateMeter, Tally
+
+
+def build(args):
+    testbed = make_testbed(args.profile, seed=args.seed)
+    deployment = InsaneDeployment(testbed)
+    policy = QosPolicy.fast() if args.mode == "fast" else QosPolicy.slow()
+    client = Session(deployment.runtime(0), "client")
+    server = Session(deployment.runtime(1), "server")
+    c_stream = client.create_stream(policy, name="bench")
+    s_stream = server.create_stream(policy, name="bench")
+    return testbed, client, server, c_stream, s_stream
+
+
+def latency(args):
+    testbed, client, server, c_stream, s_stream = build(args)
+    sim = testbed.sim
+    source = client.create_source(c_stream, channel=1)
+    echo_sink = client.create_sink(c_stream, channel=2)
+    server_sink = server.create_sink(s_stream, channel=1)
+    server_source = server.create_source(s_stream, channel=2)
+    rtts = Tally("rtt")
+
+    def client_proc():
+        for _ in range(args.rounds):
+            start = sim.now
+            buffer = yield from client.get_buffer_wait(source, args.size)
+            yield from client.emit_data(source, buffer, length=args.size)
+            delivery = yield from client.consume_data(echo_sink)
+            client.release_buffer(echo_sink, delivery)
+            rtts.record(sim.now - start)
+
+    def server_proc():
+        while True:
+            delivery = yield from server.consume_data(server_sink)
+            server.release_buffer(server_sink, delivery)
+            buffer = yield from server.get_buffer_wait(server_source, args.size)
+            yield from server.emit_data(server_source, buffer, length=args.size)
+
+    sim.process(server_proc())
+    sim.process(client_proc())
+    sim.run()
+    return rtts
+
+
+def throughput(args):
+    testbed, client, server, c_stream, s_stream = build(args)
+    sim = testbed.sim
+    source = client.create_source(c_stream, channel=5)
+    sink = server.create_sink(s_stream, channel=5)
+    meter = RateMeter("goodput")
+
+    def sender():
+        for _ in range(args.messages):
+            buffer = yield from client.get_buffer_wait(source, args.size)
+            yield from client.emit_data(source, buffer, length=args.size)
+
+    def receiver():
+        for _ in range(args.messages):
+            delivery = yield from server.consume_data(sink)
+            server.release_buffer(sink, delivery)
+            meter.record(sim.now, args.size)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    return meter
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("fast", "slow"), default="fast")
+    parser.add_argument("--profile", choices=("local", "cloud"), default="local")
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=1000)
+    parser.add_argument("--messages", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rtts = latency(args)
+    print("RTT  : mean %.2f us  median %.2f us  p99 %.2f us"
+          % (rtts.mean / 1e3, rtts.median / 1e3, rtts.percentile(99) / 1e3))
+    meter = throughput(args)
+    print("Tput : %.2f Gbps (%d messages of %d B)"
+          % (meter.gbps(), args.messages, args.size))
+
+
+if __name__ == "__main__":
+    main()

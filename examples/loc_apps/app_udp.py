@@ -1,0 +1,119 @@
+"""The benchmarking application written against UDP sockets (Table 3).
+
+Compared to the INSANE version, the application must now choose and manage
+its own transport details: bind ports on both hosts, pick a receive
+strategy (blocking vs. busy-polling), size its socket buffers, frame its
+own message payloads, and handle partial batches — and it is forever tied
+to the kernel stack: there is no way to accelerate it without a rewrite.
+"""
+
+import argparse
+
+from repro.bench.harness import make_testbed
+from repro.datapaths import KernelUdpDatapath
+from repro.netstack import Packet
+from repro.simnet import RateMeter, Tally
+
+PING_PORT = 9100
+FLOOD_PORT = 9101
+
+
+def open_socket(host, port, blocking, buffer_slots=None):
+    datapath = KernelUdpDatapath.get(host)
+    sock = datapath.socket(port, blocking=blocking)
+    if buffer_slots is not None:
+        # enlarge the receive buffer so the receiver keeps up (SO_RCVBUF)
+        sock.buffer.capacity = buffer_slots
+    return sock
+
+
+def make_packet(src_host, dst_host, port, size):
+    return Packet(src_host.ip, dst_host.ip, port, port, payload_len=size)
+
+
+def latency(args):
+    testbed = make_testbed(args.profile, seed=args.seed)
+    sim = testbed.sim
+    client_host, server_host = testbed.hosts[0], testbed.hosts[1]
+    client = open_socket(client_host, PING_PORT, args.blocking)
+    server = open_socket(server_host, PING_PORT, args.blocking)
+    rtts = Tally("rtt")
+
+    def client_proc():
+        for _ in range(args.rounds):
+            start = sim.now
+            yield from client.send(make_packet(client_host, server_host, PING_PORT, args.size))
+            reply = yield from client.recv()
+            if reply.payload_len != args.size:
+                raise RuntimeError("unexpected echo size %d" % reply.payload_len)
+            rtts.record(sim.now - start)
+
+    def server_proc():
+        while True:
+            request = yield from server.recv()
+            yield from server.send(
+                make_packet(server_host, client_host, PING_PORT, request.payload_len)
+            )
+
+    sim.process(server_proc())
+    sim.process(client_proc())
+    sim.run()
+    return rtts
+
+
+def throughput(args):
+    testbed = make_testbed(args.profile, seed=args.seed)
+    sim = testbed.sim
+    client_host, server_host = testbed.hosts[0], testbed.hosts[1]
+    sender_sock = open_socket(client_host, FLOOD_PORT, blocking=False)
+    receiver_sock = open_socket(server_host, FLOOD_PORT, blocking=False, buffer_slots=8192)
+    meter = RateMeter("goodput")
+
+    def sender():
+        remaining = args.messages
+        while remaining:
+            count = min(args.burst, remaining)
+            batch = [
+                make_packet(client_host, server_host, FLOOD_PORT, args.size)
+                for _ in range(count)
+            ]
+            yield from sender_sock.send_many(batch)
+            remaining -= count
+
+    def receiver():
+        received = 0
+        while received < args.messages:
+            batch = yield from receiver_sock.recv_many(args.burst)
+            for packet in batch:
+                if packet.payload_len != args.size:
+                    raise RuntimeError("corrupt datagram")
+                meter.record(sim.now, args.size)
+            received += len(batch)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    return meter
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=("local", "cloud"), default="local")
+    parser.add_argument("--blocking", action="store_true",
+                        help="use blocking receive (default: busy-poll)")
+    parser.add_argument("--size", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=1000)
+    parser.add_argument("--messages", type=int, default=5000)
+    parser.add_argument("--burst", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    rtts = latency(args)
+    print("RTT  : mean %.2f us  median %.2f us  p99 %.2f us"
+          % (rtts.mean / 1e3, rtts.median / 1e3, rtts.percentile(99) / 1e3))
+    meter = throughput(args)
+    print("Tput : %.2f Gbps (%d messages of %d B)"
+          % (meter.gbps(), args.messages, args.size))
+
+
+if __name__ == "__main__":
+    main()

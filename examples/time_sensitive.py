@@ -1,0 +1,83 @@
+"""Time-sensitive streams: the TSN scheduling QoS under bulk interference.
+
+A motion-control loop needs deterministic command delivery while a camera
+uplink floods the same sender.  Marking the control stream time-sensitive
+switches its packets to the IEEE 802.1Qbv time-aware scheduler (paper
+§5.2/§5.3), protecting them from the bulk traffic.
+
+Run with::
+
+    python examples/time_sensitive.py
+"""
+
+import struct
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.simnet import Tally, Timeout
+
+
+def run(time_sensitive, commands=120, period_ns=25_000, seed=5):
+    testbed = Testbed.local(hosts=3, seed=seed)
+    sim = testbed.sim
+    deployment = InsaneDeployment(testbed)
+    control_tx = Session(deployment.runtime(0), "controller")
+    camera_tx = Session(deployment.runtime(0), "camera")
+    actuator = Session(deployment.runtime(1), "actuator")
+    storage = Session(deployment.runtime(2), "storage")
+
+    control_policy = QosPolicy.fast(time_sensitive=time_sensitive)
+    bulk_policy = QosPolicy.fast()
+    control_out = control_tx.create_stream(control_policy, name="control")
+    control_in = actuator.create_stream(control_policy, name="control")
+    camera_out = camera_tx.create_stream(bulk_policy, name="camera")
+    camera_in = storage.create_stream(bulk_policy, name="camera")
+
+    command_source = control_tx.create_source(control_out, channel=1)
+    command_sink = actuator.create_sink(control_in, channel=1)
+    frame_source = camera_tx.create_source(camera_out, channel=2)
+    storage.create_sink(camera_in, channel=2, callback=lambda d: None)
+    latencies = Tally("command-latency")
+
+    def camera():
+        while True:
+            buffer = yield from camera_tx.get_buffer_wait(frame_source, 8192)
+            yield from camera_tx.emit_data(frame_source, buffer, length=8192)
+
+    def controller():
+        for _ in range(commands):
+            buffer = yield from control_tx.get_buffer_wait(command_source, 64)
+            buffer.write(struct.pack("!Q", int(sim.now)))
+            yield from control_tx.emit_data(command_source, buffer, length=64)
+            yield Timeout(period_ns)
+
+    def actuator_proc():
+        for _ in range(commands):
+            delivery = yield from actuator.consume_data(command_sink)
+            (sent,) = struct.unpack("!Q", bytes(delivery.buffer.view[:8]))
+            latencies.record(sim.now - sent)
+            actuator.release_buffer(command_sink, delivery)
+
+    sim.process(camera(), name="camera")
+    sim.process(actuator_proc(), name="actuator")
+    sim.process(controller(), name="controller")
+    sim.run(until=commands * period_ns * 3)
+    return latencies
+
+
+def main():
+    fifo = run(time_sensitive=False)
+    tsn = run(time_sensitive=True)
+    print("command delivery latency under a camera-uplink flood:\n")
+    print("%-22s %10s %10s %10s" % ("scheduler", "mean (us)", "p99 (us)", "max (us)"))
+    for label, tally in (("FIFO (default)", fifo), ("802.1Qbv (TSN QoS)", tsn)):
+        print("%-22s %10.2f %10.2f %10.2f"
+              % (label, tally.mean / 1e3, tally.percentile(99) / 1e3, tally.maximum / 1e3))
+    improvement = fifo.percentile(99) / tsn.percentile(99)
+    print("\nthe time-sensitive QoS cuts tail latency by %.1fx without any "
+          "change to the\napplication's send/receive code." % improvement)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Bring-your-own transport: uTCP over raw DPDK (paper §3).
+
+Kernel-bypassing datapaths hand you raw datagrams; anything stream-shaped
+is your problem ("the user has to provide its own userspace network and
+transport protocols, e.g., mTCP").  This example transfers a file over
+the repository's uTCP — handshake, sliding window, retransmission — on a
+lossy link, directly on the DPDK datapath with no kernel and no INSANE
+runtime involved.
+
+Run with::
+
+    python examples/utcp_file_transfer.py [--loss 0.1] [--kb 256]
+"""
+
+import argparse
+
+from repro.datapaths import DpdkDatapath
+from repro.hw import Testbed
+from repro.netstack.utcp import UtcpStack
+
+PORT = 8700
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loss", type=float, default=0.1)
+    parser.add_argument("--kb", type=int, default=256, help="file size in KB")
+    args = parser.parse_args()
+
+    testbed = Testbed.local(seed=77)
+    for link in testbed.links:
+        link.loss_rate = args.loss
+    sim = testbed.sim
+
+    uploader = UtcpStack(DpdkDatapath(testbed.hosts[0]), PORT)
+    downloader = UtcpStack(DpdkDatapath(testbed.hosts[1]), PORT).listen()
+
+    file_bytes = bytes((i * 17 + i // 251) % 256 for i in range(args.kb * 1024))
+    result = {}
+
+    def upload():
+        connection = yield from uploader.connect(testbed.hosts[1].ip)
+        yield from connection.send(file_bytes)
+        yield from connection.close()
+
+    def download():
+        connection = yield from downloader.accept()
+        collected = bytearray()
+        while True:
+            chunk = yield from connection.recv(16 * 1024)
+            if not chunk:
+                break
+            collected.extend(chunk)
+        result["file"] = bytes(collected)
+        result["done_ns"] = sim.now
+
+    sim.process(download(), name="download")
+    sim.process(upload(), name="upload")
+    sim.run()
+
+    assert result["file"] == file_bytes, "file corrupted in transit!"
+    elapsed_ms = result["done_ns"] / 1e6
+    print("transferred : %d KB over uTCP/DPDK, byte-exact" % args.kb)
+    print("link loss   : %.0f%%" % (args.loss * 100))
+    print("segments    : %d sent, %d retransmitted (%.0f%% overhead)"
+          % (uploader.segments_sent.value, uploader.retransmits.value,
+             100.0 * uploader.retransmits.value / max(1, uploader.segments_sent.value)))
+    print("elapsed     : %.2f ms simulated -> %.1f Mbit/s effective"
+          % (elapsed_ms, args.kb * 8 / 1024.0 / (elapsed_ms / 1000.0) if elapsed_ms else 0))
+
+
+if __name__ == "__main__":
+    main()

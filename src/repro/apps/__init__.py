@@ -1,0 +1,17 @@
+"""INSANE-based applications from the paper's §7.
+
+* :mod:`repro.apps.lunar_mom` — LUNAR MoM, a decentralized
+  publish/subscribe message-oriented middleware (135 LoC of C in the
+  paper);
+* :mod:`repro.apps.lunar_streaming` — LUNAR Streaming, a client-server
+  frame streaming framework with application-level fragmentation.
+
+Both are written exclusively against the public INSANE API
+(:class:`repro.core.Session`), demonstrating how domain-specific
+abstractions compose on top of the middleware.
+"""
+
+from repro.apps.lunar_mom import LunarMom, topic_id
+from repro.apps.lunar_streaming import LunarStreamClient, LunarStreamServer
+
+__all__ = ["LunarMom", "LunarStreamClient", "LunarStreamServer", "topic_id"]

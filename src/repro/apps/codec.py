@@ -1,0 +1,134 @@
+"""Frame codecs for LUNAR Streaming.
+
+The paper's prototype streams raw RGB frames and leaves compression "as
+future development" (§7.2).  This module adds that layer: pluggable codecs
+applied by the streaming server before fragmentation and undone by the
+client after reassembly.  The codecs are real (byte-exact round trips,
+property-tested); their CPU cost is charged per byte through the ``codec``
+stage so the FPS benefit of shrinking frames is weighed against encode
+time, as it would be on real hardware.
+"""
+
+
+class Codec:
+    """Interface: byte-exact ``decode(encode(x)) == x``."""
+
+    name = "codec"
+
+    def encode(self, data):
+        raise NotImplementedError
+
+    def decode(self, data):
+        raise NotImplementedError
+
+
+class IdentityCodec(Codec):
+    """No compression (the paper's raw-RGB behaviour)."""
+
+    name = "identity"
+
+    def encode(self, data):
+        return bytes(data)
+
+    def decode(self, data):
+        return bytes(data)
+
+
+class RleCodec(Codec):
+    """Escape-based run-length encoding.
+
+    Well suited to the flat regions of machine-vision frames (backgrounds,
+    conveyor belts).  Worst-case expansion on incompressible input is
+    bounded: a literal byte equal to the escape costs two bytes.
+
+    Format: ``ESC count byte`` encodes ``count`` (3..255) repeats;
+    ``ESC 0x00 ESC`` encodes a literal escape byte; anything else is a
+    literal.
+    """
+
+    name = "rle"
+    ESCAPE = 0xAB
+
+    def encode(self, data):
+        data = bytes(data)
+        out = bytearray()
+        index = 0
+        length = len(data)
+        while index < length:
+            byte = data[index]
+            run = 1
+            while index + run < length and run < 255 and data[index + run] == byte:
+                run += 1
+            if run >= 3:
+                out.extend((self.ESCAPE, run, byte))
+                index += run
+            else:
+                for _ in range(run):
+                    if byte == self.ESCAPE:
+                        out.extend((self.ESCAPE, 0x00, self.ESCAPE))
+                    else:
+                        out.append(byte)
+                index += run
+        return bytes(out)
+
+    def decode(self, data):
+        data = bytes(data)
+        out = bytearray()
+        index = 0
+        length = len(data)
+        while index < length:
+            byte = data[index]
+            if byte != self.ESCAPE:
+                out.append(byte)
+                index += 1
+                continue
+            if index + 2 >= length and not (index + 2 < length):
+                if index + 2 >= length:
+                    raise ValueError("truncated RLE escape sequence")
+            count = data[index + 1]
+            if count == 0x00:
+                if data[index + 2] != self.ESCAPE:
+                    raise ValueError("malformed RLE literal escape")
+                out.append(self.ESCAPE)
+            elif count >= 3:
+                out.extend(bytes([data[index + 2]]) * count)
+            else:
+                raise ValueError("malformed RLE run length %d" % count)
+            index += 3
+        return bytes(out)
+
+
+class DeltaCodec(Codec):
+    """Byte-wise delta filter composed with RLE.
+
+    Smooth gradients (common in images) become long runs of small deltas,
+    which the inner RLE then collapses.
+    """
+
+    name = "delta-rle"
+
+    def __init__(self):
+        self._rle = RleCodec()
+
+    def encode(self, data):
+        data = bytes(data)
+        if not data:
+            return b""
+        deltas = bytearray(len(data))
+        deltas[0] = data[0]
+        for index in range(1, len(data)):
+            deltas[index] = (data[index] - data[index - 1]) & 0xFF
+        return self._rle.encode(bytes(deltas))
+
+    def decode(self, data):
+        deltas = self._rle.decode(data)
+        if not deltas:
+            return b""
+        out = bytearray(len(deltas))
+        out[0] = deltas[0]
+        for index in range(1, len(deltas)):
+            out[index] = (out[index - 1] + deltas[index]) & 0xFF
+        return bytes(out)
+
+
+CODECS = {codec.name: codec for codec in (IdentityCodec(), RleCodec(), DeltaCodec())}

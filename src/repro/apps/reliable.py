@@ -1,0 +1,172 @@
+"""A reliable transport built ON TOP of the INSANE API.
+
+INSANE deliberately ships no fault-tolerance semantics: "developers are
+responsible to design mechanisms as part of their own custom logic"
+(paper §5.2).  This module is that custom logic, written exactly the way
+the paper intends — a sliding-window ARQ using one INSANE channel for data
+and one for acknowledgements, with cumulative ACKs, retransmission
+timeouts, duplicate suppression, and in-order delivery.
+
+It doubles as a demonstration that the minimal Fig. 2 API is expressive
+enough to host classic transport protocols (paper §5.1).
+"""
+
+import struct
+
+from repro.simnet import Counter, Signal, Timeout, Wait
+
+#: seq number, kind (0 = DATA, 1 = ACK), payload length
+_HEADER = struct.Struct("!QBH")
+HEADER_LEN = _HEADER.size
+
+KIND_DATA = 0
+KIND_ACK = 1
+
+
+class ReliableSender:
+    """Sliding-window ARQ sender over an INSANE source/sink pair."""
+
+    def __init__(self, session, stream, channel, window=32, rto_ns=150_000):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.session = session
+        self.sim = session.sim
+        self.channel = channel
+        self.window = window
+        self.rto_ns = rto_ns
+        self.source = session.create_source(stream, channel)
+        self.ack_sink = session.create_sink(stream, channel + 1, callback=self._on_ack)
+        self.next_seq = 0
+        self.base = 0                      # oldest unacknowledged sequence
+        self._unacked = {}                 # seq -> payload bytes
+        self._window_open = None           # Signal fired when space frees up
+        self._timer = None
+        self.retransmissions = Counter("arq.retransmissions")
+        self.acked = Counter("arq.acked")
+        self.closed = False
+
+    # -- public API -------------------------------------------------------
+
+    def send(self, data):
+        """Send ``data`` reliably (generator; blocks while the window is
+        full).  Returns the assigned sequence number."""
+        if self.closed:
+            raise RuntimeError("sender is closed")
+        while self.next_seq - self.base >= self.window:
+            self._window_open = Signal(self.sim)
+            yield Wait(self._window_open)
+        seq = self.next_seq
+        self.next_seq += 1
+        self._unacked[seq] = bytes(data)
+        yield from self._transmit(seq)
+        self._arm_timer()
+        return seq
+
+    @property
+    def in_flight(self):
+        return len(self._unacked)
+
+    def drain(self):
+        """Wait until every sent message has been acknowledged (generator)."""
+        while self._unacked:
+            self._window_open = Signal(self.sim)
+            yield Wait(self._window_open)
+
+    def close(self):
+        self.closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _transmit(self, seq):
+        payload = self._unacked[seq]
+        buffer = yield from self.session.get_buffer_wait(
+            self.source, HEADER_LEN + len(payload)
+        )
+        buffer.write(_HEADER.pack(seq, KIND_DATA, len(payload)) + payload)
+        yield from self.session.emit_data(self.source, buffer)
+
+    def _on_ack(self, delivery):
+        """Cumulative ACK: everything below ``seq`` is received."""
+        header = bytes(delivery.buffer.view[:HEADER_LEN])
+        ack_seq, kind, _length = _HEADER.unpack(header)
+        if kind != KIND_ACK or ack_seq <= self.base:
+            return
+        for seq in range(self.base, ack_seq):
+            if seq in self._unacked:
+                del self._unacked[seq]
+                self.acked.increment()
+        self.base = ack_seq
+        if self._window_open is not None and not self._window_open.fired:
+            self._window_open.succeed()
+            self._window_open = None
+        self._arm_timer()
+
+    def _arm_timer(self):
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._unacked and not self.closed:
+            self._timer = self.sim.schedule(self.rto_ns, self._on_timeout)
+
+    def _on_timeout(self):
+        self._timer = None
+        if not self._unacked or self.closed:
+            return
+        self.sim.process(self._retransmit_window(), name="arq.rtx")
+
+    def _retransmit_window(self):
+        # go-back-N: resend everything outstanding, oldest first
+        for seq in sorted(self._unacked):
+            self.retransmissions.increment()
+            yield from self._transmit(seq)
+        self._arm_timer()
+
+
+class ReliableReceiver:
+    """In-order, exactly-once delivery with cumulative ACKs."""
+
+    def __init__(self, session, stream, channel, deliver, ack_every=1):
+        self.session = session
+        self.sim = session.sim
+        self.deliver = deliver
+        self.ack_source = session.create_source(stream, channel + 1)
+        self.data_sink = session.create_sink(stream, channel, callback=self._on_data)
+        self.expected = 0
+        self._out_of_order = {}
+        self._since_ack = 0
+        self.ack_every = ack_every
+        self.duplicates = Counter("arq.duplicates")
+        self.delivered = Counter("arq.delivered")
+
+    def _on_data(self, delivery):
+        view = delivery.buffer.view[: delivery.length]
+        seq, kind, length = _HEADER.unpack(bytes(view[:HEADER_LEN]))
+        if kind != KIND_DATA:
+            return
+        payload = bytes(view[HEADER_LEN : HEADER_LEN + length])
+        if seq < self.expected or seq in self._out_of_order:
+            self.duplicates.increment()
+        elif seq == self.expected:
+            self._deliver(payload)
+            self.expected += 1
+            while self.expected in self._out_of_order:
+                self._deliver(self._out_of_order.pop(self.expected))
+                self.expected += 1
+        else:
+            self._out_of_order[seq] = payload
+        self._since_ack += 1
+        if self._since_ack >= self.ack_every:
+            self._since_ack = 0
+            self.sim.process(self._send_ack(), name="arq.ack")
+
+    def _deliver(self, payload):
+        self.delivered.increment()
+        self.deliver(payload)
+
+    def _send_ack(self):
+        buffer = yield from self.session.get_buffer_wait(self.ack_source, HEADER_LEN)
+        buffer.write(_HEADER.pack(self.expected, KIND_ACK, 0))
+        yield from self.session.emit_data(self.ack_source, buffer)

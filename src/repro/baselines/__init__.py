@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares INSANE against.
+
+* :mod:`repro.baselines.raw_udp` — UDP-socket benchmark app (blocking and
+  non-blocking receive);
+* :mod:`repro.baselines.raw_dpdk` — native DPDK benchmark app;
+* :mod:`repro.baselines.demikernel` — Demikernel library OS with its Catnap
+  (kernel sockets) and Catnip (DPDK) libraries;
+* :mod:`repro.baselines.dds` — a Cyclone-DDS-like decentralized MoM over
+  UDP (RTPS-style serialization, blocking receiver event loop);
+* :mod:`repro.baselines.zeromq` — a ZeroMQ-like MoM over UDP (internal
+  pipeline queues and an I/O thread);
+* :mod:`repro.baselines.sendfile` — kernel sender-side zero-copy streaming.
+
+Each module exposes small benchmark "applications" with the same driver
+interface so the harness in :mod:`repro.bench` can swap systems freely.
+"""
+
+from repro.baselines.raw_udp import UdpBenchApp
+from repro.baselines.raw_dpdk import DpdkBenchApp
+from repro.baselines.demikernel import DemikernelApp
+
+__all__ = ["DemikernelApp", "DpdkBenchApp", "UdpBenchApp"]

@@ -1,0 +1,63 @@
+"""Latency breakdown of INSANE fast (paper Fig. 6).
+
+Runs a paced one-way INSANE fast flow with per-packet tracing enabled and
+splits each message's latency into the paper's four components:
+
+* **send** — emit to NIC hand-off (client IPC, scheduler pass, mempool
+  exchange, userspace stack TX, driver call);
+* **network** — NIC hand-off to NIC receive-ring arrival (DMA,
+  serialization, propagation, and — on the cloud testbed — the switch);
+* **receive** — ring arrival to runtime dispatch (poll detection, driver
+  RX, stack RX, channel dispatch);
+* **data processing** — dispatch to the application's consume returning
+  (token delivery over the sink ring and the client-library pickup).
+
+The figure reports an RTT breakdown of a symmetric echo, so each one-way
+component is doubled.
+"""
+
+from repro.bench.harness import make_testbed
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import InsaneDeployment
+from repro.simnet import Tally, Timeout
+
+COMPONENTS = ("send", "network", "receive", "data_processing")
+
+
+def run_breakdown(profile="local", messages=300, size=64, seed=0, gap_ns=30_000):
+    """Measure the Fig. 6 breakdown; returns {component: mean_us_per_rtt}."""
+    testbed = make_testbed(profile, seed=seed)
+    sim = testbed.sim
+    deployment = InsaneDeployment(testbed, config=RuntimeConfig(trace=True))
+    tx = Session(deployment.runtime(0), "bd-tx")
+    rx = Session(deployment.runtime(1), "bd-rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="breakdown")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="breakdown")
+    source = tx.create_source(tx_stream, channel=1)
+    sink = rx.create_sink(rx_stream, channel=1)
+    tallies = {component: Tally(component) for component in COMPONENTS}
+
+    def producer():
+        for _ in range(messages):
+            buffer = yield from tx.get_buffer_wait(source, size)
+            yield from tx.emit_data(source, buffer, length=size)
+            yield Timeout(gap_ns)  # paced: isolate per-message pipeline
+
+    def consumer():
+        for _ in range(messages):
+            delivery = yield from rx.consume_data(sink)
+            consume_done = sim.now
+            trace = delivery.meta.get("trace")
+            if trace and "emit_ns" in trace:
+                tallies["send"].record(trace["nic_handoff"] - trace["emit_ns"])
+                tallies["network"].record(trace["nic_rx_arrival"] - trace["nic_handoff"])
+                tallies["receive"].record(trace["runtime_rx"] - trace["nic_rx_arrival"])
+                tallies["data_processing"].record(consume_done - trace["runtime_rx"])
+            rx.release_buffer(sink, delivery)
+
+    sim.process(consumer(), name="bd.consumer")
+    sim.process(producer(), name="bd.producer")
+    sim.run()
+    # one-way components doubled: the echo path is symmetric
+    return {component: 2 * tallies[component].mean / 1000.0 for component in COMPONENTS}

@@ -1,0 +1,185 @@
+"""The ``insane-bench`` command line: regenerate any paper table or figure.
+
+Examples::
+
+    insane-bench fig7 --profile cloud
+    insane-bench fig8a --full
+    insane-bench all --quick
+"""
+
+import argparse
+import sys
+
+from repro.bench import runner
+from repro.bench.ablations import (
+    run_ablation_batching,
+    run_ablation_qos,
+    run_ablation_rx_threads,
+    run_ablation_threads,
+    run_ablation_tsn,
+)
+
+EXPERIMENTS = {
+    "table1": lambda args: runner.run_table1(),
+    "table3": lambda args: runner.run_table3(),
+    "table4": lambda args: runner.run_table4(),
+    "fig5": lambda args: runner.run_fig5(
+        profile=args.profile, rounds=args.rounds, seed=args.seed
+    ),
+    "fig6": lambda args: runner.run_fig6(rounds=args.rounds, seed=args.seed),
+    "fig7": lambda args: runner.run_fig7(
+        profile=args.profile, rounds=args.rounds, seed=args.seed
+    ),
+    "fig8a": lambda args: runner.run_fig8a(messages=args.messages, seed=args.seed),
+    "fig8b": lambda args: runner.run_fig8b(messages=args.messages, seed=args.seed),
+    "fig9a": lambda args: runner.run_fig9a(rounds=args.rounds, seed=args.seed),
+    "fig9b": lambda args: runner.run_fig9b(messages=args.messages, seed=args.seed),
+    "fig11": lambda args: runner.run_fig11(quick=args.quick, seed=args.seed),
+    "ablation-tsn": lambda args: run_ablation_tsn(seed=args.seed),
+    "ablation-threads": lambda args: run_ablation_threads(seed=args.seed),
+    "ablation-batching": lambda args: run_ablation_batching(
+        messages=args.messages, seed=args.seed
+    ),
+    "ablation-qos": lambda args: run_ablation_qos(seed=args.seed),
+    "ablation-rx-threads": lambda args: run_ablation_rx_threads(
+        messages=args.messages, seed=args.seed
+    ),
+}
+
+
+def _chart_fig7(results, args):
+    from repro.bench.charts import hbar_chart
+    from repro.bench.harness import SYSTEMS
+    from repro.bench.runner import PAPER_FIG7
+
+    labels = list(SYSTEMS)
+    values = [results[s].mean / 1000.0 for s in labels]
+    reference = {
+        s: v for s, v in PAPER_FIG7[args.profile].items() if v is not None
+    }
+    return hbar_chart(
+        "Fig. 7 (%s): average RTT, 64B (us)" % args.profile,
+        labels, values, unit=" us", reference=reference,
+    )
+
+
+def _chart_fig8a(results, args):
+    from repro.bench.charts import grouped_series_chart
+    from repro.bench.runner import FIG8A_SIZES, FIG8A_SYSTEMS
+
+    series = {
+        system: [results[(system, size)] for size in FIG8A_SIZES]
+        for system in FIG8A_SYSTEMS
+    }
+    return grouped_series_chart(
+        "Fig. 8a: goodput vs payload (Gbps)",
+        ["%dB" % size for size in FIG8A_SIZES],
+        series, unit=" Gbps",
+    )
+
+
+def _chart_fig8b(results, args):
+    from repro.bench.charts import hbar_chart
+    from repro.bench.runner import FIG8B_SINKS, PAPER_FIG8B
+
+    labels = ["%d sinks" % s for s in FIG8B_SINKS]
+    values = [results[s] for s in FIG8B_SINKS]
+    reference = {
+        "%d sinks" % s: v for s, v in PAPER_FIG8B.items()
+    }
+    return hbar_chart("Fig. 8b: per-sink goodput, 1KB (Gbps)",
+                      labels, values, unit=" Gbps", reference=reference)
+
+
+def _chart_fig9a(results, args):
+    from repro.bench.charts import grouped_series_chart
+    from repro.bench.mom import MOM_SYSTEMS
+    from repro.bench.runner import FIG9_SIZES
+
+    series = {
+        system: [results[(system, size)].mean / 1000.0 for size in FIG9_SIZES]
+        for system in MOM_SYSTEMS
+    }
+    return grouped_series_chart(
+        "Fig. 9a: MoM average RTT (us)",
+        ["%dB" % size for size in FIG9_SIZES],
+        series, unit=" us",
+    )
+
+
+def _chart_fig11(results, args):
+    from repro.bench.charts import grouped_series_chart
+    from repro.bench.images import RESOLUTIONS
+    from repro.bench.streaming import STREAMING_SYSTEMS
+
+    series = {
+        system: [results[(system, res)][0] for res in RESOLUTIONS]
+        for system in STREAMING_SYSTEMS
+    }
+    return grouped_series_chart(
+        "Fig. 11a: streaming FPS", list(RESOLUTIONS), series, unit=" fps",
+    )
+
+
+CHART_RENDERERS = {
+    "fig7": _chart_fig7,
+    "fig8a": _chart_fig8a,
+    "fig8b": _chart_fig8b,
+    "fig9a": _chart_fig9a,
+    "fig11": _chart_fig11,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="insane-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs everything)",
+    )
+    parser.add_argument("--profile", choices=("local", "cloud"), default="local")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="ping-pong rounds per data point")
+    parser.add_argument("--messages", type=int, default=None,
+                        help="messages per throughput data point")
+    parser.add_argument("--seed", type=int, default=0)
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_true",
+                       help="small sample counts (default)")
+    group.add_argument("--full", action="store_true",
+                       help="larger sample counts (slower, tighter stats)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render terminal bar charts where available")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="append machine-readable results to a JSON file")
+    args = parser.parse_args(argv)
+
+    args.quick = not args.full
+    if args.rounds is None:
+        args.rounds = 2000 if args.full else 500
+    if args.messages is None:
+        args.messages = 50000 if args.full else 10000
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    collected = {}
+    for name in names:
+        print()
+        results = EXPERIMENTS[name](args)
+        collected[name] = results
+        if args.chart and name in CHART_RENDERERS:
+            print()
+            print(CHART_RENDERERS[name](results, args))
+        print()
+    if args.json:
+        from repro.bench.report import write_json_report
+
+        write_json_report(args.json, collected, profile=args.profile, seed=args.seed)
+        print("JSON results appended to %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

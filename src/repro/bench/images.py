@@ -1,0 +1,44 @@
+"""Raw image sizes of the streaming benchmark (paper Table 4).
+
+The paper streams raw RGB images (3 bytes per pixel); the resolutions
+below reproduce Table 4's sizes exactly.
+"""
+
+from collections import OrderedDict
+
+#: resolution name -> (width, height); 3 B/pixel RGB.
+RESOLUTIONS = OrderedDict(
+    [
+        ("HD", (1280, 720)),        # 2.76 MB
+        ("FullHD", (1920, 1080)),   # 6.22 MB
+        ("2K", (2560, 1512)),       # 11.61 MB
+        ("4K", (3840, 2160)),       # 24.88 MB
+        ("8K", (7680, 4320)),       # 99.53 MB
+    ]
+)
+
+BYTES_PER_PIXEL = 3
+
+
+def image_size_bytes(resolution):
+    """Raw RGB frame size in bytes for a named resolution."""
+    try:
+        width, height = RESOLUTIONS[resolution]
+    except KeyError:
+        raise KeyError(
+            "unknown resolution %r (choose from %s)" % (resolution, list(RESOLUTIONS))
+        )
+    return width * height * BYTES_PER_PIXEL
+
+
+def table4_rows():
+    """The rows of the paper's Table 4 (sizes in MB)."""
+    return [
+        {
+            "resolution": name,
+            "width": dims[0],
+            "height": dims[1],
+            "size_mb": round(dims[0] * dims[1] * BYTES_PER_PIXEL / 1e6, 2),
+        }
+        for name, dims in RESOLUTIONS.items()
+    ]

@@ -1,0 +1,56 @@
+"""Machine-readable result reporting (JSON) for the benchmark CLI."""
+
+import json
+import os
+
+from repro.simnet import Tally
+
+
+def _jsonable(value):
+    """Convert experiment results into JSON-encodable structures."""
+    if isinstance(value, Tally):
+        return value.summary()
+    if isinstance(value, dict):
+        return {_key(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _key(key):
+    """JSON object keys must be strings; tuples become '/'-joined."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def write_json_report(path, results_by_experiment, profile="local", seed=0):
+    """Append one run's results to a JSON report file.
+
+    The file holds a list of run records, so successive invocations (e.g.
+    local then cloud) accumulate rather than overwrite.
+    """
+    record = {
+        "profile": profile,
+        "seed": seed,
+        "experiments": {
+            name: _jsonable(results)
+            for name, results in results_by_experiment.items()
+        },
+    }
+    runs = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            try:
+                runs = json.load(handle)
+            except ValueError:
+                runs = []
+        if not isinstance(runs, list):
+            runs = [runs]
+    runs.append(record)
+    with open(path, "w") as handle:
+        json.dump(runs, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record

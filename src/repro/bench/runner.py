@@ -1,0 +1,240 @@
+"""One function per paper experiment.
+
+Each ``run_*`` function executes the experiment, prints a paper-style table
+(including the paper's reference values where the paper states them), and
+returns the measured data so benchmarks and tests can assert on it.
+"""
+
+from repro.bench.breakdown import COMPONENTS, run_breakdown
+from repro.bench.harness import SYSTEMS, run_multisink, run_pingpong, run_throughput
+from repro.bench.images import table4_rows
+from repro.bench.loc import table3_rows
+from repro.bench.mom import MOM_SYSTEMS, mom_pingpong, mom_throughput
+from repro.bench.streaming import STREAMING_SYSTEMS, frames_for_resolution, streaming_run
+from repro.bench.tables import format_table
+from repro.datapaths.registry import capability_table
+
+#: Paper-reported average RTTs (us, 64 B) for Fig. 7.
+PAPER_FIG7 = {
+    "local": {
+        "udp_blocking": 27.20, "udp_nonblocking": 12.58, "catnap": 13.34,
+        "insane_slow": 13.66, "catnip": 4.26, "insane_fast": 4.95,
+        "raw_dpdk": 3.44,
+    },
+    "cloud": {
+        "udp_blocking": None, "udp_nonblocking": 19.10, "catnap": 21.33,
+        "insane_slow": 23.27, "catnip": 7.40, "insane_fast": 10.43,
+        "raw_dpdk": 6.55,
+    },
+}
+
+#: Paper-reported Fig. 8b values (Gbps at 1 KB).
+PAPER_FIG8B = {1: 25.98, 2: 25.66, 8: 15.66}
+
+#: Paper-reported Fig. 9b values (Gbps).
+PAPER_FIG9B = {
+    ("lunar_fast", 64): 3.60, ("lunar_fast", 256): 10.51, ("lunar_fast", 1024): 22.82,
+    ("lunar_slow", 64): 0.37, ("lunar_slow", 256): 1.44, ("lunar_slow", 1024): 4.69,
+    ("cyclone_dds", 64): 0.54, ("cyclone_dds", 256): 1.49, ("cyclone_dds", 1024): 5.72,
+}
+
+FIG5_SYSTEMS = ("raw_dpdk", "insane_fast", "insane_slow", "udp_nonblocking")
+FIG5_SIZES = (64, 256, 1024)
+FIG8A_SYSTEMS = ("udp_nonblocking", "catnap", "insane_slow", "catnip", "insane_fast", "raw_dpdk")
+FIG8A_SIZES = (64, 256, 1024, 4096, 8192)
+FIG8B_SINKS = (1, 2, 4, 6, 8)
+FIG9_SIZES = (64, 256, 1024)
+
+
+def run_table1():
+    """Table 1: the end-host networking technology comparison."""
+    rows = [
+        (
+            row["technology"],
+            row["kernel_integration"],
+            row["api"],
+            "yes" if row["zero_copy"] else "no",
+            row["cpu_consumption"],
+            "yes" if row["dedicated_hardware"] else "no",
+        )
+        for row in capability_table()
+    ]
+    print(format_table(
+        ["technology", "kernel integration", "API", "zero-copy", "CPU", "dedicated HW"],
+        rows,
+        title="Table 1: end-host networking options",
+    ))
+    return rows
+
+
+def run_table3():
+    """Table 3: LoC of the benchmarking application per interface."""
+    rows = table3_rows()
+    print(format_table(
+        ["interface", "LoC (ours)", "increase", "LoC (paper)", "increase (paper)"],
+        [(r["interface"], r["loc"], r["increase"], r["paper_loc"], r["paper_increase"]) for r in rows],
+        title="Table 3: LoC to implement the benchmarking application",
+    ))
+    return rows
+
+
+def run_table4():
+    """Table 4: raw image sizes used by the streaming benchmark."""
+    rows = table4_rows()
+    print(format_table(
+        ["resolution", "width", "height", "size (MB)"],
+        [(r["resolution"], r["width"], r["height"], r["size_mb"]) for r in rows],
+        title="Table 4: streamed image sizes",
+    ))
+    return rows
+
+
+def run_fig5(profile="local", rounds=2000, seed=0):
+    """Fig. 5: RTT medians for increasing payload sizes."""
+    results = {}
+    rows = []
+    for system in FIG5_SYSTEMS:
+        medians = []
+        for size in FIG5_SIZES:
+            tally = run_pingpong(system, profile=profile, rounds=rounds, size=size, seed=seed)
+            results[(system, size)] = tally
+            medians.append(tally.median / 1000.0)
+        rows.append([system] + medians)
+    print(format_table(
+        ["system"] + ["%dB (us)" % s for s in FIG5_SIZES],
+        rows,
+        title="Fig. 5 (%s): median RTT vs payload size" % profile,
+    ))
+    return results
+
+
+def run_fig6(rounds=300, seed=0):
+    """Fig. 6: INSANE fast latency breakdown (64 B) on both testbeds."""
+    results = {}
+    rows = []
+    for profile in ("local", "cloud"):
+        breakdown = run_breakdown(profile, messages=rounds, seed=seed)
+        results[profile] = breakdown
+        rows.append(
+            [profile]
+            + [breakdown[c] for c in COMPONENTS]
+            + [sum(breakdown.values())]
+        )
+    print(format_table(
+        ["testbed"] + list(COMPONENTS) + ["total (us)"],
+        rows,
+        title="Fig. 6: INSANE fast latency breakdown (64B RTT, us)",
+    ))
+    return results
+
+
+def run_fig7(profile="local", rounds=2000, seed=0):
+    """Fig. 7: average RTT of all seven systems (64 B)."""
+    results = {}
+    rows = []
+    for system in SYSTEMS:
+        tally = run_pingpong(system, profile=profile, rounds=rounds, size=64, seed=seed)
+        results[system] = tally
+        paper = PAPER_FIG7[profile][system]
+        rows.append([system, tally.mean / 1000.0, paper if paper is not None else "n/a"])
+    print(format_table(
+        ["system", "avg RTT (us)", "paper (us)"],
+        rows,
+        title="Fig. 7 (%s): average RTT, 64B payload" % profile,
+    ))
+    return results
+
+
+def run_fig8a(messages=20000, seed=0):
+    """Fig. 8a: throughput for increasing payload size (local testbed)."""
+    results = {}
+    rows = []
+    for system in FIG8A_SYSTEMS:
+        series = []
+        for size in FIG8A_SIZES:
+            gbps = run_throughput(system, messages=messages, size=size, seed=seed)
+            results[(system, size)] = gbps
+            series.append(gbps)
+        rows.append([system] + series)
+    print(format_table(
+        ["system"] + ["%dB" % s for s in FIG8A_SIZES],
+        rows,
+        title="Fig. 8a: goodput (Gbps) vs payload size (local)",
+    ))
+    return results
+
+
+def run_fig8b(messages=20000, seed=0):
+    """Fig. 8b: INSANE fast throughput vs number of sinks (1 KB)."""
+    results = {}
+    rows = []
+    for sinks in FIG8B_SINKS:
+        gbps = run_multisink(sinks, messages=messages, size=1024, seed=seed)
+        results[sinks] = gbps
+        rows.append([sinks, gbps, PAPER_FIG8B.get(sinks, "-")])
+    print(format_table(
+        ["sinks", "avg Gbps/sink", "paper"],
+        rows,
+        title="Fig. 8b: average per-sink goodput, 1KB payload (local)",
+    ))
+    return results
+
+
+def run_fig9a(rounds=1000, seed=0):
+    """Fig. 9a: MoM RTT for increasing payload sizes (local testbed)."""
+    results = {}
+    rows = []
+    for system in MOM_SYSTEMS:
+        series = []
+        for size in FIG9_SIZES:
+            tally = mom_pingpong(system, rounds=rounds, size=size, seed=seed)
+            results[(system, size)] = tally
+            series.append(tally.mean / 1000.0)
+        rows.append([system] + series)
+    print(format_table(
+        ["system"] + ["%dB (us)" % s for s in FIG9_SIZES],
+        rows,
+        title="Fig. 9a: MoM average RTT vs payload size (local)",
+    ))
+    return results
+
+
+def run_fig9b(messages=20000, seed=0):
+    """Fig. 9b: MoM throughput (ZeroMQ excluded, as in the paper)."""
+    results = {}
+    rows = []
+    for system in ("lunar_fast", "lunar_slow", "cyclone_dds"):
+        series = []
+        for size in FIG9_SIZES:
+            gbps = mom_throughput(system, messages=messages, size=size, seed=seed)
+            results[(system, size)] = gbps
+            paper = PAPER_FIG9B.get((system, size), "-")
+            series.extend([gbps, paper])
+        rows.append([system] + series)
+    headers = ["system"]
+    for size in FIG9_SIZES:
+        headers += ["%dB" % size, "paper"]
+    print(format_table(headers, rows, title="Fig. 9b: MoM goodput (Gbps, local)"))
+    return results
+
+
+def run_fig11(quick=True, seed=0):
+    """Fig. 11: streaming FPS and per-frame latency vs resolution."""
+    from repro.bench.images import RESOLUTIONS
+
+    results = {}
+    rows = []
+    for resolution in RESOLUTIONS:
+        frames = frames_for_resolution(resolution, quick=quick)
+        row = [resolution]
+        for system in STREAMING_SYSTEMS:
+            fps, latencies = streaming_run(system, resolution, frames, seed=seed)
+            mean_latency_ms = sum(latencies) / len(latencies) / 1e6
+            results[(system, resolution)] = (fps, mean_latency_ms)
+            row.extend([fps, mean_latency_ms])
+        rows.append(row)
+    headers = ["resolution"]
+    for system in STREAMING_SYSTEMS:
+        headers += ["%s FPS" % system, "%s ms" % system]
+    print(format_table(headers, rows, title="Fig. 11: streaming FPS / frame latency"))
+    return results

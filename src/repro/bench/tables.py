@@ -1,0 +1,36 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    ``rows`` is a list of sequences; cells are str()-ed.  Floats are
+    formatted with two decimals.
+    """
+    def render(cell):
+        if isinstance(cell, float):
+            return "%.2f" % cell
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(title, headers, rows, paper_column=None):
+    """A table with an optional note pointing at the paper reference column."""
+    table = format_table(headers, rows, title=title)
+    if paper_column:
+        table += "\n(%s column: value reported in the paper)" % paper_column
+    return table

@@ -1,0 +1,81 @@
+"""Workload generators: arrival processes for benchmark senders.
+
+The paper's benchmarks use closed-loop (ping-pong) and open-loop
+(full-speed flood) workloads; real edge traffic sits between those
+extremes.  These generators produce inter-arrival gaps for paced senders —
+constant rate (sensor loops), Poisson (aggregated telemetry), and on/off
+bursts (cameras, batch uploads) — and a driver that pushes any of them
+through an INSANE source.
+"""
+
+
+class ConstantRate:
+    """Fixed inter-arrival gap (a control loop or sensor at ``hz``)."""
+
+    def __init__(self, interval_ns):
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_ns = interval_ns
+
+    @classmethod
+    def hz(cls, rate_hz):
+        return cls(1e9 / rate_hz)
+
+    def gaps(self, rng):
+        while True:
+            yield self.interval_ns
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival gaps with the given mean rate."""
+
+    def __init__(self, rate_per_s):
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_per_s = rate_per_s
+
+    def gaps(self, rng):
+        mean_ns = 1e9 / self.rate_per_s
+        while True:
+            yield rng.expovariate(1.0) * mean_ns
+
+
+class OnOffBurst:
+    """Alternating burst/idle phases; bursts send at ``burst_interval_ns``.
+
+    Models a camera shipping a frame's fragments then idling, or periodic
+    batch uploads — the traffic shape that stresses schedulers hardest.
+    """
+
+    def __init__(self, on_ns, off_ns, burst_interval_ns):
+        if min(on_ns, off_ns, burst_interval_ns) <= 0:
+            raise ValueError("all durations must be positive")
+        self.on_ns = on_ns
+        self.off_ns = off_ns
+        self.burst_interval_ns = burst_interval_ns
+
+    def gaps(self, rng):
+        while True:
+            elapsed = 0.0
+            while elapsed < self.on_ns:
+                yield self.burst_interval_ns
+                elapsed += self.burst_interval_ns
+            yield self.off_ns
+
+
+def drive_source(session, source, size, workload, count, on_emit=None):
+    """Emit ``count`` messages paced by ``workload`` (generator).
+
+    ``on_emit(emit_ns)`` is called after each emission — benchmarks use it
+    to record send timestamps.
+    """
+    from repro.simnet import Timeout
+
+    rng = session.sim.rng
+    gaps = workload.gaps(rng)
+    for _ in range(count):
+        buffer = yield from session.get_buffer_wait(source, size)
+        yield from session.emit_data(source, buffer, length=size)
+        if on_emit is not None:
+            on_emit(session.sim.now)
+        yield Timeout(next(gaps))

@@ -1,0 +1,21 @@
+"""Network Acceleration as a Service: containers on an edge cloud.
+
+The paper's §8 ("Cloud integration") sketches the deployment model this
+package implements: application components run in isolated *containers*
+that attach to the co-located INSANE runtime over shared memory, gaining
+"transparent access to the network acceleration options available at the
+specific deployment site" — and can be stopped, moved, and restarted on a
+different site by an orchestrator, with INSANE re-binding their streams to
+whatever that site offers.
+"""
+
+from repro.cloud.container import Container, ContainerSpec, ContainerState
+from repro.cloud.orchestrator import EdgeOrchestrator, PlacementError
+
+__all__ = [
+    "Container",
+    "ContainerSpec",
+    "ContainerState",
+    "EdgeOrchestrator",
+    "PlacementError",
+]

@@ -1,0 +1,86 @@
+"""Functional API mirroring the paper's Fig. 2 one-to-one.
+
+The object-oriented :class:`~repro.core.session.Session` is the primary
+Python interface; these thin wrappers exist so code can be written with the
+exact vocabulary of the paper::
+
+    session = init_session(runtime)
+    stream = create_stream(session, opts)
+    source = create_source(session, stream, channel=4)
+    buffer = get_buffer(session, source, 64)
+    emit_id = yield from emit_data(session, source, buffer)
+    ...
+    close_session(session)
+"""
+
+from repro.core.session import Session
+
+
+def init_session(runtime, name=None):
+    """``int init_session()`` — open a session with the local runtime."""
+    return Session(runtime, name=name)
+
+
+def close_session(session):
+    """``int close_session()`` — close and reclaim leaked slots."""
+    return session.close()
+
+
+def create_stream(session, opts=None, name="default"):
+    """``stream_t create_stream(options_t opts)``."""
+    return session.create_stream(opts, name=name)
+
+
+def close_stream(session, stream):
+    """``void close_stream(stream_t stream)``."""
+    session.close_stream(stream)
+
+
+def create_source(session, stream, channel):
+    """``source_t create_source(stream_t stream, int channel)``."""
+    return session.create_source(stream, channel)
+
+
+def close_source(session, source):
+    """``void close_source(source_t source)``."""
+    session.close_source(source)
+
+
+def get_buffer(session, source, size, flags=0):
+    """``buffer_t get_buffer(source_t src, size_t size, int flags)``."""
+    return session.get_buffer(source, size)
+
+
+def emit_data(session, source, buffer, length=None):
+    """``int emit_data(source_t src, buffer_t buffer)`` (generator)."""
+    return (yield from session.emit_data(source, buffer, length=length))
+
+
+def check_emit_outcome(session, source, emit_id):
+    """``int check_emit_outcome(source_t source, int id)``."""
+    return session.check_emit_outcome(source, emit_id)
+
+
+def create_sink(session, stream, channel, data_cb=None):
+    """``sink_t create_sink(stream_t stream, int channel, data_cb cb)``."""
+    return session.create_sink(stream, channel, callback=data_cb)
+
+
+def close_sink(session, sink):
+    """``void close_sink(sink_t sink)``."""
+    session.close_sink(sink)
+
+
+def data_available(session, sink, flags=0):
+    """``int data_available(sink_t sink, int flags)``."""
+    return session.data_available(sink)
+
+
+def consume_data(session, sink, blocking=True):
+    """``buffer_t consume_data(sink_t sink, int flags)`` (generator)."""
+    return (yield from session.consume_data(sink, blocking=blocking))
+
+
+def release_buffer(session, sink, delivery):
+    """``void release_buffer(sink_t sink, buffer_t buffer)``."""
+    session.release_buffer(sink, delivery)

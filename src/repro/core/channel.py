@@ -1,0 +1,115 @@
+"""Streams, channels, sources, and sinks (paper §5.1, Fig. 1).
+
+A *stream* associates QoS requirements with one or more *channels*; a
+channel is a unidirectional flow between *sources* and *sinks* that share an
+application-chosen channel id within the same stream.  These are client-side
+handles; the runtime keeps its own registry of sink endpoints.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.simnet import Counter
+
+
+@dataclass(frozen=True)
+class ChannelKey:
+    """What makes endpoints rendezvous: stream name + channel id."""
+
+    stream: str
+    channel: int
+
+
+class Stream:
+    """A client-side stream handle (``stream_t``)."""
+
+    def __init__(self, session, name, policy, decision, binding):
+        self.session = session
+        self.name = name
+        self.policy = policy
+        self.decision = decision      # MappingDecision: datapath + fallback
+        self.binding = binding        # the runtime's DatapathBinding
+        self.closed = False
+        self.sources = []
+        self.sinks = []
+
+    @property
+    def datapath(self):
+        return self.decision.datapath
+
+    @property
+    def time_sensitive(self):
+        from repro.core.qos import TimeSensitivity
+
+        return self.policy.time_sensitivity is TimeSensitivity.TIME_SENSITIVE
+
+    def close(self):
+        for source in list(self.sources):
+            source.close()
+        for sink in list(self.sinks):
+            sink.close()
+        self.closed = True
+
+
+class Source:
+    """A client-side source handle (``source_t``)."""
+
+    def __init__(self, session, stream, channel):
+        self.session = session
+        self.stream = stream
+        self.channel = channel
+        self.key = ChannelKey(stream.name, channel)
+        self.closed = False
+        self.emitted = Counter("source.emitted")
+        self._next_emit_id = 0
+
+    def next_emit_id(self):
+        self._next_emit_id += 1
+        return self._next_emit_id
+
+    def close(self):
+        if not self.closed:
+            self.closed = True
+            if self in self.stream.sources:
+                self.stream.sources.remove(self)
+
+
+@dataclass
+class Delivery:
+    """What a sink hands the application: a borrowed zero-copy buffer."""
+
+    buffer: object
+    length: int
+    channel: int
+    stream: str
+    source_ip: str = None
+    recv_ns: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def payload(self):
+        """Read-only view of the received bytes."""
+        return self.buffer.view[: self.length].toreadonly()
+
+
+class Sink:
+    """A client-side sink handle (``sink_t``)."""
+
+    def __init__(self, session, stream, channel, endpoint, callback=None):
+        self.session = session
+        self.stream = stream
+        self.channel = channel
+        self.key = ChannelKey(stream.name, channel)
+        self.endpoint = endpoint      # the runtime-side SinkEndpoint
+        self.callback = callback
+        self.closed = False
+        self.received = Counter("sink.received")
+
+    @property
+    def ring(self):
+        return self.endpoint.ring
+
+    def close(self):
+        if not self.closed:
+            self.closed = True
+            self.session.runtime.unregister_sink(self.endpoint)
+            if self in self.stream.sinks:
+                self.stream.sinks.remove(self)

@@ -1,0 +1,54 @@
+"""Runtime configuration knobs."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunables of one INSANE runtime instance.
+
+    ``thread_mapping`` controls how datapath plugins map onto polling
+    threads (paper §5.3): ``"per-datapath"`` pins one thread per plugin
+    (the evaluation setup, best performance); ``"shared"`` multiplexes all
+    plugins onto a single thread (lowest resource usage, lower
+    performance).
+    """
+
+    thread_mapping: str = "per-datapath"     # or "shared"
+    #: polling threads per datapath plugin (paper §8 proposes >1 to relieve
+    #: the CPU-bound receive pipeline); only meaningful with "per-datapath"
+    threads_per_datapath: int = 1
+    tx_burst: Optional[int] = None           # override profile insane_tx_burst
+    rx_burst: Optional[int] = None           # override profile dpdk_rx_burst
+    opportunistic_batching: bool = True      # Fig. 8a ablation knob
+    jumbo_frames: bool = True
+    pool_slots: Optional[int] = None
+    ipc_ring_slots: Optional[int] = None
+    mapping_strategy: Optional[Callable] = None  # custom QoS mapping
+    gate_control_list: object = None          # TSN GCL override
+    #: scheduler for best-effort traffic: "fifo" (paper default), "drr"
+    #: (per-application byte fairness), or "priority"
+    best_effort_scheduler: str = "fifo"
+    #: keep the kernel datapath listening on every runtime: the universal
+    #: fallback for publishers on heterogeneous deployments
+    always_kernel_listener: bool = True
+    #: optional AccessController enforcing per-stream publish/subscribe
+    #: rights at endpoint creation (paper §8, Security)
+    access_controller: object = None
+    trace: bool = False                       # per-packet breakdown stamps
+    warn: Optional[Callable[[str], None]] = None  # QoS fallback warnings
+
+    def __post_init__(self):
+        if self.thread_mapping not in ("per-datapath", "shared"):
+            raise ValueError(
+                "thread_mapping must be 'per-datapath' or 'shared', got %r"
+                % (self.thread_mapping,)
+            )
+        if self.threads_per_datapath < 1:
+            raise ValueError("threads_per_datapath must be >= 1")
+        if self.best_effort_scheduler not in ("fifo", "drr", "priority"):
+            raise ValueError(
+                "best_effort_scheduler must be fifo, drr, or priority; got %r"
+                % (self.best_effort_scheduler,)
+            )

@@ -1,0 +1,80 @@
+"""Out-of-band control plane: runtime discovery and channel subscriptions.
+
+INSANE runtimes forward emitted messages "to the reachable remote INSANE
+runtimes" with matching sinks (paper §7.1).  The subscription state behind
+that forwarding is maintained here, modelling a DDS-like discovery service:
+registration happens out of band (control traffic is not on the measured
+datapath), and each runtime consults its cached view at emit time.
+"""
+
+from collections import defaultdict
+
+
+class ControlPlane:
+    """Shared discovery state for one deployment.
+
+    Besides *who* subscribes to a channel, the control plane records *which
+    datapath* each subscribing runtime bound the channel's stream to, so a
+    publisher on a heterogeneous deployment can pick a technology the
+    subscriber actually listens on (falling back to the kernel path, which
+    every runtime keeps open).
+    """
+
+    def __init__(self):
+        self._runtimes = {}   # ip -> runtime
+        # ChannelKey -> ip -> {datapath_name: subscriber_count}
+        self._subscriptions = defaultdict(lambda: defaultdict(dict))
+
+    # -- runtime membership ----------------------------------------------
+
+    def register_runtime(self, runtime):
+        ip = runtime.host.ip
+        if ip in self._runtimes:
+            raise ValueError("a runtime is already registered at %s" % ip)
+        self._runtimes[ip] = runtime
+
+    def unregister_runtime(self, runtime):
+        self._runtimes.pop(runtime.host.ip, None)
+        for subscribers in self._subscriptions.values():
+            subscribers.pop(runtime.host.ip, None)
+
+    def runtime_at(self, ip):
+        return self._runtimes.get(ip)
+
+    @property
+    def runtimes(self):
+        return list(self._runtimes.values())
+
+    # -- channel subscriptions ---------------------------------------------
+
+    def subscribe(self, key, runtime, datapath="udp"):
+        counts = self._subscriptions[key][runtime.host.ip]
+        counts[datapath] = counts.get(datapath, 0) + 1
+
+    def unsubscribe(self, key, runtime, datapath="udp"):
+        subscribers = self._subscriptions.get(key)
+        if subscribers is None:
+            return
+        counts = subscribers.get(runtime.host.ip)
+        if counts is None:
+            return
+        if datapath in counts:
+            counts[datapath] -= 1
+            if counts[datapath] <= 0:
+                del counts[datapath]
+        if not counts:
+            del subscribers[runtime.host.ip]
+        if not subscribers:
+            del self._subscriptions[key]
+
+    def remote_subscribers(self, key, local_ip):
+        """``(ip, frozenset(datapaths))`` of remote runtimes on ``key``."""
+        subscribers = self._subscriptions.get(key, {})
+        return [
+            (ip, frozenset(counts))
+            for ip, counts in sorted(subscribers.items())
+            if ip != local_ip
+        ]
+
+    def has_subscribers(self, key):
+        return bool(self._subscriptions.get(key))

@@ -1,0 +1,24 @@
+"""Exceptions raised by the INSANE middleware."""
+
+
+class InsaneError(RuntimeError):
+    """Base class for middleware-level errors."""
+
+
+class SessionError(InsaneError):
+    """Raised on API misuse: closed sessions, foreign buffers, etc."""
+
+
+class PoolExhaustedError(InsaneError):
+    """Raised when a memory pool has no free slots and the caller asked
+    for a non-blocking allocation."""
+
+
+class NoDatapathError(InsaneError):
+    """Raised when a QoS mapping strategy yields a datapath that is not
+    available on the host and no fallback is permitted."""
+
+
+class BufferLifecycleError(InsaneError):
+    """Raised on double-release, use-after-release, or emit of a foreign
+    buffer."""

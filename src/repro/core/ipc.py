@@ -1,0 +1,97 @@
+"""Lock-free token rings between the client library and the runtime.
+
+The client library and the runtime live in separate processes and exchange
+*tokens* — slot ids plus a small header — over bounded SPSC rings mapped in
+shared memory (paper §5.3, Fig. 4).  The simulated ring is a bounded
+:class:`~repro.simnet.Store`; the CPU cost of one ring crossing is the
+``insane_ipc`` stage, charged half at the enqueuing side and half at the
+dequeuing side so that the cost lands on the correct simulated core.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simnet import Counter, Store, Timeout
+
+
+@dataclass
+class Token:
+    """One entry of a token ring.
+
+    ``slot_id`` identifies the payload slot in the runtime's shared pool
+    (the processes never exchange pointers); ``buffer`` is the simulation's
+    resolved handle so tests can verify zero-copy behaviour.
+    """
+
+    slot_id: int
+    length: int
+    stream: str
+    channel: int
+    emit_id: Optional[object] = None
+    source_ip: Optional[str] = None
+    buffer: object = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def key(self):
+        from repro.core.channel import ChannelKey
+
+        return ChannelKey(self.stream, self.channel)
+
+
+class TokenRing:
+    """A bounded SPSC ring of :class:`Token`."""
+
+    def __init__(self, sim, host, capacity, name):
+        self.sim = sim
+        self.host = host
+        self.store = Store(sim, capacity=capacity, name=name)
+        self.name = name
+        self.enqueued = Counter(name + ".enqueued")
+        self.rejected = Counter(name + ".rejected")
+
+    def __len__(self):
+        return len(self.store)
+
+    @property
+    def is_empty(self):
+        return self.store.is_empty
+
+    def half_cost(self, burst=1):
+        """The per-side CPU cost of one ring crossing."""
+        return Timeout(self.host.jitter(self.host.profile.stage("insane_ipc").cost(0, burst=burst) / 2.0))
+
+    def try_enqueue(self, token):
+        """Non-blocking enqueue; returns False when the ring is full."""
+        if self.store.try_put(token):
+            self.enqueued.increment()
+            return True
+        self.rejected.increment()
+        return False
+
+    def enqueue_effect(self, token):
+        """A ``Put`` effect that blocks the producer while the ring is full
+        (backpressure rather than silent loss on the client side)."""
+        from repro.simnet import Put
+
+        self.enqueued.increment()
+        return Put(self.store, token)
+
+    def try_dequeue(self):
+        ok, token = self.store.try_get()
+        return token if ok else None
+
+    def dequeue_effect(self):
+        from repro.simnet import Get
+
+        return Get(self.store)
+
+    def drain(self, max_items):
+        """Dequeue up to ``max_items`` tokens without blocking."""
+        tokens = []
+        while len(tokens) < max_items:
+            ok, token = self.store.try_get()
+            if not ok:
+                break
+            tokens.append(token)
+        return tokens

@@ -1,0 +1,261 @@
+"""The memory manager: pools, slots, and zero-copy buffers.
+
+This is the paper's central abstraction (§5.3): "the memory manager reserves
+a memory area (memory pools) [...] divided into memory slots, uniquely
+identified within the pool by a slot id".  Applications and datapaths never
+exchange payload bytes directly — they exchange slot ids, and payloads live
+in one backing buffer per pool.
+
+The implementation is *really* zero-copy inside a host: a :class:`Buffer` is
+a ``memoryview`` into the pool's single ``bytearray``.  Only the simulated
+NIC DMA moves bytes between the pools of different hosts.  Lifecycle bugs
+(double release, use after emit) are therefore observable and tested.
+"""
+
+from repro.core.errors import BufferLifecycleError, PoolExhaustedError
+from repro.simnet import Counter
+
+
+class Buffer:
+    """A leased slot: the unit of zero-copy data exchange.
+
+    ``view`` is writable memory backed by the pool; ``length`` is the number
+    of valid payload bytes (set by :meth:`write` or manually before emit).
+    ``refcount`` supports multi-sink delivery: the slot returns to the free
+    list only when every borrower has released it.
+    """
+
+    __slots__ = ("pool", "slot_id", "view", "length", "refcount", "frozen")
+
+    def __init__(self, pool, slot_id, view):
+        self.pool = pool
+        self.slot_id = slot_id
+        self.view = view
+        self.length = 0
+        self.refcount = 1
+        self.frozen = False
+
+    @property
+    def capacity(self):
+        return len(self.view)
+
+    def write(self, data):
+        """Copy ``data`` into the slot and set the valid length."""
+        if self.frozen:
+            raise BufferLifecycleError(
+                "buffer slot %d was emitted; no after-write allowed" % self.slot_id
+            )
+        if len(data) > self.capacity:
+            raise ValueError(
+                "payload of %d B exceeds slot capacity %d B" % (len(data), self.capacity)
+            )
+        self.view[: len(data)] = data
+        self.length = len(data)
+
+    def payload(self):
+        """A read-only view of the valid bytes."""
+        return self.view[: self.length].toreadonly()
+
+    def freeze(self):
+        """Mark the buffer emitted: the paper's no-after-write contract."""
+        self.frozen = True
+
+    def __repr__(self):
+        return "Buffer(pool=%s, slot=%d, len=%d, rc=%d)" % (
+            self.pool.name,
+            self.slot_id,
+            self.length,
+            self.refcount,
+        )
+
+
+class SlotPool:
+    """A pool of fixed-size slots carved out of one backing buffer."""
+
+    def __init__(self, sim, slots, slot_bytes, name="pool"):
+        if slots < 1 or slot_bytes < 1:
+            raise ValueError("pool needs at least one slot of at least one byte")
+        self.sim = sim
+        self.name = name
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._backing = bytearray(slots * slot_bytes)
+        self._view = memoryview(self._backing)
+        self._free = list(range(slots - 1, -1, -1))
+        self._live = {}
+        self.allocations = Counter(name + ".allocations")
+        self.exhaustions = Counter(name + ".exhaustions")
+        self._waiters = []
+
+    @property
+    def free_slots(self):
+        return len(self._free)
+
+    @property
+    def in_use(self):
+        return self.slots - len(self._free)
+
+    def try_alloc(self, size=0):
+        """Allocate a slot, or return ``None`` (counting the exhaustion)."""
+        if size > self.slot_bytes:
+            raise ValueError(
+                "requested %d B but slots are %d B; fragment at the "
+                "application level" % (size, self.slot_bytes)
+            )
+        if not self._free:
+            self.exhaustions.increment()
+            return None
+        slot_id = self._free.pop()
+        offset = slot_id * self.slot_bytes
+        buffer = Buffer(self, slot_id, self._view[offset : offset + self.slot_bytes])
+        self._live[slot_id] = buffer
+        self.allocations.increment()
+        return buffer
+
+    def alloc(self, size=0):
+        """Allocate a slot or raise :class:`PoolExhaustedError`."""
+        buffer = self.try_alloc(size)
+        if buffer is None:
+            raise PoolExhaustedError("%s out of slots" % self.name)
+        return buffer
+
+    def add_alloc_waiter(self, callback):
+        """Call ``callback(buffer, None)`` as soon as a slot frees up."""
+        buffer = self.try_alloc()
+        if buffer is not None:
+            self.sim.schedule(0, callback, buffer, None)
+        else:
+            self._waiters.append(callback)
+
+    def addref(self, buffer):
+        """Take an extra reference for multi-sink delivery."""
+        self._check_live(buffer)
+        buffer.refcount += 1
+
+    def release(self, buffer):
+        """Drop one reference; recycle the slot when it hits zero."""
+        self._check_live(buffer)
+        buffer.refcount -= 1
+        if buffer.refcount > 0:
+            return
+        del self._live[buffer.slot_id]
+        buffer.frozen = False
+        buffer.length = 0
+        if self._waiters:
+            # hand the slot straight to a blocked allocator
+            callback = self._waiters.pop(0)
+            buffer.refcount = 1
+            self._live[buffer.slot_id] = buffer
+            self.allocations.increment()
+            self.sim.schedule(0, callback, buffer, None)
+        else:
+            self._free.append(buffer.slot_id)
+
+    def lookup(self, slot_id):
+        """Resolve a slot id received over an IPC ring to its buffer."""
+        try:
+            return self._live[slot_id]
+        except KeyError:
+            raise BufferLifecycleError("slot %d is not live in %s" % (slot_id, self.name))
+
+    def _check_live(self, buffer):
+        if buffer.pool is not self:
+            raise BufferLifecycleError(
+                "buffer from pool %s used on pool %s" % (buffer.pool.name, self.name)
+            )
+        if self._live.get(buffer.slot_id) is not buffer:
+            raise BufferLifecycleError(
+                "slot %d is not live (double release?)" % buffer.slot_id
+            )
+
+
+class MemoryManager:
+    """Per-runtime pool registry with per-application accounting.
+
+    When an application opens a session it *attaches*, which models mapping
+    a part of the shared memory area into its own address space; detach
+    releases any slots the application leaked, which keeps a long-running
+    runtime healthy across misbehaving clients.
+    """
+
+    def __init__(self, sim, profile, name="memmgr", slots=None, slot_bytes=None):
+        self.sim = sim
+        self.name = name
+        self.pool = SlotPool(
+            sim,
+            slots=slots or profile.scalar("pool_slots"),
+            slot_bytes=slot_bytes or profile.scalar("pool_slot_bytes"),
+            name=name + ".pool",
+        )
+        self._attached = {}
+        self._quotas = {}
+
+    def attach(self, app_id, quota=None):
+        """Attach an application; ``quota`` optionally caps how many slots
+        it may hold at once (multi-tenant isolation)."""
+        if app_id in self._attached:
+            raise ValueError("application %r already attached" % (app_id,))
+        if quota is not None and quota < 1:
+            raise ValueError("quota must be >= 1")
+        self._attached[app_id] = set()
+        if quota is not None:
+            self._quotas[app_id] = quota
+
+    def detach(self, app_id):
+        leaked = self._attached.pop(app_id, set())
+        self._quotas.pop(app_id, None)
+        for buffer in list(leaked):
+            self.pool.release(buffer)
+        return len(leaked)
+
+    def alloc_for(self, app_id, size=0):
+        """Allocate a slot on behalf of an attached application."""
+        if app_id not in self._attached:
+            raise ValueError("application %r is not attached" % (app_id,))
+        quota = self._quotas.get(app_id)
+        if quota is not None and len(self._attached[app_id]) >= quota:
+            raise PoolExhaustedError(
+                "application %r reached its slot quota (%d)" % (app_id, quota)
+            )
+        buffer = self.pool.try_alloc(size)
+        if buffer is None:
+            raise PoolExhaustedError("%s out of slots" % self.pool.name)
+        self._attached[app_id].add(buffer)
+        return buffer
+
+    def alloc_waiter_for(self, app_id, callback):
+        """Allocate on behalf of ``app_id`` as soon as a slot frees up."""
+        if app_id not in self._attached:
+            raise ValueError("application %r is not attached" % (app_id,))
+
+        def on_alloc(buffer, exception):
+            if buffer is not None:
+                owned = self._attached.get(app_id)
+                if owned is not None:
+                    owned.add(buffer)
+            callback(buffer, exception)
+
+        self.pool.add_alloc_waiter(on_alloc)
+
+    def release_for(self, app_id, buffer):
+        owned = self._attached.get(app_id)
+        if owned is None:
+            raise ValueError("application %r is not attached" % (app_id,))
+        owned.discard(buffer)
+        self.pool.release(buffer)
+
+    def transfer_ownership(self, app_id, buffer):
+        """The application emitted the buffer: the runtime now owns it."""
+        owned = self._attached.get(app_id)
+        if owned is None or buffer not in owned:
+            raise BufferLifecycleError(
+                "application %r does not own %r" % (app_id, buffer)
+            )
+        owned.discard(buffer)
+
+    def lend_to(self, app_id, buffer):
+        """The runtime hands a received buffer to a sink application."""
+        owned = self._attached.get(app_id)
+        if owned is None:
+            raise ValueError("application %r is not attached" % (app_id,))
+        owned.add(buffer)

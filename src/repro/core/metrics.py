@@ -1,0 +1,55 @@
+"""Prometheus-style metrics export for INSANE runtimes.
+
+Edge operators scrape text metrics; this renders a runtime's (or a whole
+deployment's) :meth:`~repro.core.runtime.InsaneRuntime.stats` snapshot in
+the Prometheus exposition format, one gauge family per counter.
+"""
+
+
+def _escape(value):
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _line(name, labels, value):
+    rendered = ",".join('%s="%s"' % (k, _escape(v)) for k, v in sorted(labels.items()))
+    return "insane_%s{%s} %s" % (name, rendered, value)
+
+
+def export_runtime(runtime):
+    """Metric lines for one runtime."""
+    stats = runtime.stats()
+    host = {"host": stats["host"], "ip": stats["ip"]}
+    lines = [
+        _line("runtime_version", host, runtime.version),
+        _line("sessions", host, len(stats["sessions"])),
+        _line("sink_rings", host, stats["sink_rings"]),
+        _line("warnings_total", host, len(stats["warnings"])),
+        _line("pool_slots", host, stats["memory"]["slots"]),
+        _line("pool_in_use", host, stats["memory"]["in_use"]),
+        _line("pool_allocations_total", host, stats["memory"]["allocations"]),
+        _line("pool_exhaustions_total", host, stats["memory"]["exhaustions"]),
+    ]
+    for name, binding in sorted(stats["bindings"].items()):
+        labels = dict(host, datapath=name)
+        lines.append(_line("binding_tx_packets_total", labels, binding["tx_packets"]))
+        lines.append(_line("binding_rx_packets_total", labels, binding["rx_packets"]))
+        lines.append(_line("binding_pool_drops_total", labels, binding["pool_drops"]))
+        lines.append(_line("binding_no_sink_drops_total", labels, binding["no_sink_drops"]))
+        lines.append(_line("binding_unknown_drops_total", labels, binding["unknown_drops"]))
+        lines.append(_line("binding_scheduler_backlog", labels, binding["scheduler_backlog"]))
+        lines.append(_line("binding_rx_queue_depth", labels, binding["rx_queue_depth"]))
+        lines.append(_line("binding_polling_threads", labels, binding["polling_threads"]))
+        for app_id, ring in sorted(binding["tx_rings"].items()):
+            ring_labels = dict(labels, app=app_id)
+            lines.append(_line("tx_ring_depth", ring_labels, ring["depth"]))
+            lines.append(_line("tx_ring_enqueued_total", ring_labels, ring["enqueued"]))
+            lines.append(_line("tx_ring_rejected_total", ring_labels, ring["rejected"]))
+    return lines
+
+
+def export_deployment(deployment):
+    """The full scrape body for every runtime of a deployment."""
+    lines = []
+    for runtime in deployment.runtimes.values():
+        lines.extend(export_runtime(runtime))
+    return "\n".join(lines) + "\n"

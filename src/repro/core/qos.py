@@ -1,0 +1,130 @@
+"""Stream QoS policies and the policy-to-datapath mapping (paper §5.2).
+
+INSANE deliberately keeps the option set minimal: three per-stream policies
+(datapath acceleration, tolerable resource consumption, time sensitivity).
+The runtime maps them to the *most appropriate* technology available on the
+host at stream-creation time; the mapping is a best-effort hint, and when
+acceleration is requested but unavailable INSANE falls back to the kernel
+stack and warns the user.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Acceleration(enum.Enum):
+    """Does this data flow require datapath acceleration?"""
+
+    NONE = "none"            # paper: "slow" — kernel networking suffices
+    ACCELERATED = "fast"     # paper: "fast" — use a kernel-bypassing path
+
+
+class ResourceBudget(enum.Enum):
+    """Is resource usage a concern when choosing an accelerated path?"""
+
+    UNCONSTRAINED = "unconstrained"   # busy-polling cores are acceptable
+    CONSTRAINED = "constrained"       # avoid spinning cores (prefer XDP)
+
+
+class TimeSensitivity(enum.Enum):
+    """Packet scheduling strategy for the stream's packets."""
+
+    BEST_EFFORT = "best-effort"       # FIFO scheduler
+    TIME_SENSITIVE = "time-sensitive"  # IEEE 802.1Qbv time-aware scheduler
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """The QoS options attached to a stream (``options_t`` in Fig. 2)."""
+
+    acceleration: Acceleration = Acceleration.NONE
+    resources: ResourceBudget = ResourceBudget.UNCONSTRAINED
+    time_sensitivity: TimeSensitivity = TimeSensitivity.BEST_EFFORT
+
+    @classmethod
+    def slow(cls, time_sensitive=False):
+        """The paper's "slow" datapath QoS (kernel UDP)."""
+        return cls(
+            acceleration=Acceleration.NONE,
+            time_sensitivity=(
+                TimeSensitivity.TIME_SENSITIVE if time_sensitive else TimeSensitivity.BEST_EFFORT
+            ),
+        )
+
+    @classmethod
+    def fast(cls, constrained=False, time_sensitive=False):
+        """The paper's "fast" datapath QoS (accelerated)."""
+        return cls(
+            acceleration=Acceleration.ACCELERATED,
+            resources=(
+                ResourceBudget.CONSTRAINED if constrained else ResourceBudget.UNCONSTRAINED
+            ),
+            time_sensitivity=(
+                TimeSensitivity.TIME_SENSITIVE if time_sensitive else TimeSensitivity.BEST_EFFORT
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The outcome of mapping a stream's QoS onto a datapath."""
+
+    datapath: str
+    fallback: bool = False
+    warning: Optional[str] = None
+
+
+def default_strategy(policy, available):
+    """The paper's default mapping (§5.2).
+
+    * no acceleration required -> kernel UDP, always;
+    * otherwise RDMA when present (best performance per resource);
+    * otherwise DPDK when resource usage is not a concern;
+    * otherwise XDP (no spinning cores);
+    * if nothing accelerated is available -> kernel UDP, with a warning.
+    """
+    if policy.acceleration is Acceleration.NONE:
+        return MappingDecision("udp")
+    preference = ["rdma"]
+    if policy.resources is ResourceBudget.UNCONSTRAINED:
+        preference += ["dpdk", "xdp"]
+    else:
+        preference += ["xdp", "dpdk"]
+    for name in preference:
+        if name in available:
+            return MappingDecision(name)
+    return MappingDecision(
+        "udp",
+        fallback=True,
+        warning=(
+            "acceleration requested but no acceleration technology is "
+            "available on this host; falling back to kernel UDP"
+        ),
+    )
+
+
+#: The strategy used when the user supplies none.
+DEFAULT_STRATEGY = default_strategy
+
+
+def resolve_mapping(policy, available, strategy=None):
+    """Apply ``strategy`` (or the default) and validate the result.
+
+    A custom strategy may return either a datapath name or a full
+    :class:`MappingDecision`; names that are not actually available raise
+    :class:`~repro.core.errors.NoDatapathError` so misconfigured strategies
+    fail loudly rather than silently degrading.
+    """
+    from repro.core.errors import NoDatapathError
+
+    strategy = strategy or DEFAULT_STRATEGY
+    decision = strategy(policy, frozenset(available))
+    if isinstance(decision, str):
+        decision = MappingDecision(decision)
+    if decision.datapath not in available:
+        raise NoDatapathError(
+            "mapping strategy chose %r, which is unavailable (available: %s)"
+            % (decision.datapath, sorted(available))
+        )
+    return decision

@@ -1,0 +1,622 @@
+"""The INSANE runtime: the per-host userspace networking service.
+
+The runtime centralizes host networking and offers it *as a service* to
+local applications (paper §5.3): it owns the memory manager, instantiates
+each datapath at most once per host, runs the packet schedulers, and drives
+everything with a configurable pool of polling threads.  Applications attach
+over shared memory (sessions) and exchange slot-id tokens with it.
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.control import ControlPlane
+from repro.core.ipc import Token, TokenRing
+from repro.core.memory import MemoryManager
+from repro.core.polling import PollingThread
+from repro.core.scheduler import (
+    CLASS_BEST_EFFORT,
+    CLASS_TIME_SENSITIVE,
+    TsnScheduler,
+    scheduler_for,
+)
+from repro.datapaths import (
+    DpdkDatapath,
+    KernelUdpDatapath,
+    RdmaDatapath,
+    XdpDatapath,
+)
+from repro.datapaths.registry import available_datapaths
+from repro.netstack import FramePolicy, Packet
+from repro.simnet import Counter, Timeout
+
+#: Well-known UDP port space used for runtime-to-runtime traffic,
+#: one port per datapath technology.
+INSANE_PORTS = {"udp": 47000, "dpdk": 47001, "xdp": 47002, "rdma": 47003}
+
+#: Bytes of INSANE message header on the wire (stream hash, channel id,
+#: length, emit id) — accounted in the payload length of every datagram.
+INSANE_HEADER_BYTES = 24
+
+#: Preference order when a publisher must pick a technology the subscriber
+#: listens on (heterogeneous deployments).
+TECH_PREFERENCE = ("rdma", "dpdk", "xdp", "udp")
+
+
+class SinkEndpoint:
+    """Runtime-side state for one registered sink."""
+
+    _next_id = 0
+
+    def __init__(self, runtime, key, app_id, ring, datapath="udp"):
+        SinkEndpoint._next_id += 1
+        self.endpoint_id = SinkEndpoint._next_id
+        self.runtime = runtime
+        self.key = key
+        self.app_id = app_id
+        self.ring = ring
+        self.datapath = datapath
+        self.dropped = Counter("sink%d.dropped" % self.endpoint_id)
+
+
+class DatapathBinding:
+    """Everything the runtime keeps per instantiated datapath plugin."""
+
+    def __init__(self, runtime, name):
+        self.runtime = runtime
+        self.name = name
+        self.host = runtime.host
+        self.sim = runtime.sim
+        self.profile = runtime.profile
+        self.port = INSANE_PORTS[name]
+        self.accelerated = name != "udp"
+        self.sched_stage = "insane_sched_fast" if self.accelerated else "insane_sched_slow"
+        self.dispatch_stage = (
+            "insane_dispatch_fast" if self.accelerated else "insane_dispatch_slow"
+        )
+        self.threads = []
+        config = runtime.config
+        scalars = self.profile.scalars
+        self.tx_burst = config.tx_burst or int(scalars["insane_tx_burst"])
+        self.rx_burst = config.rx_burst or int(scalars["dpdk_rx_burst"])
+        self.batching = config.opportunistic_batching
+        self.fanout_ns = scalars["insane_fanout_per_sink_ns"]
+        self.l2_budget = scalars["insane_l2_ring_budget"]
+        self.l2_penalty_ns = scalars["insane_l2_penalty_ns"]
+        #: max ns of frames the NIC may hold before the send loop throttles
+        #: (keeps transmit ordering under the scheduler's control)
+        self.max_nic_backlog_ns = 5_000.0
+        # one SPSC ring per attached application (paper Fig. 4)
+        self.tx_rings = {}
+        self.fifo = scheduler_for(False, best_effort=config.best_effort_scheduler)
+        self.tsn = None
+        self.cross_tech_routes = Counter("%s.%s.cross_tech" % (self.host.name, name))
+        self.pool_drops = Counter("%s.%s.pool_drops" % (self.host.name, name))
+        self.no_sink_drops = Counter("%s.%s.no_sink_drops" % (self.host.name, name))
+        self.unknown_drops = Counter("%s.%s.unknown_drops" % (self.host.name, name))
+        self._wire_datapath()
+        self.rx_queue.on_item = self._kick
+
+    def ring_for(self, app_id):
+        """The application's private SPSC emit ring on this binding."""
+        ring = self.tx_rings.get(app_id)
+        if ring is None:
+            ring = TokenRing(
+                self.sim,
+                self.host,
+                self.runtime.ipc_ring_slots,
+                "%s.%s.txring.%s" % (self.host.name, self.name, app_id),
+            )
+            ring.store.on_item = self._kick
+            self.tx_rings[app_id] = ring
+        return ring
+
+    def ipc_half_cost(self, burst=1):
+        """Per-side cost of one client<->runtime ring crossing."""
+        from repro.simnet import Timeout
+
+        cost = self.profile.stage("insane_ipc").cost(0, burst=burst) / 2.0
+        return Timeout(self.host.jitter(cost))
+
+    def _wire_datapath(self):
+        host = self.host
+        if self.name == "udp":
+            self.datapath = KernelUdpDatapath.get(host)
+            self.socket = self.datapath.socket(self.port, blocking=False)
+            self.rx_queue = self.socket.buffer
+            self.detect_ns = self.profile.scalar("udp_poll_detect_ns")
+        elif self.name == "dpdk":
+            # fast mode shares the runtime pool with the PMD: true
+            # zero-copy between application slots and the NIC.
+            self.datapath = DpdkDatapath(host, mempool=self.runtime.memory.pool)
+            self.rx_queue = self.datapath.open_port(self.port)
+            self.detect_ns = self.profile.scalar("dpdk_poll_detect_ns")
+        elif self.name == "xdp":
+            self.datapath = XdpDatapath(host)
+            self.rx_queue = self.datapath.open_port(self.port)
+            self.detect_ns = self.profile.scalar("xdp_poll_detect_ns")
+        elif self.name == "rdma":
+            self.datapath = RdmaDatapath(host)
+            self.qp = self.datapath.create_qp(self.port)
+            self.rx_queue = self.qp.recv_queue
+            self.detect_ns = self.profile.scalar("rdma_poll_detect_ns")
+        else:
+            raise ValueError("unknown datapath %r" % (self.name,))
+
+    def _kick(self):
+        for thread in self.threads:
+            thread.kick()
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def _token_cost(self, burst):
+        """Runtime-side cost of accepting one emitted token."""
+        profile = self.profile
+        cost = profile.stage("insane_ipc").cost(0, burst=burst) / 2.0
+        cost += profile.stage(self.sched_stage).cost(0, burst=burst)
+        if self.accelerated:
+            cost += profile.stage("insane_pool_fast").cost(0, burst=burst)
+        return cost
+
+    def _rx_pkt_cost(self, packet, burst):
+        """Receive-side per-packet processing cost (datapath-specific)."""
+        profile = self.profile
+        size = packet.payload_len
+        if self.name == "udp":
+            cost = 0.0  # kernel already charged udp_rx
+        elif self.name == "dpdk":
+            cost = profile.stage("dpdk_rx").cost(size, burst=burst)
+            cost += profile.stage("ustack_rx").cost(size, burst=burst)
+        elif self.name == "xdp":
+            cost = profile.stage("xdp_rx").cost(size, burst=burst)
+            cost += profile.stage("ustack_rx").cost(size, burst=burst)
+        else:  # rdma
+            cost = profile.stage("rdma_poll_cq").cost(size, burst=burst)
+        cost += profile.stage("insane_ipc").cost(0, burst=burst) / 2.0
+        cost += profile.stage(self.dispatch_stage).cost(0, burst=burst)
+        if self.accelerated:
+            cost += profile.stage("insane_pool_fast").cost(0, burst=burst)
+        return cost
+
+    def _fanout_cost(self, sink_count):
+        """Token fan-out to local sink rings, with the L2 pressure model."""
+        if sink_count <= 0:
+            return 0.0
+        cost = (sink_count - 1) * self.fanout_ns
+        excess = self.runtime.sink_ring_count - self.l2_budget
+        if excess > 0:
+            cost += excess * self.l2_penalty_ns
+        return cost
+
+    # -- TX path --------------------------------------------------------------------
+
+    def tx_pass(self):
+        """Drain emitted tokens through the scheduler into the datapath."""
+        progressed = False
+        for ring in list(self.tx_rings.values()):
+            tokens = ring.drain(self.tx_burst)
+            if not tokens:
+                continue
+            progressed = True
+            burst = len(tokens)
+            cost = sum(self._token_cost(burst) for _ in tokens)
+            yield Timeout(self.host.jitter(cost))
+            for token in tokens:
+                self._route_token(token)
+        max_batch = self.tx_burst if self.batching else 1
+        while True:
+            ready = self._pop_ready(self.sim.now, max_batch)
+            if not ready:
+                break
+            progressed = True
+            yield from self._send_batch(ready)
+        return progressed
+
+    def _route_token(self, token):
+        """Deliver locally over shared memory, schedule remote transmissions."""
+        runtime = self.runtime
+        buffer = token.buffer
+        local = runtime.local_sinks(token.key)
+        remote = runtime.control.remote_subscribers(token.key, self.host.ip)
+        refs_needed = len(local) + len(remote)
+        runtime.mark_outcome(token, "sent" if refs_needed else "no_subscribers")
+        if refs_needed == 0:
+            buffer.pool.release(buffer)
+            return
+        for _ in range(refs_needed - 1):
+            buffer.pool.addref(buffer)
+        for endpoint in local:
+            runtime.deliver_to_sink(endpoint, token, buffer)
+        traffic_class = (
+            CLASS_TIME_SENSITIVE if token.meta.get("time_sensitive") else CLASS_BEST_EFFORT
+        )
+        for dst_ip, dst_datapaths in remote:
+            egress = self._egress_for(dst_datapaths)
+            packet = egress._build_packet(token, buffer, dst_ip)
+            egress._push_scheduler(packet, traffic_class)
+            if egress is not self:
+                egress._kick()
+
+    def _egress_for(self, dst_datapaths):
+        """The binding to reach a subscriber bound to ``dst_datapaths``.
+
+        Prefer this binding's own technology when the subscriber listens on
+        it; otherwise pick the best mutually supported one; the kernel path
+        is the universal fallback (every runtime keeps it open).
+        """
+        if self.name in dst_datapaths:
+            return self
+        available = self.runtime.available_datapaths()
+        for tech in TECH_PREFERENCE:
+            if tech in dst_datapaths and tech in available:
+                self.cross_tech_routes.increment()
+                return self.runtime.ensure_binding(tech)
+        self.cross_tech_routes.increment()
+        return self.runtime.ensure_binding("udp")
+
+    def _build_packet(self, token, buffer, dst_ip):
+        # carry whatever bytes the application actually wrote (possibly a
+        # short prefix of the declared length: synthetic payload mode)
+        written = min(buffer.length, token.length)
+        payload = buffer.view[:written] if written else None
+        trace = {"emit_ns": token.meta["emit_ns"]} if "emit_ns" in token.meta else None
+        packet = Packet(
+            self.host.ip,
+            dst_ip,
+            self.port,
+            self.port,
+            payload=payload,
+            payload_len=token.length + INSANE_HEADER_BYTES,
+            trace=trace,
+        )
+        packet.stamp("runtime_tx", self.sim.now)
+        packet.meta["insane"] = (token.stream, token.channel, token.length)
+        packet.meta["tx_buffer"] = buffer
+        if "app" in token.meta:
+            packet.meta["flow"] = token.meta["app"]
+        return packet
+
+    def _push_scheduler(self, packet, traffic_class):
+        now = self.sim.now
+        if traffic_class == CLASS_TIME_SENSITIVE:
+            if self.tsn is None:
+                self.tsn = TsnScheduler(self.runtime.config.gate_control_list)
+            self.tsn.push(packet, traffic_class, now=now)
+        else:
+            flow = packet.meta.get("flow", "default")
+            self.fifo.push(packet, traffic_class, now=now, flow=flow)
+
+    def _pop_ready(self, now, max_items):
+        batch = []
+        if self.tsn is not None:
+            batch.extend(self.tsn.pop_ready(now, max_items))
+        if len(batch) < max_items:
+            batch.extend(self.fifo.pop_ready(now, max_items - len(batch)))
+        return batch
+
+    def next_scheduler_ready(self, now):
+        ready = self.fifo.next_ready_at(now)
+        if self.tsn is not None:
+            tsn_ready = self.tsn.next_ready_at(now)
+            if tsn_ready is not None and (ready is None or tsn_ready < ready):
+                ready = tsn_ready
+        return ready
+
+    def _send_batch(self, packets):
+        # NIC TX backpressure: keep the hardware queue shallow so packet
+        # ordering stays under the (possibly TSN) scheduler's control
+        nic = self.host.nic
+        backlog = nic.tx_backlog_ns(self.sim.now)
+        if backlog > self.max_nic_backlog_ns:
+            yield Timeout(backlog - self.max_nic_backlog_ns)
+        for packet in packets:
+            packet.stamp("datapath_tx", self.sim.now)
+        if self.name == "udp":
+            yield from self.socket.send_many(packets)
+        elif self.name == "rdma":
+            yield from self.qp.post_send_many(packets)
+        else:
+            yield from self.datapath.send_many(packets)
+
+    # -- RX path ----------------------------------------------------------------------
+
+    def rx_pass(self):
+        """Drain received packets and dispatch them to local sinks."""
+        batch = []
+        while len(batch) < self.rx_burst:
+            ok, packet = self.rx_queue.try_get()
+            if not ok:
+                break
+            batch.append(packet)
+        if not batch:
+            return False
+        burst = len(batch)
+        cost = self.detect_ns
+        for packet in batch:
+            cost += self._rx_pkt_cost(packet, burst)
+            meta = packet.meta.get("insane")
+            if meta is not None:
+                sinks = self.runtime.local_sinks_by_parts(meta[0], meta[1])
+                cost += self._fanout_cost(len(sinks))
+        yield Timeout(self.host.jitter(cost))
+        for packet in batch:
+            self._dispatch(packet)
+        return True
+
+    def _dispatch(self, packet):
+        packet.stamp("runtime_rx", self.sim.now)
+        meta = packet.meta.get("insane")
+        if meta is None:
+            self.unknown_drops.increment()
+            return
+        stream, channel, length = meta
+        sinks = self.runtime.local_sinks_by_parts(stream, channel)
+        if not sinks:
+            self.no_sink_drops.increment()
+            return
+        buffer = self.runtime.memory.pool.try_alloc()
+        if buffer is None:
+            self.pool_drops.increment()
+            return
+        if packet.payload is not None:
+            # the NIC's DMA wrote straight into this pool slot
+            buffer.write(packet.payload[:length])
+        buffer.length = length
+        for _ in range(len(sinks) - 1):
+            buffer.pool.addref(buffer)
+        token = Token(
+            slot_id=buffer.slot_id,
+            length=length,
+            stream=stream,
+            channel=channel,
+            source_ip=packet.src_ip,
+            buffer=buffer,
+        )
+        if packet.trace is not None:
+            token.meta["trace"] = packet.trace
+        token.meta["recv_ns"] = self.sim.now
+        for endpoint in sinks:
+            self.runtime.deliver_to_sink(endpoint, token, buffer)
+
+    def shutdown(self):
+        if self.name == "udp":
+            self.socket.close()
+        elif self.name == "rdma":
+            self.datapath.close_qp(self.port)
+        else:
+            self.datapath.close_port(self.port)
+
+
+class InsaneRuntime:
+    """One INSANE runtime per participating host."""
+
+    def __init__(self, host, control=None, config=None):
+        self.host = host
+        self.sim = host.sim
+        self.profile = host.profile
+        self.config = config or RuntimeConfig()
+        self.control = control or ControlPlane()
+        self.control.register_runtime(self)
+        self.ipc_ring_slots = self.config.ipc_ring_slots or int(
+            self.profile.scalar("ipc_ring_slots")
+        )
+        self.memory = MemoryManager(
+            self.sim,
+            self.profile,
+            name=host.name + ".mm",
+            slots=self.config.pool_slots,
+        )
+        self.frame_policy = FramePolicy(
+            mtu=self.profile.mtu,
+            jumbo_mtu=self.profile.jumbo_mtu,
+            jumbo_enabled=self.config.jumbo_frames,
+        )
+        self.bindings = {}
+        self.threads = []
+        self._shared_thread = None
+        self._sinks = {}           # ChannelKey -> [SinkEndpoint]
+        self.sink_ring_count = 0
+        self.warnings = []
+        self._outcomes = {}
+        self._sessions = {}
+        self.version = 1
+        if self.config.always_kernel_listener:
+            self.ensure_binding("udp")
+
+    # -- datapath management ------------------------------------------------
+
+    def available_datapaths(self):
+        return set(available_datapaths(self.profile))
+
+    def ensure_binding(self, name):
+        """Instantiate the datapath at most once per host (paper §4)."""
+        binding = self.bindings.get(name)
+        if binding is None:
+            binding = DatapathBinding(self, name)
+            self.bindings[name] = binding
+            self._assign_thread(binding)
+        return binding
+
+    def _assign_thread(self, binding):
+        if self.config.thread_mapping == "per-datapath":
+            # one or more dedicated threads per plugin (paper §8 suggests
+            # parallelizing the CPU-bound receive pipeline)
+            for index in range(self.config.threads_per_datapath):
+                thread = PollingThread(
+                    self, "%s.poll.%s.%d" % (self.host.name, binding.name, index)
+                )
+                self.threads.append(thread)
+                thread.add_binding(binding)
+        else:
+            if self._shared_thread is None:
+                self._shared_thread = PollingThread(self, self.host.name + ".poll")
+                self.threads.append(self._shared_thread)
+            self._shared_thread.add_binding(binding)
+
+    # -- session management ----------------------------------------------------
+
+    def attach_session(self, session):
+        self._sessions[session.app_id] = session
+        self.memory.attach(session.app_id, quota=getattr(session, "slot_quota", None))
+
+    def detach_session(self, session):
+        self._sessions.pop(session.app_id, None)
+        return self.memory.detach(session.app_id)
+
+    # -- sink registry ------------------------------------------------------------
+
+    def register_sink(self, key, app_id, datapath="udp"):
+        from repro.simnet import Store  # local import to avoid cycle noise
+
+        ring = Store(
+            self.sim,
+            capacity=self.ipc_ring_slots,
+            name="%s.sinkring%d" % (self.host.name, self.sink_ring_count),
+        )
+        endpoint = SinkEndpoint(self, key, app_id, ring, datapath=datapath)
+        self._sinks.setdefault(key, []).append(endpoint)
+        self.sink_ring_count += 1
+        self.control.subscribe(key, self, datapath=datapath)
+        return endpoint
+
+    def register_sink_key(self, stream, channel, app_id, datapath="udp"):
+        from repro.core.channel import ChannelKey
+
+        return self.register_sink(ChannelKey(stream, channel), app_id, datapath=datapath)
+
+    def unregister_sink(self, endpoint):
+        endpoints = self._sinks.get(endpoint.key)
+        if endpoints and endpoint in endpoints:
+            endpoints.remove(endpoint)
+            self.sink_ring_count -= 1
+            self.control.unsubscribe(endpoint.key, self, datapath=endpoint.datapath)
+            if not endpoints:
+                self._sinks.pop(endpoint.key, None)
+
+    def local_sinks(self, key):
+        return self._sinks.get(key, [])
+
+    def local_sinks_by_parts(self, stream, channel):
+        from repro.core.channel import ChannelKey
+
+        return self._sinks.get(ChannelKey(stream, channel), [])
+
+    def deliver_to_sink(self, endpoint, token, buffer):
+        """Enqueue a delivery token; on ring overflow, drop and release."""
+        delivery = Token(
+            slot_id=buffer.slot_id,
+            length=token.length,
+            stream=token.stream,
+            channel=token.channel,
+            source_ip=token.source_ip or self.host.ip,
+            buffer=buffer,
+            meta=dict(token.meta),
+        )
+        self.memory.lend_to(endpoint.app_id, buffer)
+        if not endpoint.ring.try_put(delivery):
+            endpoint.dropped.increment()
+            self.memory.release_for(endpoint.app_id, buffer)
+
+    # -- emit outcome bookkeeping ------------------------------------------------
+
+    def mark_outcome(self, token, outcome):
+        if token.emit_id is not None:
+            self._outcomes[token.emit_id] = outcome
+
+    def emit_outcome(self, emit_id):
+        return self._outcomes.get(emit_id, "pending")
+
+    # -- misc -----------------------------------------------------------------------
+
+    def warn(self, message):
+        self.warnings.append(message)
+        if self.config.warn is not None:
+            self.config.warn(message)
+
+    def stats(self):
+        """An operator-facing snapshot of the runtime's internal state."""
+        bindings = {}
+        for name, binding in self.bindings.items():
+            bindings[name] = {
+                "tx_rings": {
+                    app_id: {
+                        "depth": len(ring),
+                        "enqueued": ring.enqueued.value,
+                        "rejected": ring.rejected.value,
+                    }
+                    for app_id, ring in binding.tx_rings.items()
+                },
+                "scheduler_backlog": len(binding.fifo)
+                + (len(binding.tsn) if binding.tsn is not None else 0),
+                "rx_queue_depth": len(binding.rx_queue),
+                "pool_drops": binding.pool_drops.value,
+                "no_sink_drops": binding.no_sink_drops.value,
+                "unknown_drops": binding.unknown_drops.value,
+                "tx_packets": binding.datapath.tx_packets.value,
+                "rx_packets": binding.datapath.rx_packets.value,
+                "polling_threads": len(binding.threads),
+            }
+        return {
+            "host": self.host.name,
+            "ip": self.host.ip,
+            "profile": self.profile.name,
+            "sessions": sorted(self._sessions),
+            "sink_rings": self.sink_ring_count,
+            "memory": {
+                "slots": self.memory.pool.slots,
+                "slot_bytes": self.memory.pool.slot_bytes,
+                "in_use": self.memory.pool.in_use,
+                "allocations": self.memory.pool.allocations.value,
+                "exhaustions": self.memory.pool.exhaustions.value,
+            },
+            "bindings": bindings,
+            "warnings": list(self.warnings),
+        }
+
+    def upgrade(self, swap_ns=100_000.0):
+        """Transparent software upgrade (generator; returns downtime ns).
+
+        The microkernel-style design makes this possible (paper §4, citing
+        Snap): polling threads stop, the runtime binary is swapped
+        (``swap_ns``), and fresh threads take over the *same* bindings —
+        shared-memory pools, token rings, NIC queues, and attached sessions
+        all survive untouched; anything that arrived during the swap is
+        drained when the new threads start.
+        """
+        started = self.sim.now
+        old_threads, self.threads = self.threads, []
+        self._shared_thread = None
+        for thread in old_threads:
+            thread.stop()
+        for binding in self.bindings.values():
+            binding.threads = []
+        yield Timeout(swap_ns)
+        self.version += 1
+        for binding in self.bindings.values():
+            self._assign_thread(binding)
+        return self.sim.now - started
+
+    def shutdown(self):
+        for thread in self.threads:
+            thread.stop()
+        for binding in self.bindings.values():
+            binding.shutdown()
+        self.control.unregister_runtime(self)
+
+
+class InsaneDeployment:
+    """Convenience: one runtime per testbed host plus a shared control plane."""
+
+    def __init__(self, testbed, config=None, host_indices=None):
+        self.testbed = testbed
+        self.control = ControlPlane()
+        self.runtimes = {}
+        indices = host_indices if host_indices is not None else range(len(testbed.hosts))
+        for index in indices:
+            host = testbed.hosts[index]
+            self.runtimes[host.name] = InsaneRuntime(host, self.control, config)
+
+    def runtime(self, index):
+        return self.runtimes[self.testbed.hosts[index].name]
+
+    def shutdown(self):
+        for runtime in self.runtimes.values():
+            runtime.shutdown()

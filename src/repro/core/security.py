@@ -1,0 +1,107 @@
+"""Capability-based stream access control (paper §8, "Security").
+
+The paper argues that INSANE's centralized runtime "makes it easier for
+infrastructure providers to control the whole networking activity"; this
+module is that control point.  An infrastructure provider holds a secret
+and issues HMAC-signed *credentials* granting an application the right to
+publish and/or subscribe on a stream; the runtime verifies credentials at
+source/sink creation and audits every decision.  Enforcement is off the
+datapath entirely — stream setup is control-plane work — so the paper's
+"no expectations of strong degradation" holds by construction.
+"""
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import InsaneError
+
+RIGHT_PUBLISH = "publish"
+RIGHT_SUBSCRIBE = "subscribe"
+_RIGHTS = frozenset({RIGHT_PUBLISH, RIGHT_SUBSCRIBE})
+
+
+class SecurityError(InsaneError):
+    """Raised when an operation lacks a valid credential."""
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A signed grant: ``app_id`` may exercise ``rights`` on ``stream``."""
+
+    app_id: str
+    stream: str
+    rights: frozenset
+    expires_ns: Optional[float]
+    signature: bytes
+
+    def describe(self):
+        return "%s:%s:%s" % (self.app_id, self.stream, "+".join(sorted(self.rights)))
+
+
+class AccessController:
+    """Issues and verifies credentials; keeps an audit trail."""
+
+    def __init__(self, secret, sim=None):
+        if not secret:
+            raise ValueError("the provider secret must be non-empty")
+        self._secret = bytes(secret)
+        self.sim = sim
+        self.audit = []
+        self.denials = 0
+
+    # -- issuing ------------------------------------------------------------
+
+    def issue(self, app_id, stream, rights, ttl_ns=None):
+        """Create a credential for ``app_id`` on ``stream``."""
+        rights = frozenset(rights)
+        if not rights or not rights <= _RIGHTS:
+            raise ValueError("rights must be a non-empty subset of %s" % sorted(_RIGHTS))
+        expires_ns = None
+        if ttl_ns is not None:
+            if self.sim is None:
+                raise ValueError("a TTL requires a simulator clock")
+            expires_ns = self.sim.now + ttl_ns
+        signature = self._sign(app_id, stream, rights, expires_ns)
+        return Credential(app_id, stream, rights, expires_ns, signature)
+
+    def _sign(self, app_id, stream, rights, expires_ns):
+        message = "|".join(
+            [app_id, stream, ",".join(sorted(rights)), repr(expires_ns)]
+        ).encode("utf-8")
+        return hmac.new(self._secret, message, hashlib.sha256).digest()
+
+    # -- verification ------------------------------------------------------------
+
+    def check(self, credential, app_id, stream, right):
+        """Validate a credential for one operation; returns True/False and
+        records the decision in the audit trail."""
+        granted = self._valid(credential, app_id, stream, right)
+        now = self.sim.now if self.sim is not None else 0
+        self.audit.append((now, app_id, stream, right, granted))
+        if not granted:
+            self.denials += 1
+        return granted
+
+    def _valid(self, credential, app_id, stream, right):
+        if credential is None:
+            return False
+        if credential.app_id != app_id or credential.stream != stream:
+            return False
+        if right not in credential.rights:
+            return False
+        if credential.expires_ns is not None:
+            if self.sim is None or self.sim.now > credential.expires_ns:
+                return False
+        expected = self._sign(
+            credential.app_id, credential.stream, credential.rights, credential.expires_ns
+        )
+        return hmac.compare_digest(expected, credential.signature)
+
+    def enforce(self, credential, app_id, stream, right):
+        """Like :meth:`check`, but raises :class:`SecurityError` on denial."""
+        if not self.check(credential, app_id, stream, right):
+            raise SecurityError(
+                "application %r denied %s on stream %r" % (app_id, right, stream)
+            )

@@ -1,0 +1,270 @@
+"""The INSANE client library (paper §5.1, Fig. 2).
+
+A :class:`Session` is one application's connection to the local runtime.
+All data-plane operations are generators: they run inside the application's
+simulated process so their CPU cost lands on the right core, and they are
+asynchronous by design to keep the zero-copy path free of hidden copies.
+
+Typical source-side use::
+
+    session = Session(runtime, "producer")
+    stream = session.create_stream(QosPolicy.fast())
+    source = session.create_source(stream, channel=4)
+
+    def app(sim):
+        buffer = session.get_buffer(source, 64)
+        buffer.write(b"..." )
+        emit_id = yield from session.emit_data(source, buffer)
+
+and sink-side::
+
+    sink = session.create_sink(stream, channel=4)
+    delivery = yield from session.consume_data(sink)          # blocking
+    ... read delivery.payload() ...
+    session.release_buffer(sink, delivery)
+"""
+
+import itertools
+
+from repro.core.channel import Delivery, Sink, Source, Stream
+from repro.core.errors import SessionError
+from repro.core.qos import QosPolicy, resolve_mapping
+from repro.core.runtime import INSANE_HEADER_BYTES
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """An application's session with the local INSANE runtime."""
+
+    def __init__(self, runtime, name=None, slot_quota=None):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.app_id = name or ("app%d" % next(_session_ids))
+        self.slot_quota = slot_quota
+        self.streams = []
+        self.closed = False
+        self._credentials = {}
+        runtime.attach_session(self)
+
+    def present(self, credential):
+        """Present an access credential for later endpoint creations."""
+        self._credentials[credential.stream] = credential
+        return self
+
+    def _authorize(self, stream_name, right):
+        controller = self.runtime.config.access_controller
+        if controller is None:
+            return
+        controller.enforce(
+            self._credentials.get(stream_name), self.app_id, stream_name, right
+        )
+
+    # -- stream management ----------------------------------------------------
+
+    def create_stream(self, policy=None, name="default"):
+        """Open a stream, mapping its QoS onto an available datapath."""
+        self._check_open()
+        policy = policy or QosPolicy()
+        decision = resolve_mapping(
+            policy,
+            self.runtime.available_datapaths(),
+            strategy=self.runtime.config.mapping_strategy,
+        )
+        if decision.warning:
+            self.runtime.warn(decision.warning)
+        binding = self.runtime.ensure_binding(decision.datapath)
+        stream = Stream(self, name, policy, decision, binding)
+        self.streams.append(stream)
+        return stream
+
+    def close_stream(self, stream):
+        stream.close()
+        if stream in self.streams:
+            self.streams.remove(stream)
+
+    # -- endpoints -----------------------------------------------------------------
+
+    def create_source(self, stream, channel):
+        self._check_open()
+        self._check_stream(stream)
+        from repro.core.security import RIGHT_PUBLISH
+
+        self._authorize(stream.name, RIGHT_PUBLISH)
+        source = Source(self, stream, channel)
+        stream.sources.append(source)
+        return source
+
+    def create_sink(self, stream, channel, callback=None):
+        self._check_open()
+        self._check_stream(stream)
+        from repro.core.security import RIGHT_SUBSCRIBE
+
+        self._authorize(stream.name, RIGHT_SUBSCRIBE)
+        endpoint = self.runtime.register_sink_key(
+            stream.name, channel, self.app_id, datapath=stream.binding.name
+        )
+        sink = Sink(self, stream, channel, endpoint, callback=callback)
+        stream.sinks.append(sink)
+        if callback is not None:
+            self.sim.process(self._callback_loop(sink), name=self.app_id + ".cb")
+        return sink
+
+    def close_source(self, source):
+        source.close()
+
+    def close_sink(self, sink):
+        sink.close()
+
+    # -- source data plane -------------------------------------------------------------
+
+    def get_buffer(self, source, size):
+        """Borrow a zero-copy buffer from the runtime's pool.
+
+        Raises :class:`PoolExhaustedError` when no slot is free — callers
+        that prefer to wait should retry after consuming/releasing.
+        """
+        self._check_open()
+        if source.closed:
+            raise SessionError("source is closed")
+        self.runtime.frame_policy.validate(size + INSANE_HEADER_BYTES)
+        return self.runtime.memory.alloc_for(self.app_id, size)
+
+    def get_buffer_wait(self, source, size):
+        """Like :meth:`get_buffer`, but blocks until a slot frees up.
+
+        Generator — use ``buffer = yield from session.get_buffer_wait(...)``.
+        """
+        from repro.core.errors import PoolExhaustedError
+        from repro.simnet import Signal, Wait
+
+        self._check_open()
+        if source.closed:
+            raise SessionError("source is closed")
+        self.runtime.frame_policy.validate(size + INSANE_HEADER_BYTES)
+        try:
+            return self.runtime.memory.alloc_for(self.app_id, size)
+        except PoolExhaustedError:
+            signal = Signal(self.sim)
+            self.runtime.memory.alloc_waiter_for(
+                self.app_id, lambda buffer, exc: signal.succeed(buffer)
+            )
+            buffer = yield Wait(signal)
+            return buffer
+
+    def emit_data(self, source, buffer, length=None):
+        """Emit a buffer on the source's channel; returns the emit id.
+
+        After this call the buffer belongs to the middleware: writing to it
+        is an error (no after-write protection, paper §5.1).
+        """
+        from repro.core.ipc import Token
+
+        self._check_open()
+        if source.closed:
+            raise SessionError("source is closed")
+        if length is None:
+            length = buffer.length
+        if length > buffer.capacity:
+            raise SessionError("emit length exceeds buffer capacity")
+        buffer.freeze()
+        self.runtime.memory.transfer_ownership(self.app_id, buffer)
+        emit_id = (self.app_id, id(source), source.next_emit_id())
+        token = Token(
+            slot_id=buffer.slot_id,
+            length=length,
+            stream=source.stream.name,
+            channel=source.channel,
+            emit_id=emit_id,
+            source_ip=self.runtime.host.ip,
+            buffer=buffer,
+        )
+        token.meta["app"] = self.app_id
+        if source.stream.time_sensitive:
+            token.meta["time_sensitive"] = True
+        if self.runtime.config.trace:
+            token.meta["emit_ns"] = self.sim.now
+        binding = source.stream.binding
+        ring = binding.ring_for(self.app_id)
+        yield ring.half_cost()
+        yield ring.enqueue_effect(token)
+        source.emitted.increment()
+        return emit_id
+
+    def check_emit_outcome(self, source, emit_id):
+        """Outcome of a previous emit: pending / sent / no_subscribers."""
+        return self.runtime.emit_outcome(emit_id)
+
+    # -- sink data plane -----------------------------------------------------------------
+
+    def data_available(self, sink):
+        return len(sink.ring) > 0
+
+    def consume_data(self, sink, blocking=True):
+        """Consume the next delivery; returns None immediately when
+        non-blocking and no data is present."""
+        self._check_open()
+        if sink.closed:
+            raise SessionError("sink is closed")
+        from repro.simnet import Get
+
+        if blocking:
+            token = yield Get(sink.ring)
+        else:
+            ok, token = sink.ring.try_get()
+            if not ok:
+                return None
+        yield sink.stream.binding.ipc_half_cost()
+        sink.received.increment()
+        return self._delivery_from(token)
+
+    def release_buffer(self, sink, delivery):
+        """Return a consumed buffer to the middleware."""
+        buffer = delivery.buffer if isinstance(delivery, Delivery) else delivery
+        self.runtime.memory.release_for(self.app_id, buffer)
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def close(self):
+        """Close the session, reclaiming every leaked slot."""
+        if self.closed:
+            return 0
+        for stream in list(self.streams):
+            self.close_stream(stream)
+        self.closed = True
+        return self.runtime.detach_session(self)
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _delivery_from(self, token):
+        return Delivery(
+            buffer=token.buffer,
+            length=token.length,
+            channel=token.channel,
+            stream=token.stream,
+            source_ip=token.source_ip,
+            recv_ns=token.meta.get("recv_ns", self.sim.now),
+            meta=token.meta,
+        )
+
+    def _callback_loop(self, sink):
+        from repro.simnet import Get
+
+        while not sink.closed and not self.closed:
+            token = yield Get(sink.ring)
+            yield sink.stream.binding.ipc_half_cost()
+            sink.received.increment()
+            delivery = self._delivery_from(token)
+            keep = sink.callback(delivery)
+            if keep is not True:
+                self.release_buffer(sink, delivery)
+
+    def _check_open(self):
+        if self.closed:
+            raise SessionError("session %s is closed" % self.app_id)
+
+    def _check_stream(self, stream):
+        if stream.closed:
+            raise SessionError("stream %s is closed" % stream.name)
+        if stream.session is not self:
+            raise SessionError("stream belongs to another session")

@@ -1,0 +1,38 @@
+"""Datapath plugins: one per network acceleration technology.
+
+Each plugin implements the same small contract (:class:`Datapath`) on top of
+the simulated NIC: cost-charged ``send`` and burst ``receive`` generators,
+port management via receive flow steering, and the static capability
+metadata behind the paper's Table 1.
+
+Supported technologies (paper §3):
+
+* :mod:`repro.datapaths.kernel_udp` — the kernel TCP/IP stack (AF_INET);
+* :mod:`repro.datapaths.xdp` — AF_XDP sockets (in-kernel fast path);
+* :mod:`repro.datapaths.dpdk` — kernel-bypassing poll-mode driver;
+* :mod:`repro.datapaths.rdma` — two-sided RDMA (RoCEv2), hardware offload.
+"""
+
+from repro.datapaths.base import Datapath, DatapathInfo
+from repro.datapaths.kernel_udp import KernelUdpDatapath, UdpSocket
+from repro.datapaths.dpdk import DpdkDatapath
+from repro.datapaths.xdp import XdpDatapath
+from repro.datapaths.rdma import RdmaDatapath
+from repro.datapaths.registry import (
+    DATAPATH_CLASSES,
+    available_datapaths,
+    capability_table,
+)
+
+__all__ = [
+    "DATAPATH_CLASSES",
+    "Datapath",
+    "DatapathInfo",
+    "DpdkDatapath",
+    "KernelUdpDatapath",
+    "RdmaDatapath",
+    "UdpSocket",
+    "XdpDatapath",
+    "available_datapaths",
+    "capability_table",
+]

@@ -1,0 +1,79 @@
+"""The datapath plugin contract and shared helpers."""
+
+from dataclasses import dataclass
+
+from repro.simnet import Counter, Timeout
+
+
+@dataclass(frozen=True)
+class DatapathInfo:
+    """Static capability metadata: one row of the paper's Table 1."""
+
+    name: str
+    kernel_integration: str      # "in-kernel" | "kernel-bypassing"
+    api: str                     # "AF_INET socket", "RTE", "Verbs", ...
+    zero_copy: bool
+    cpu_consumption: str         # "per-packet" | "busy polling" | "hw offload"
+    dedicated_hardware: bool
+
+
+class Datapath:
+    """Base class for datapath plugins.
+
+    Subclasses define :attr:`info`, the cost stages they charge, and the
+    technology-specific send/receive mechanics.  ``send`` and receive
+    methods are generators meant to run inside the calling thread's process
+    (``yield from dp.send(...)``), so CPU time lands on the right simulated
+    core.
+    """
+
+    info = None  # overridden by subclasses
+
+    def __init__(self, host):
+        self.host = host
+        self.sim = host.sim
+        self.profile = host.profile
+        self.nic = host.nic
+        self.tx_packets = Counter("%s.%s.tx" % (host.name, self.info.name))
+        self.rx_packets = Counter("%s.%s.rx" % (host.name, self.info.name))
+
+    # -- availability ------------------------------------------------------
+
+    @classmethod
+    def available(cls, profile):
+        """Whether this technology can run on a host with ``profile``."""
+        return True
+
+    # -- helpers shared by plugins ------------------------------------------
+
+    def charge(self, stage_key, size, burst=1):
+        """Effect charging one stage's CPU cost (with jitter) to the caller."""
+        return Timeout(self.host.stage_cost(stage_key, size, burst=burst))
+
+    def charge_ns(self, nanoseconds):
+        return Timeout(self.host.jitter(nanoseconds))
+
+    def transmit(self, packet):
+        """Hand ``packet`` to the NIC and release its TX buffer when the
+        frame has fully left the host (the DMA read is then complete)."""
+        if isinstance(packet.payload, memoryview):
+            # The NIC's DMA engine reads the slot during serialization;
+            # capture the bytes so the slot can be recycled immediately.
+            packet.payload = bytes(packet.payload)
+        packet.stamp("nic_handoff", self.sim.now)
+        departure = self.nic.transmit(packet)
+        buffer = packet.meta.pop("tx_buffer", None)
+        if buffer is not None:
+            self.sim.schedule_at(departure, buffer.pool.release, buffer)
+        self.tx_packets.increment()
+        return departure
+
+    def drain_queue(self, queue, first, max_burst):
+        """Collect up to ``max_burst`` packets starting from ``first``."""
+        batch = [first]
+        while len(batch) < max_burst:
+            ok, packet = queue.try_get()
+            if not ok:
+                break
+            batch.append(packet)
+        return batch

@@ -1,0 +1,37 @@
+"""Datapath registry and the capability matrix behind the paper's Table 1."""
+
+from repro.datapaths.dpdk import DpdkDatapath
+from repro.datapaths.kernel_udp import KernelUdpDatapath
+from repro.datapaths.rdma import RdmaDatapath
+from repro.datapaths.xdp import XdpDatapath
+
+#: name -> class, in the paper's Table 1 order.
+DATAPATH_CLASSES = {
+    "udp": KernelUdpDatapath,
+    "xdp": XdpDatapath,
+    "dpdk": DpdkDatapath,
+    "rdma": RdmaDatapath,
+}
+
+
+def available_datapaths(profile):
+    """Names of technologies usable on a host with ``profile``."""
+    return [name for name, cls in DATAPATH_CLASSES.items() if cls.available(profile)]
+
+
+def capability_table():
+    """The rows of the paper's Table 1 as dictionaries."""
+    rows = []
+    for cls in DATAPATH_CLASSES.values():
+        info = cls.info
+        rows.append(
+            {
+                "technology": info.name,
+                "kernel_integration": info.kernel_integration,
+                "api": info.api,
+                "zero_copy": info.zero_copy,
+                "cpu_consumption": info.cpu_consumption,
+                "dedicated_hardware": info.dedicated_hardware,
+            }
+        )
+    return rows

@@ -1,0 +1,76 @@
+"""The AF_XDP datapath: in-kernel fast path with a userspace UMEM ring.
+
+XDP runs in the device driver and forwards raw frames to an AF_XDP socket
+through a shared UMEM area — zero-copy, but each packet costs CPU to shuttle
+between driver and socket (paper Table 1: per-packet CPU, no spinning
+cores).  Slower than DPDK, much faster than the full kernel stack, and needs
+no dedicated hardware: the QoS mapper picks it when acceleration is wanted
+but resource consumption matters (paper §5.2).
+"""
+
+from repro.datapaths.base import Datapath, DatapathInfo
+from repro.simnet import Get, Timeout
+
+
+class XdpDatapath(Datapath):
+    info = DatapathInfo(
+        name="xdp",
+        kernel_integration="in-kernel",
+        api="AF_XDP socket",
+        zero_copy=True,
+        cpu_consumption="per-packet",
+        dedicated_hardware=False,
+    )
+
+    def __init__(self, host):
+        super().__init__(host)
+        self.detect_ns = self.profile.scalar("xdp_poll_detect_ns")
+        self.rx_burst = int(self.profile.scalar("dpdk_rx_burst"))
+        self._queues = {}
+
+    @classmethod
+    def available(cls, profile):
+        return profile.xdp_capable
+
+    def open_port(self, port):
+        """Attach the eBPF redirect program for ``port``; returns the UMEM
+        fill queue the driver redirects matching frames into."""
+        queue = self.nic.create_queue([port])
+        self._queues[port] = queue
+        return queue
+
+    def close_port(self, port):
+        self._queues.pop(port, None)
+        self.nic.release_port(port)
+
+    def send(self, packet):
+        yield from self.send_many([packet])
+
+    def send_many(self, packets):
+        """Write descriptors to the TX ring and kick the driver once.
+
+        The sendto() kick is the fixed component; it amortizes across the
+        batch like a real AF_XDP submission.
+        """
+        burst = len(packets)
+        for packet in packets:
+            yield self.charge("ustack_tx", packet.payload_len, burst=burst)
+            yield self.charge("xdp_tx", packet.payload_len, burst=burst)
+            packet.stamp("xdp_tx_done", self.sim.now)
+            self.transmit(packet)
+
+    def recv_burst(self, queue, max_burst=None):
+        """Wait for redirected frames and process them through the
+        userspace stack."""
+        max_burst = max_burst or self.rx_burst
+        first = yield Get(queue)
+        yield Timeout(self.host.jitter(self.detect_ns))
+        batch = self.drain_queue(queue, first, max_burst)
+        for packet in batch:
+            yield self.charge("xdp_rx", packet.payload_len, burst=len(batch))
+            yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
+            if isinstance(packet.payload, memoryview):
+                packet.payload = bytes(packet.payload)
+            packet.stamp("xdp_rx_done", self.sim.now)
+            self.rx_packets.increment()
+        return batch

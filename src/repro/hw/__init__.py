@@ -1,0 +1,31 @@
+"""Hardware models: CPUs, NICs, links, switches, hosts, and testbeds.
+
+This package substitutes the paper's physical testbeds (Table 2): a *local*
+edge testbed (two back-to-back hosts, Intel i9 @ 3.0 GHz, Mellanox 100 Gbps)
+and a *public cloud* testbed (CloudLab, AMD EPYC @ 2.35 GHz, 100 Gbps through
+a Dell switch).  All timing constants live in :mod:`repro.hw.profiles`,
+annotated with the paper numbers they were calibrated against.
+"""
+
+from repro.hw.profiles import (
+    CLOUD_TESTBED,
+    LOCAL_TESTBED,
+    TestbedProfile,
+)
+from repro.hw.nic import Frame, Nic
+from repro.hw.link import Link
+from repro.hw.switch import Switch
+from repro.hw.host import Host
+from repro.hw.topology import Testbed
+
+__all__ = [
+    "CLOUD_TESTBED",
+    "Frame",
+    "Host",
+    "LOCAL_TESTBED",
+    "Link",
+    "Nic",
+    "Switch",
+    "Testbed",
+    "TestbedProfile",
+]

@@ -1,0 +1,62 @@
+"""A host: CPU cores, one NIC, and cost-charging helpers."""
+
+from repro.simnet import Resource, Timeout
+
+
+class Host:
+    """One machine of a testbed.
+
+    Software stage costs are charged by the processes that model threads on
+    this host; :meth:`jitter` applies the profile's relative CPU noise so
+    latency distributions have realistic (small) spread while medians stay
+    on calibration.
+    """
+
+    def __init__(self, sim, profile, name, ip):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.ip = ip
+        self.nic = None  # wired by the topology builder
+        self.cores = Resource(sim, capacity=profile.cores, name=name + ".cores")
+        self._pinned = 0
+
+    def jitter(self, cost_ns):
+        """Apply the profile's CPU jitter to a software cost."""
+        sigma = self.profile.cpu_jitter
+        if sigma <= 0:
+            return cost_ns
+        factor = self.sim.rng.gauss(1.0, sigma)
+        if factor < 0.5:
+            factor = 0.5
+        return cost_ns * factor
+
+    def stage_cost(self, key, size, burst=1, jitter=True):
+        """Cost of stage ``key`` for one packet of ``size`` bytes."""
+        cost = self.profile.stage(key).cost(size, burst=burst)
+        return self.jitter(cost) if jitter else cost
+
+    def stage_cost_effect(self, key, size, burst=1):
+        """A ``Timeout`` effect charging stage ``key`` to the caller."""
+        return Timeout(self.stage_cost(key, size, burst=burst))
+
+    def pin_core(self):
+        """Reserve one core for a pinned thread (polling threads, apps).
+
+        Raises ``RuntimeError`` when the host is out of cores, mirroring a
+        real deployment error.
+        """
+        if not self.cores.try_acquire():
+            raise RuntimeError("%s has no free cores to pin" % self.name)
+        self._pinned += 1
+
+    def unpin_core(self):
+        self.cores.release()
+        self._pinned -= 1
+
+    @property
+    def pinned_cores(self):
+        return self._pinned
+
+    def __repr__(self):
+        return "Host(%s, ip=%s, profile=%s)" % (self.name, self.ip, self.profile.name)

@@ -1,0 +1,42 @@
+"""Point-to-point cable between two NICs (or a NIC and a switch port)."""
+
+from repro.simnet import Counter
+
+
+class Link:
+    """A full-duplex cable with fixed propagation delay.
+
+    Serialization is modelled at the transmitting NIC (or switch port), so a
+    link only adds propagation.  For failure-injection experiments a
+    ``loss_rate`` (0..1) may be set: each frame is then dropped with that
+    probability, counted in :attr:`lost_frames` — INSANE is best-effort by
+    design (paper §5.2), so applications must tolerate this.
+    """
+
+    def __init__(self, sim, end_a, end_b, propagation_ns):
+        self.sim = sim
+        self.end_a = end_a
+        self.end_b = end_b
+        self.propagation_ns = propagation_ns
+        self.loss_rate = 0.0
+        self.lost_frames = Counter("link.lost_frames")
+        #: attached :class:`repro.trace.WireTap` instances
+        self.taps = []
+        end_a.egress = self
+        end_b.egress = self
+
+    def carry(self, frame, sender):
+        """Propagate ``frame`` from ``sender`` to the opposite end."""
+        if sender is self.end_a:
+            receiver = self.end_b
+        elif sender is self.end_b:
+            receiver = self.end_a
+        else:
+            raise ValueError("frame sent on a link by a foreign endpoint")
+        dropped = self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate
+        for tap in self.taps:
+            tap.record(frame, self.sim.now, dropped=dropped)
+        if dropped:
+            self.lost_frames.increment()
+            return
+        self.sim.schedule(self.propagation_ns, receiver.receive, frame)

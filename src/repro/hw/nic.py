@@ -1,0 +1,117 @@
+"""Network interface card model.
+
+A :class:`Nic` owns a transmit serializer (one frame on the wire at a time,
+at line rate) and a bounded receive ring.  Ring overflow drops frames and is
+counted — the mechanism behind the paper's observation that "a single sender
+easily overflows a single-core sink" (§8).
+"""
+
+from repro.simnet import Counter, Store
+
+
+class Frame:
+    """A packet in flight between NICs, with link-layer bookkeeping."""
+
+    __slots__ = ("packet", "src_ip", "dst_ip")
+
+    def __init__(self, packet):
+        self.packet = packet
+        self.src_ip = packet.src_ip
+        self.dst_ip = packet.dst_ip
+
+    @property
+    def wire_size(self):
+        return self.packet.wire_size
+
+    def __repr__(self):
+        return "Frame(%r)" % (self.packet,)
+
+
+class Nic:
+    """A single-port NIC attached to a link or a switch port."""
+
+    def __init__(self, sim, profile, ip, name=None):
+        self.sim = sim
+        self.profile = profile
+        self.ip = ip
+        self.name = name or ("nic-%s" % ip)
+        self.rx_ring = Store(sim, capacity=profile.nic_rx_ring_slots, name=self.name + ".rx")
+        self._steering = {}  # dst_port -> queue (receive flow steering)
+        self.egress = None  # Link or SwitchPort; set by topology wiring
+        self.tx_frames = Counter(self.name + ".tx_frames")
+        self.rx_frames = Counter(self.name + ".rx_frames")
+        self.rx_dropped = Counter(self.name + ".rx_dropped")
+        self._tx_free_at = 0.0
+
+    # -- transmit ----------------------------------------------------------
+
+    def serialization_ns(self, frame):
+        """Time to clock ``frame`` onto the wire at line rate."""
+        return frame.wire_size * 8.0 / self.profile.nic_bandwidth_gbps
+
+    def tx_backlog_ns(self, now):
+        """How far ahead of ``now`` the transmit queue is committed."""
+        return max(0.0, self._tx_free_at - now)
+
+    def transmit(self, packet):
+        """Queue ``packet`` for transmission; returns its wire departure time.
+
+        Models DMA fetch followed by store-and-forward serialization on the
+        NIC's single transmit queue.
+        """
+        if self.egress is None:
+            raise RuntimeError("%s is not wired to a link" % self.name)
+        frame = Frame(packet)
+        now = self.sim.now
+        ready = now + self.profile.nic_tx_dma_ns
+        start = max(ready, self._tx_free_at)
+        departure = start + self.serialization_ns(frame)
+        self._tx_free_at = departure
+        self.tx_frames.increment()
+        packet.stamp("nic_tx_departure", departure)
+        self.sim.schedule_at(departure, self.egress.carry, frame, self)
+        return departure
+
+    # -- receive -----------------------------------------------------------
+
+    def receive(self, frame):
+        """Called by the wire when a frame fully arrives at this NIC."""
+        self.sim.schedule(self.profile.nic_rx_dma_ns, self._place_in_ring, frame)
+
+    def _place_in_ring(self, frame):
+        packet = frame.packet
+        packet.stamp("nic_rx_arrival", self.sim.now)
+        queue = self._steering.get(packet.dst_port, self.rx_ring)
+        if queue.try_put(packet):
+            self.rx_frames.increment()
+        else:
+            self.rx_dropped.increment()
+
+    # -- receive flow steering ----------------------------------------------
+
+    def create_queue(self, ports, capacity=None):
+        """Steer the given destination ports to a dedicated receive queue.
+
+        Models the NIC's receive flow steering: kernel-bypassing datapaths
+        claim their traffic by port so the kernel (default ring) never sees
+        it.  Returns the new queue.
+        """
+        queue = Store(
+            self.sim,
+            capacity=capacity or self.profile.nic_rx_ring_slots,
+            name="%s.q%d" % (self.name, len(self._steering)),
+        )
+        for port in ports:
+            if port in self._steering:
+                raise ValueError("port %d already steered on %s" % (port, self.name))
+            self._steering[port] = queue
+        return queue
+
+    def steer_port(self, port, queue):
+        """Add one more port to an existing steering queue."""
+        if port in self._steering:
+            raise ValueError("port %d already steered on %s" % (port, self.name))
+        self._steering[port] = queue
+
+    def release_port(self, port):
+        self._steering.pop(port, None)

@@ -1,0 +1,83 @@
+"""Testbed construction: wire hosts, links, and (optionally) a switch."""
+
+from repro.hw.host import Host
+from repro.hw.link import Link
+from repro.hw.nic import Nic
+from repro.hw.switch import Switch
+from repro.simnet import Simulator
+
+
+class Testbed:
+    """A simulated deployment matching one of the paper's testbeds.
+
+    Two hosts on a profile without a switch are cabled back to back (the
+    paper's local setup); any topology with a switch profile, or more than
+    two hosts, goes through a switch (the CloudLab setup and the MoM
+    experiments).
+    """
+
+    __test__ = False  # not a pytest class, despite the Test* name
+
+    def __init__(self, profile, hosts=2, seed=0, sim=None):
+        if hosts < 2:
+            raise ValueError("a testbed needs at least two hosts")
+        self.profile = profile
+        self.sim = sim or Simulator(seed=seed)
+        self.hosts = []
+        self.switch = None
+        self.links = []
+        for index in range(hosts):
+            name = "host%d" % index
+            ip = "10.0.0.%d" % (index + 1)
+            host = Host(self.sim, profile, name, ip)
+            host.nic = Nic(self.sim, profile, ip, name=name + ".nic")
+            self.hosts.append(host)
+        if profile.has_switch or hosts > 2:
+            self._wire_switch(profile)
+        else:
+            self.links.append(
+                Link(
+                    self.sim,
+                    self.hosts[0].nic,
+                    self.hosts[1].nic,
+                    profile.link_propagation_ns,
+                )
+            )
+
+    def _wire_switch(self, profile):
+        switch_forward = profile.switch_forward_ns
+        if switch_forward <= 0:
+            # multi-host deployment on the local profile still needs a
+            # fabric; use a fast cut-through value.
+            switch_forward = 500.0
+        self.switch = Switch(self.sim, profile)
+        self.switch.forward_ns = switch_forward
+        for host in self.hosts:
+            port = self.switch.new_port()
+            self.links.append(
+                Link(self.sim, host.nic, port, profile.link_propagation_ns)
+            )
+            self.switch.bind(host.ip, port)
+
+    def host(self, index):
+        return self.hosts[index]
+
+    def host_by_ip(self, ip):
+        for host in self.hosts:
+            if host.ip == ip:
+                return host
+        raise KeyError("no host with ip %r" % (ip,))
+
+    @classmethod
+    def local(cls, hosts=2, seed=0):
+        """The paper's local edge testbed (back-to-back 100 Gbps)."""
+        from repro.hw.profiles import LOCAL_TESTBED
+
+        return cls(LOCAL_TESTBED, hosts=hosts, seed=seed)
+
+    @classmethod
+    def cloud(cls, hosts=2, seed=0):
+        """The paper's CloudLab testbed (switched 100 Gbps)."""
+        from repro.hw.profiles import CLOUD_TESTBED
+
+        return cls(CLOUD_TESTBED, hosts=hosts, seed=seed)

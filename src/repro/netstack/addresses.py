@@ -1,0 +1,74 @@
+"""Address types and conversions used across the stack."""
+
+import struct
+
+
+def ip_to_int(address):
+    """Convert dotted-quad ``"10.0.0.1"`` to its 32-bit integer form."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError("malformed IPv4 address: %r" % (address,))
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("malformed IPv4 address: %r" % (address,))
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value):
+    """Convert a 32-bit integer to dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("IPv4 integer out of range: %r" % (value,))
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    __slots__ = ("value",)
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __init__(self, value):
+        if isinstance(value, str):
+            value = int(value.replace(":", ""), 16)
+        if not 0 <= value <= self.BROADCAST_VALUE:
+            raise ValueError("MAC out of range: %r" % (value,))
+        self.value = value
+
+    @classmethod
+    def from_index(cls, index):
+        """Deterministic locally administered MAC for host ``index``."""
+        return cls(0x020000000000 | index)
+
+    @classmethod
+    def broadcast(cls):
+        return cls(cls.BROADCAST_VALUE)
+
+    @property
+    def is_broadcast(self):
+        return self.value == self.BROADCAST_VALUE
+
+    def to_bytes(self):
+        return struct.pack("!Q", self.value)[2:]
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) != 6:
+            raise ValueError("MAC must be 6 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    def __eq__(self, other):
+        return isinstance(other, MacAddress) and self.value == other.value
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __str__(self):
+        raw = "%012x" % self.value
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self):
+        return "MacAddress(%s)" % self

@@ -1,0 +1,164 @@
+"""ARP: address resolution for the userspace network stack.
+
+Kernel-bypassing datapaths cannot use the kernel's neighbor table (paper
+§3: "the user has to provide its own userspace network and transport
+protocols"), so the DPDK/XDP control path resolves IP-to-MAC bindings
+here: a real ARP codec plus a resolver cache with request retry and
+expiry, driven by the simulation clock.
+"""
+
+import struct
+
+from repro.netstack.addresses import MacAddress, ip_to_int, int_to_ip
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+_ARP = struct.Struct("!HHBBH6s4s6s4s")
+
+
+class ArpPacket:
+    """An Ethernet/IPv4 ARP packet (RFC 826)."""
+
+    LENGTH = _ARP.size
+
+    def __init__(self, op, sender_mac, sender_ip, target_mac, target_ip):
+        if op not in (OP_REQUEST, OP_REPLY):
+            raise ValueError("bad ARP op %r" % (op,))
+        self.op = op
+        self.sender_mac = sender_mac
+        self.sender_ip = sender_ip
+        self.target_mac = target_mac
+        self.target_ip = target_ip
+
+    @classmethod
+    def request(cls, sender_mac, sender_ip, target_ip):
+        return cls(OP_REQUEST, sender_mac, sender_ip, MacAddress(0), target_ip)
+
+    @classmethod
+    def reply(cls, sender_mac, sender_ip, target_mac, target_ip):
+        return cls(OP_REPLY, sender_mac, sender_ip, target_mac, target_ip)
+
+    def to_bytes(self):
+        return _ARP.pack(
+            1,              # hardware type: Ethernet
+            0x0800,         # protocol type: IPv4
+            6, 4,           # address lengths
+            self.op,
+            self.sender_mac.to_bytes(),
+            struct.pack("!I", ip_to_int(self.sender_ip)),
+            self.target_mac.to_bytes(),
+            struct.pack("!I", ip_to_int(self.target_ip)),
+        )
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated ARP packet")
+        htype, ptype, hlen, plen, op, smac, sip, tmac, tip = _ARP.unpack(
+            bytes(data[: cls.LENGTH])
+        )
+        if htype != 1 or ptype != 0x0800 or hlen != 6 or plen != 4:
+            raise ValueError("unsupported ARP packet")
+        return cls(
+            op,
+            MacAddress.from_bytes(smac),
+            int_to_ip(struct.unpack("!I", sip)[0]),
+            MacAddress.from_bytes(tmac),
+            int_to_ip(struct.unpack("!I", tip)[0]),
+        )
+
+    def __repr__(self):
+        kind = "request" if self.op == OP_REQUEST else "reply"
+        return "ArpPacket(%s, %s is-at %s, asking %s)" % (
+            kind, self.sender_ip, self.sender_mac, self.target_ip,
+        )
+
+
+class ArpResolver:
+    """A neighbor cache with request retry and entry expiry.
+
+    The transmission of requests is delegated to a caller-supplied
+    ``send_request(target_ip)`` callback so the resolver is reusable across
+    datapaths; replies are fed in via :meth:`on_reply`.
+    """
+
+    def __init__(self, sim, own_mac, own_ip, send_request,
+                 retry_ns=100_000, max_retries=3, ttl_ns=60_000_000_000):
+        self.sim = sim
+        self.own_mac = own_mac
+        self.own_ip = own_ip
+        self.send_request = send_request
+        self.retry_ns = retry_ns
+        self.max_retries = max_retries
+        self.ttl_ns = ttl_ns
+        self._cache = {}          # ip -> (mac, learned_at)
+        self._pending = {}        # ip -> list of Signal waiters
+        self.requests_sent = 0
+        self.failures = 0
+
+    def lookup(self, ip):
+        """A cached MAC, or None (does not trigger resolution)."""
+        entry = self._cache.get(ip)
+        if entry is None:
+            return None
+        mac, learned_at = entry
+        if self.sim.now - learned_at > self.ttl_ns:
+            del self._cache[ip]
+            return None
+        return mac
+
+    def resolve(self, ip):
+        """Resolve ``ip`` (generator): returns the MAC or raises
+        :class:`ArpTimeout` after the retry budget is spent."""
+        from repro.simnet import Signal, Wait
+
+        mac = self.lookup(ip)
+        if mac is not None:
+            return mac
+        signal = Signal(self.sim)
+        waiters = self._pending.get(ip)
+        if waiters is None:
+            self._pending[ip] = [signal]
+            self._issue_request(ip, attempt=1)
+        else:
+            waiters.append(signal)
+        mac = yield Wait(signal)
+        if mac is None:
+            raise ArpTimeout("no ARP reply from %s" % ip)
+        return mac
+
+    def on_reply(self, arp):
+        """Feed a received ARP reply (or request — gratuitous learning)."""
+        self._cache[arp.sender_ip] = (arp.sender_mac, self.sim.now)
+        waiters = self._pending.pop(arp.sender_ip, [])
+        for signal in waiters:
+            if not signal.fired:
+                signal.succeed(arp.sender_mac)
+
+    def make_reply_for(self, arp):
+        """If ``arp`` is a request for our address, build the reply."""
+        if arp.op == OP_REQUEST and arp.target_ip == self.own_ip:
+            return ArpPacket.reply(self.own_mac, self.own_ip, arp.sender_mac, arp.sender_ip)
+        return None
+
+    def _issue_request(self, ip, attempt):
+        self.requests_sent += 1
+        self.send_request(ip)
+        self.sim.schedule(self.retry_ns, self._check_retry, ip, attempt)
+
+    def _check_retry(self, ip, attempt):
+        if ip not in self._pending:
+            return  # resolved meanwhile
+        if attempt >= self.max_retries:
+            self.failures += 1
+            waiters = self._pending.pop(ip, [])
+            for signal in waiters:
+                if not signal.fired:
+                    signal.succeed(None)
+        else:
+            self._issue_request(ip, attempt + 1)
+
+
+class ArpTimeout(RuntimeError):
+    """Raised when resolution exhausts its retries."""

@@ -1,0 +1,15 @@
+"""The internet checksum (RFC 1071) used by IPv4 and UDP headers."""
+
+
+def internet_checksum(data):
+    """One's-complement sum of 16-bit words, per RFC 1071.
+
+    Odd-length input is zero-padded on the right, as the RFC specifies.
+    """
+    if len(data) % 2:
+        data = bytes(data) + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

@@ -1,0 +1,48 @@
+"""Ethernet II frame header codec."""
+
+import struct
+
+from repro.netstack.addresses import MacAddress
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+
+class EthernetHeader:
+    """A 14-byte Ethernet II header."""
+
+    __slots__ = ("dst", "src", "ethertype")
+
+    LENGTH = 14
+
+    def __init__(self, dst, src, ethertype=ETHERTYPE_IPV4):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+
+    def to_bytes(self):
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated Ethernet header")
+        dst = MacAddress.from_bytes(bytes(data[0:6]))
+        src = MacAddress.from_bytes(bytes(data[6:12]))
+        (ethertype,) = struct.unpack("!H", bytes(data[12:14]))
+        return cls(dst, src, ethertype)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EthernetHeader)
+            and self.dst == other.dst
+            and self.src == other.src
+            and self.ethertype == other.ethertype
+        )
+
+    def __repr__(self):
+        return "EthernetHeader(dst=%s, src=%s, type=0x%04x)" % (
+            self.dst,
+            self.src,
+            self.ethertype,
+        )

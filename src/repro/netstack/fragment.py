@@ -1,0 +1,113 @@
+"""Application-level fragmentation and reassembly.
+
+The LUNAR streaming framework sends multi-megabyte frames; those are split
+into MTU-sized fragments here, each prefixed by a 16-byte fragment header,
+and reassembled at the receiver.  Out-of-order arrival is tolerated; a
+frame is delivered once all fragments are present.
+"""
+
+import struct
+
+FRAGMENT_HEADER = struct.Struct("!IIII")  # frame_id, index, count, frame_len
+
+FRAGMENT_HEADER_LEN = FRAGMENT_HEADER.size
+
+
+class Fragmenter:
+    """Splits byte payloads into fragments of at most ``max_fragment`` bytes
+    of data each (header excluded)."""
+
+    def __init__(self, max_fragment):
+        if max_fragment < 1:
+            raise ValueError("max_fragment must be >= 1")
+        self.max_fragment = max_fragment
+        self._next_frame_id = 0
+
+    def fragment_count(self, frame_len):
+        if frame_len == 0:
+            return 1
+        return (frame_len + self.max_fragment - 1) // self.max_fragment
+
+    def fragment(self, frame):
+        """Yield ``(header_bytes, data_view)`` pairs for one frame."""
+        frame_id = self._next_frame_id
+        self._next_frame_id += 1
+        view = memoryview(frame)
+        count = self.fragment_count(len(view))
+        for index in range(count):
+            start = index * self.max_fragment
+            data = view[start : start + self.max_fragment]
+            header = FRAGMENT_HEADER.pack(frame_id, index, count, len(view))
+            yield header, data
+
+
+class Reassembler:
+    """Collects fragments and yields complete frames.
+
+    Frames complete out of order are delivered as soon as their last
+    fragment arrives; partially received frames are kept until complete or
+    until :meth:`evict_stale` discards them.
+    """
+
+    def __init__(self, max_pending_frames=64):
+        self.max_pending_frames = max_pending_frames
+        self._pending = {}
+        self.frames_completed = 0
+        self.fragments_received = 0
+
+    def push(self, datagram):
+        """Feed one fragment datagram; return the completed frame or None."""
+        if len(datagram) < FRAGMENT_HEADER_LEN:
+            raise ValueError("datagram shorter than fragment header")
+        frame_id, index, count, frame_len = FRAGMENT_HEADER.unpack_from(datagram)
+        if index >= count:
+            raise ValueError("fragment index %d out of range (count=%d)" % (index, count))
+        data = bytes(datagram[FRAGMENT_HEADER_LEN:])
+        self.fragments_received += 1
+        state = self._pending.get(frame_id)
+        if state is None:
+            if len(self._pending) >= self.max_pending_frames:
+                self._evict_oldest()
+            state = _FrameState(count, frame_len)
+            self._pending[frame_id] = state
+        state.add(index, data)
+        if state.complete:
+            del self._pending[frame_id]
+            self.frames_completed += 1
+            return state.assemble()
+        return None
+
+    @property
+    def pending_frames(self):
+        return len(self._pending)
+
+    def _evict_oldest(self):
+        oldest = min(self._pending)
+        del self._pending[oldest]
+
+
+class _FrameState:
+    __slots__ = ("count", "frame_len", "parts", "received")
+
+    def __init__(self, count, frame_len):
+        self.count = count
+        self.frame_len = frame_len
+        self.parts = [None] * count
+        self.received = 0
+
+    def add(self, index, data):
+        if self.parts[index] is None:
+            self.received += 1
+        self.parts[index] = data
+
+    @property
+    def complete(self):
+        return self.received == self.count
+
+    def assemble(self):
+        frame = b"".join(self.parts)
+        if len(frame) != self.frame_len:
+            raise ValueError(
+                "reassembled frame is %d B, expected %d B" % (len(frame), self.frame_len)
+            )
+        return frame

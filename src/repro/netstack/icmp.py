@@ -1,0 +1,60 @@
+"""ICMP echo (ping) for the userspace network stack's control path."""
+
+import struct
+
+from repro.netstack.checksum import internet_checksum
+
+TYPE_ECHO_REQUEST = 8
+TYPE_ECHO_REPLY = 0
+
+_ICMP = struct.Struct("!BBHHH")
+
+
+class IcmpEcho:
+    """An ICMP echo request/reply (RFC 792)."""
+
+    HEADER_LEN = _ICMP.size
+
+    def __init__(self, kind, identifier, sequence, payload=b""):
+        if kind not in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY):
+            raise ValueError("not an echo type: %r" % (kind,))
+        if not 0 <= identifier <= 0xFFFF or not 0 <= sequence <= 0xFFFF:
+            raise ValueError("identifier/sequence out of range")
+        self.kind = kind
+        self.identifier = identifier
+        self.sequence = sequence
+        self.payload = bytes(payload)
+
+    @classmethod
+    def request(cls, identifier, sequence, payload=b""):
+        return cls(TYPE_ECHO_REQUEST, identifier, sequence, payload)
+
+    def reply(self):
+        """The echo reply answering this request (payload echoed back)."""
+        if self.kind != TYPE_ECHO_REQUEST:
+            raise ValueError("can only reply to a request")
+        return IcmpEcho(TYPE_ECHO_REPLY, self.identifier, self.sequence, self.payload)
+
+    def to_bytes(self):
+        header = _ICMP.pack(self.kind, 0, 0, self.identifier, self.sequence)
+        checksum = internet_checksum(header + self.payload)
+        header = _ICMP.pack(self.kind, 0, checksum, self.identifier, self.sequence)
+        return header + self.payload
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError("truncated ICMP packet")
+        data = bytes(data)
+        if internet_checksum(data) != 0:
+            raise ValueError("ICMP checksum mismatch")
+        kind, code, _checksum, identifier, sequence = _ICMP.unpack(data[: cls.HEADER_LEN])
+        if code != 0:
+            raise ValueError("unsupported ICMP code %d" % code)
+        return cls(kind, identifier, sequence, data[cls.HEADER_LEN :])
+
+    def __repr__(self):
+        name = "request" if self.kind == TYPE_ECHO_REQUEST else "reply"
+        return "IcmpEcho(%s id=%d seq=%d len=%d)" % (
+            name, self.identifier, self.sequence, len(self.payload),
+        )

@@ -1,0 +1,66 @@
+"""IPv4 header codec (RFC 791), without options."""
+
+import struct
+
+from repro.netstack.addresses import int_to_ip, ip_to_int
+from repro.netstack.checksum import internet_checksum
+
+PROTO_UDP = 17
+
+
+class Ipv4Header:
+    """A 20-byte IPv4 header (IHL=5, no options)."""
+
+    __slots__ = ("src", "dst", "total_length", "ttl", "protocol", "identification", "flags_fragment")
+
+    LENGTH = 20
+
+    def __init__(self, src, dst, total_length, ttl=64, protocol=PROTO_UDP, identification=0, flags_fragment=0):
+        self.src = src
+        self.dst = dst
+        self.total_length = total_length
+        self.ttl = ttl
+        self.protocol = protocol
+        self.identification = identification
+        self.flags_fragment = flags_fragment
+
+    def to_bytes(self):
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,            # version + IHL
+            0,                        # DSCP/ECN
+            self.total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,                        # checksum placeholder
+            struct.pack("!I", ip_to_int(self.src)),
+            struct.pack("!I", ip_to_int(self.dst)),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated IPv4 header")
+        data = bytes(data[: cls.LENGTH])
+        if internet_checksum(data) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        version_ihl, _dscp, total_length, ident, flags_frag, ttl, protocol, _cksum = struct.unpack(
+            "!BBHHHBBH", data[:12]
+        )
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 header")
+        src = int_to_ip(struct.unpack("!I", data[12:16])[0])
+        dst = int_to_ip(struct.unpack("!I", data[16:20])[0])
+        return cls(src, dst, total_length, ttl=ttl, protocol=protocol, identification=ident, flags_fragment=flags_frag)
+
+    def __repr__(self):
+        return "Ipv4Header(%s -> %s, len=%d, proto=%d)" % (
+            self.src,
+            self.dst,
+            self.total_length,
+            self.protocol,
+        )

@@ -1,0 +1,49 @@
+"""UDP header codec (RFC 768)."""
+
+import struct
+
+
+class UdpHeader:
+    """An 8-byte UDP header.
+
+    The checksum field is computed over the payload with a zero
+    pseudo-header for simplicity; receivers in this repository validate
+    length, not checksum (NICs offload checksum in all modelled
+    technologies).
+    """
+
+    __slots__ = ("src_port", "dst_port", "length")
+
+    LENGTH = 8
+
+    def __init__(self, src_port, dst_port, payload_length):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError("UDP port out of range: %r" % (port,))
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = self.LENGTH + payload_length
+
+    def to_bytes(self):
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, _checksum = struct.unpack("!HHHH", bytes(data[: cls.LENGTH]))
+        if length < cls.LENGTH:
+            raise ValueError("UDP length field too small")
+        header = cls(src_port, dst_port, length - cls.LENGTH)
+        return header
+
+    @property
+    def payload_length(self):
+        return self.length - self.LENGTH
+
+    def __repr__(self):
+        return "UdpHeader(%d -> %d, payload=%d)" % (
+            self.src_port,
+            self.dst_port,
+            self.payload_length,
+        )

@@ -1,0 +1,125 @@
+"""The event loop at the heart of the simulation kernel.
+
+A :class:`Simulator` owns virtual time (nanoseconds) and a heap of scheduled
+callbacks.  Everything else in the repository — NICs, switches, datapath
+plugins, the INSANE runtime — is expressed either as plain callbacks scheduled
+here or as generator-based :class:`~repro.simnet.process.Process` objects.
+"""
+
+import heapq
+import random
+
+from repro.simnet.errors import SimulationError
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-owned :class:`random.Random`.  All stochastic
+        models (latency jitter, workload generators) must draw from
+        :attr:`rng` so that a run is reproducible from its seed alone.
+    """
+
+    def __init__(self, seed=0):
+        self._now = 0
+        self._heap = []
+        self._seq = 0
+        self.rng = random.Random(seed)
+        #: (process_name, exception) for every process that died with an
+        #: unhandled exception — checked by tests so failures cannot pass
+        #: silently.
+        self.failures = []
+
+    @property
+    def now(self):
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` ns of virtual time.
+
+        Returns an :class:`EventHandle` that can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % (delay,))
+        self._seq += 1
+        handle = EventHandle(self._now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, fn, *args)
+
+    def process(self, generator, name=None):
+        """Start a cooperative process; see :mod:`repro.simnet.process`."""
+        from repro.simnet.process import Process
+
+        return Process(self, generator, name=name)
+
+    def run(self, until=None):
+        """Execute events until the heap drains or ``until`` ns is reached.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            handle = heap[0]
+            if handle.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and handle.time > until:
+                self._now = until
+                return executed
+            heapq.heappop(heap)
+            self._now = handle.time
+            handle.fn(*handle.args)
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return executed
+
+    def step(self):
+        """Execute exactly one pending event; return False if none remain."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` when idle."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

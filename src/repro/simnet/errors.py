@@ -1,0 +1,18 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for all kernel-level simulation errors."""
+
+
+class StoreFullError(SimulationError):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class ProcessFailed(SimulationError):
+    """Raised when joining a process that terminated with an exception."""
+
+    def __init__(self, process_name, cause):
+        super().__init__("process %r failed: %r" % (process_name, cause))
+        self.process_name = process_name
+        self.cause = cause

@@ -1,0 +1,51 @@
+"""One-shot signals for process synchronization."""
+
+
+class Signal:
+    """A one-shot event that processes can wait on.
+
+    A signal starts pending, fires exactly once via :meth:`succeed` (or
+    :meth:`fail`), and delivers its value to every past and future waiter.
+    """
+
+    __slots__ = ("sim", "fired", "value", "exception", "_waiters")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.fired = False
+        self.value = None
+        self.exception = None
+        self._waiters = []
+
+    def succeed(self, value=None):
+        """Fire the signal, waking all waiters with ``value``."""
+        if self.fired:
+            raise RuntimeError("signal already fired")
+        self.fired = True
+        self.value = value
+        self._drain()
+
+    def fail(self, exception):
+        """Fire the signal exceptionally; waiters receive ``exception``."""
+        if self.fired:
+            raise RuntimeError("signal already fired")
+        self.fired = True
+        self.exception = exception
+        self._drain()
+
+    def add_waiter(self, callback):
+        """Register ``callback(value, exception)``, called when fired.
+
+        If the signal has already fired, the callback is scheduled
+        immediately (still asynchronously, preserving run-to-completion
+        semantics of the calling process).
+        """
+        if self.fired:
+            self.sim.schedule(0, callback, self.value, self.exception)
+        else:
+            self._waiters.append(callback)
+
+    def _drain(self):
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0, callback, self.value, self.exception)

@@ -1,0 +1,142 @@
+"""Measurement primitives: counters, tallies, and rate meters.
+
+Every benchmark series in the repository is produced by these classes, so
+their statistics (mean, median, percentiles) are computed in exactly one
+place.
+"""
+
+import math
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount=1):
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Tally:
+    """Accumulates samples and reports summary statistics.
+
+    Samples are kept so that medians and percentiles are exact; benchmark
+    sample counts in this repository are small enough (10-50 k) that this is
+    never a memory concern.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.samples = []
+
+    def record(self, value):
+        self.samples.append(value)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    @property
+    def total(self):
+        return sum(self.samples)
+
+    @property
+    def mean(self):
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self):
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self):
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self):
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((s - mean) ** 2 for s in self.samples) / (n - 1))
+
+    def percentile(self, p):
+        """Exact percentile by linear interpolation (0 <= p <= 100)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high or ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        value = ordered[low] * (1 - frac) + ordered[high] * frac
+        # guard against float rounding pushing past the sample bounds
+        return min(max(value, ordered[0]), ordered[-1])
+
+    @property
+    def median(self):
+        return self.percentile(50)
+
+    def summary(self):
+        """A dict of the headline statistics, handy for table rows."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p99": self.percentile(99),
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+        }
+
+
+class RateMeter:
+    """Measures goodput: bytes accumulated over a virtual-time window."""
+
+    def __init__(self, name):
+        self.name = name
+        self.bytes = 0
+        self.messages = 0
+        self.first_ns = None
+        self.last_ns = None
+
+    def record(self, now_ns, nbytes):
+        if self.first_ns is None:
+            self.first_ns = now_ns
+        self.last_ns = now_ns
+        self.bytes += nbytes
+        self.messages += 1
+
+    @property
+    def elapsed_ns(self):
+        if self.first_ns is None or self.last_ns is None:
+            return 0
+        return self.last_ns - self.first_ns
+
+    def gbps(self):
+        """Goodput in gigabits per second over the observed window."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes * 8.0) / elapsed  # bits per ns == Gbps
+
+    def mpps(self):
+        """Millions of messages per second over the observed window."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.messages * 1000.0 / elapsed

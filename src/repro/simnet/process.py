@@ -1,0 +1,168 @@
+"""Generator-based cooperative processes and the effects they may yield.
+
+A process body is a Python generator.  Each ``yield`` hands an *effect* to
+the kernel, which resumes the generator when the effect completes::
+
+    def worker(sim, inbox):
+        while True:
+            item = yield Get(inbox)        # block until an item arrives
+            yield Timeout(500)             # model 500 ns of work
+            ...
+
+    sim.process(worker(sim, inbox))
+
+Supported effects:
+
+``Timeout(delay)``      resume after ``delay`` ns.
+``Wait(signal)``        resume when a :class:`Signal` fires (with its value).
+``Get(store)``          resume with the next item from a :class:`Store`.
+``Put(store, item)``    resume once ``item`` has been accepted by the store.
+``Join(process)``       resume with the return value of another process.
+``AnyOf(signals)``      resume when the first of several signals fires.
+
+Yielding another :class:`Process` directly is shorthand for ``Join``.
+"""
+
+from repro.simnet.errors import ProcessFailed
+from repro.simnet.events import Signal
+
+
+class Timeout:
+    """Suspend the process for ``delay`` ns of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        self.delay = delay
+
+    def apply(self, sim, process):
+        sim.schedule(self.delay, process.resume, None)
+
+
+class Wait:
+    """Suspend until ``signal`` fires; resumes with the signal's value."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal):
+        self.signal = signal
+
+    def apply(self, sim, process):
+        self.signal.add_waiter(process.resume)
+
+
+class AnyOf:
+    """Suspend until the first of ``signals`` fires.
+
+    Resumes with ``(index, value)`` of the first signal that fired.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals):
+        self.signals = list(signals)
+
+    def apply(self, sim, process):
+        state = {"done": False}
+
+        def make_waiter(index):
+            def waiter(value, exception):
+                if state["done"]:
+                    return
+                state["done"] = True
+                process.resume((index, value), exception)
+
+            return waiter
+
+        for index, signal in enumerate(self.signals):
+            signal.add_waiter(make_waiter(index))
+
+
+class Get:
+    """Take the next item from a :class:`Store`, blocking while empty."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store):
+        self.store = store
+
+    def apply(self, sim, process):
+        self.store.add_getter(process.resume)
+
+
+class Put:
+    """Deposit ``item`` into a :class:`Store`, blocking while full."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store, item):
+        self.store = store
+        self.item = item
+
+    def apply(self, sim, process):
+        self.store.add_putter(self.item, process.resume)
+
+
+class Join:
+    """Wait for another process to finish; resumes with its return value."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process):
+        self.process = process
+
+    def apply(self, sim, process):
+        self.process.done.add_waiter(process.resume)
+
+
+class Process:
+    """A running generator driven by the simulator.
+
+    Attributes
+    ----------
+    done:
+        A :class:`Signal` fired with the generator's return value when it
+        finishes, or failed with :class:`ProcessFailed` if it raises.
+    """
+
+    def __init__(self, sim, generator, name=None):
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Signal(sim)
+        self._finished = False
+        sim.schedule(0, self.resume, None, None)
+
+    @property
+    def finished(self):
+        return self._finished
+
+    def resume(self, value, exception=None):
+        """Advance the generator with ``value`` (or throw ``exception``)."""
+        if self._finished:
+            return
+        try:
+            if exception is not None:
+                effect = self.generator.throw(exception)
+            else:
+                effect = self.generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(getattr(stop, "value", None))
+            return
+        except Exception as exc:  # surface the failure to joiners
+            self._finished = True
+            self.sim.failures.append((self.name, exc))
+            self.done.fail(ProcessFailed(self.name, exc))
+            return
+        if isinstance(effect, Process):
+            effect = Join(effect)
+        effect.apply(self.sim, self)
+
+    def interrupt(self, exception=None):
+        """Throw ``exception`` (default :class:`Interrupt`) into the body."""
+        self.sim.schedule(0, self.resume, None, exception or Interrupt())
+
+
+class Interrupt(Exception):
+    """Default exception delivered by :meth:`Process.interrupt`."""

@@ -1,0 +1,153 @@
+"""Bounded stores and counted resources.
+
+These primitives carry all queueing behaviour in the repository: NIC rings,
+IPC token queues, scheduler backlogs, and memory-pool free lists are all
+:class:`Store` instances, so overflow, backpressure, and drop accounting are
+handled uniformly.
+"""
+
+from collections import deque
+
+from repro.simnet.errors import StoreFullError
+
+_UNBOUNDED = float("inf")
+
+
+class Store:
+    """A FIFO queue of items with optional capacity.
+
+    Processes interact through ``yield Get(store)`` / ``yield Put(store,
+    item)``; non-process code (plain callbacks) uses the ``*_nowait``
+    variants.
+    """
+
+    def __init__(self, sim, capacity=_UNBOUNDED, name=None):
+        if capacity is not _UNBOUNDED and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()
+        #: optional callback invoked (synchronously) whenever an item is
+        #: enqueued with no getter waiting — used by polling threads to be
+        #: kicked awake without busy-waiting.
+        self.on_item = None
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def is_full(self):
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self):
+        return not self._items
+
+    # -- non-blocking interface ------------------------------------------
+
+    def put_nowait(self, item):
+        """Deposit ``item`` immediately; raise :class:`StoreFullError` if full."""
+        if not self.try_put(item):
+            raise StoreFullError(self.name or "store")
+
+    def try_put(self, item):
+        """Deposit ``item`` if there is room; return ``True`` on success."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0, getter, item, None)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        if self.on_item is not None:
+            self.on_item()
+        return True
+
+    def try_get(self):
+        """Return ``(True, item)`` if an item is available, else ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    # -- blocking (process) interface ------------------------------------
+
+    def add_getter(self, callback):
+        """Register ``callback(item, exception)`` for the next item."""
+        ok, item = self.try_get()
+        if ok:
+            self.sim.schedule(0, callback, item, None)
+        else:
+            self._getters.append(callback)
+
+    def add_putter(self, item, callback):
+        """Deposit ``item`` when room is available, then ``callback(None, None)``."""
+        if self.try_put(item):
+            self.sim.schedule(0, callback, None, None)
+        else:
+            self._putters.append((item, callback))
+
+    def _admit_putter(self):
+        if self._putters and not self.is_full:
+            item, callback = self._putters.popleft()
+            self._items.append(item)
+            self.sim.schedule(0, callback, None, None)
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores) with FIFO acquisition."""
+
+    def __init__(self, sim, capacity=1, name=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters = deque()
+
+    @property
+    def available(self):
+        return self.capacity - self.in_use
+
+    def try_acquire(self):
+        """Acquire a unit without blocking; return ``True`` on success."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
+    def add_acquirer(self, callback):
+        """Acquire a unit, calling ``callback(None, None)`` once granted."""
+        if self.try_acquire():
+            self.sim.schedule(0, callback, None, None)
+        else:
+            self._waiters.append(callback)
+
+    def release(self):
+        """Return one unit, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError("release without acquire on %r" % (self.name,))
+        if self._waiters:
+            callback = self._waiters.popleft()
+            self.sim.schedule(0, callback, None, None)
+        else:
+            self.in_use -= 1
+
+    def acquire_effect(self):
+        """An effect suitable for ``yield`` from a process body."""
+        return _Acquire(self)
+
+
+class _Acquire:
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        self.resource = resource
+
+    def apply(self, sim, process):
+        self.resource.add_acquirer(process.resume)

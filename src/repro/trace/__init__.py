@@ -1,0 +1,5 @@
+"""Wire-level tracing: tcpdump-style capture of simulated links."""
+
+from repro.trace.capture import CaptureRecord, WireTap
+
+__all__ = ["CaptureRecord", "WireTap"]

@@ -1,0 +1,113 @@
+"""A tcpdump-like capture facility for simulated links.
+
+Attach a :class:`WireTap` to any link (or every link of a testbed) to
+record the frames crossing it — including frames dropped by injected loss
+— then filter and pretty-print them.  Useful both for debugging middleware
+behaviour and for asserting on wire-level properties in tests (e.g. "the
+co-located path produced zero frames", "fragments left in order").
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured frame crossing one link."""
+
+    ns: float
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    payload_len: int
+    wire_size: int
+    dropped: bool
+    seq: int
+
+    def __str__(self):
+        flag = " DROPPED" if self.dropped else ""
+        return "%12.3f us  %s:%d > %s:%d  len=%d wire=%d%s" % (
+            self.ns / 1000.0,
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.payload_len,
+            self.wire_size,
+            flag,
+        )
+
+
+class WireTap:
+    """Records frames on the links it is attached to."""
+
+    def __init__(self, max_records=100_000):
+        self.max_records = max_records
+        self.records = []
+        self.truncated = False
+
+    # -- attachment -----------------------------------------------------------
+
+    def attach(self, link):
+        """Start capturing on one link."""
+        link.taps.append(self)
+        return self
+
+    def attach_all(self, testbed):
+        """Capture every link of a testbed."""
+        for link in testbed.links:
+            self.attach(link)
+        return self
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, frame, now, dropped=False):
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        packet = frame.packet
+        self.records.append(
+            CaptureRecord(
+                ns=now,
+                src_ip=packet.src_ip,
+                dst_ip=packet.dst_ip,
+                src_port=packet.src_port,
+                dst_port=packet.dst_port,
+                payload_len=packet.payload_len,
+                wire_size=packet.wire_size,
+                dropped=dropped,
+                seq=packet.seq,
+            )
+        )
+
+    # -- analysis -----------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.records)
+
+    def filter(self, src_ip=None, dst_ip=None, port=None, dropped=None):
+        """Records matching every given criterion."""
+        out = []
+        for record in self.records:
+            if src_ip is not None and record.src_ip != src_ip:
+                continue
+            if dst_ip is not None and record.dst_ip != dst_ip:
+                continue
+            if port is not None and port not in (record.src_port, record.dst_port):
+                continue
+            if dropped is not None and record.dropped != dropped:
+                continue
+            out.append(record)
+        return out
+
+    def bytes_on_wire(self):
+        return sum(r.wire_size for r in self.records if not r.dropped)
+
+    def to_text(self, limit=None):
+        """tcpdump-style dump of the capture."""
+        records = self.records if limit is None else self.records[:limit]
+        lines = [str(record) for record in records]
+        if self.truncated:
+            lines.append("... capture truncated at %d records" % self.max_records)
+        return "\n".join(lines)

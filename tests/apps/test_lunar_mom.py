@@ -1,0 +1,144 @@
+"""LUNAR MoM tests: pub/sub semantics over INSANE (paper §7.1)."""
+
+import pytest
+
+from repro.apps.lunar_mom import LunarMom, topic_id
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+def make(hosts=2, mode="fast", seed=0):
+    testbed = Testbed.local(hosts=hosts, seed=seed)
+    deployment = InsaneDeployment(testbed)
+    nodes = [LunarMom(deployment.runtime(i), mode) for i in range(hosts)]
+    return testbed, nodes
+
+
+class TestTopicHashing:
+    def test_topic_id_is_stable(self):
+        assert topic_id("sensors/temp") == topic_id("sensors/temp")
+
+    def test_distinct_topics_distinct_ids(self):
+        assert topic_id("a") != topic_id("b")
+
+    def test_topic_id_is_a_valid_channel(self):
+        assert 0 <= topic_id("any/topic/name") < 2**31
+
+
+class TestPubSub:
+    def test_publish_reaches_remote_subscriber(self):
+        testbed, (pub, sub) = make()
+        sim = testbed.sim
+        got = []
+        sub.subscribe("news", lambda topic, payload: got.append(bytes(payload)))
+
+        def publisher():
+            yield from pub.publish("news", data=b"hello subscribers")
+
+        sim.process(publisher())
+        sim.run()
+        assert got == [b"hello subscribers"]
+
+    def test_topic_isolation(self):
+        testbed, (pub, sub) = make(seed=1)
+        sim = testbed.sim
+        weather, sports = [], []
+        sub.subscribe("weather", lambda t, p: weather.append(bytes(p)))
+        sub.subscribe("sports", lambda t, p: sports.append(bytes(p)))
+
+        def publisher():
+            yield from pub.publish("weather", data=b"rain")
+            yield from pub.publish("sports", data=b"2-1")
+
+        sim.process(publisher())
+        sim.run()
+        assert weather == [b"rain"]
+        assert sports == [b"2-1"]
+
+    def test_fanout_to_many_hosts(self):
+        testbed, nodes = make(hosts=4, seed=2)
+        sim = testbed.sim
+        publisher, subscribers = nodes[0], nodes[1:]
+        hits = []
+        for index, node in enumerate(subscribers):
+            node.subscribe("broadcast", lambda t, p, i=index: hits.append(i))
+
+        def publish():
+            yield from publisher.publish("broadcast", size=128)
+
+        sim.process(publish())
+        sim.run()
+        assert sorted(hits) == [0, 1, 2]
+
+    def test_publish_with_fill_callback(self):
+        testbed, (pub, sub) = make(seed=3)
+        sim = testbed.sim
+        got = []
+        sub.subscribe("filled", lambda t, p: got.append(bytes(p)))
+
+        def publisher():
+            yield from pub.publish(
+                "filled", size=4, fill=lambda buffer: buffer.write(b"ABCD")
+            )
+
+        sim.process(publisher())
+        sim.run()
+        assert got == [b"ABCD"]
+
+    def test_publish_requires_data_or_size(self):
+        testbed, (pub, _sub) = make(seed=4)
+        with pytest.raises(ValueError):
+            next(pub.publish("bad"))
+
+    def test_local_subscriber_on_same_host(self):
+        testbed, (node, _other) = make(seed=5)
+        sim = testbed.sim
+        got = []
+        node.subscribe("loop", lambda t, p: got.append(bytes(p)))
+
+        def publisher():
+            yield from node.publish("loop", data=b"local")
+
+        sim.process(publisher())
+        sim.run()
+        assert got == [b"local"]
+        # shared-memory delivery: nothing on the wire
+        assert testbed.hosts[0].nic.tx_frames.value == 0
+
+    def test_counters_track_activity(self):
+        testbed, (pub, sub) = make(seed=6)
+        sim = testbed.sim
+        sub.subscribe("counted", lambda t, p: None)
+
+        def publisher():
+            for _ in range(5):
+                yield from pub.publish("counted", size=16)
+
+        sim.process(publisher())
+        sim.run()
+        assert pub.published.value == 5
+        assert sub.delivered.value == 5
+
+    def test_no_leaks_after_burst(self):
+        testbed, (pub, sub) = make(seed=7)
+        sim = testbed.sim
+        sub.subscribe("leakcheck", lambda t, p: None)
+
+        def publisher():
+            for _ in range(50):
+                yield from pub.publish("leakcheck", size=256)
+
+        sim.process(publisher())
+        sim.run()
+        assert pub.runtime.memory.pool.in_use == 0
+        assert sub.runtime.memory.pool.in_use == 0
+
+    def test_slow_mode_uses_udp(self):
+        testbed, (pub, _sub) = make(mode="slow", seed=8)
+        assert pub.stream.datapath == "udp"
+
+    def test_invalid_mode_rejected(self):
+        testbed = Testbed.local(seed=9)
+        deployment = InsaneDeployment(testbed)
+        with pytest.raises(ValueError):
+            LunarMom(deployment.runtime(0), "warp")

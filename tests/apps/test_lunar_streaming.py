@@ -1,0 +1,138 @@
+"""LUNAR Streaming tests: fragmentation, reassembly, and flow (paper §7.2)."""
+
+import pytest
+
+from repro.apps.lunar_streaming import LunarStreamClient, LunarStreamServer
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+def make(mode="fast", synthetic=False, seed=0):
+    testbed = Testbed.local(seed=seed)
+    deployment = InsaneDeployment(testbed)
+    server = LunarStreamServer(deployment.runtime(0), mode=mode)
+    client = LunarStreamClient(deployment.runtime(1), mode=mode, synthetic=synthetic)
+    return testbed, server, client
+
+
+def stream_frames(testbed, server, client, frames):
+    """Drive a full connect/stream/receive exchange; returns deliveries."""
+    sim = testbed.sim
+    delivered = []
+
+    def server_proc():
+        yield from server.wait_for_client()
+        queue = list(frames)
+        yield from server.loop(
+            get_frame=lambda: queue.pop(0) if queue else None,
+            wait_next=lambda: iter(()),
+            frames=len(frames),
+        )
+
+    def client_proc():
+        yield from client.connect()
+        received = yield from client.receive_frames(len(frames))
+        delivered.extend(received)
+
+    sim.process(server_proc())
+    sim.process(client_proc())
+    sim.run()
+    return delivered
+
+
+class TestRealFrames:
+    def test_single_small_frame_bit_exact(self):
+        testbed, server, client = make()
+        frame = bytes(range(256)) * 4
+        delivered = stream_frames(testbed, server, client, [frame])
+        assert [f for f, _t in delivered] == [frame]
+
+    def test_multi_fragment_frame_bit_exact(self):
+        testbed, server, client = make(seed=1)
+        frame = bytes((i * 7) % 256 for i in range(100_000))  # ~12 fragments
+        delivered = stream_frames(testbed, server, client, [frame])
+        assert delivered[0][0] == frame
+
+    def test_sequence_of_frames_in_order(self):
+        testbed, server, client = make(seed=2)
+        frames = [bytes([index]) * 5000 for index in range(8)]
+        delivered = stream_frames(testbed, server, client, frames)
+        assert [f for f, _t in delivered] == frames
+
+    def test_frame_exactly_one_fragment_boundary(self):
+        testbed, server, client = make(seed=3)
+        frame = b"F" * server.max_fragment
+        delivered = stream_frames(testbed, server, client, [frame])
+        assert delivered[0][0] == frame
+        assert server.frames_sent.value == 1
+
+    def test_frame_one_byte_over_boundary(self):
+        testbed, server, client = make(seed=4)
+        frame = b"G" * (server.max_fragment + 1)
+        delivered = stream_frames(testbed, server, client, [frame])
+        assert delivered[0][0] == frame
+
+    def test_empty_loop_when_get_frame_returns_none(self):
+        testbed, server, client = make(seed=5)
+        delivered = []
+
+        def server_proc():
+            yield from server.wait_for_client()
+            yield from server.loop(lambda: None, lambda: iter(()), frames=5)
+
+        def client_proc():
+            yield from client.connect()
+
+        testbed.sim.process(server_proc())
+        testbed.sim.process(client_proc())
+        testbed.sim.run()
+        assert server.frames_sent.value == 0
+
+    def test_no_slot_leaks_after_streaming(self):
+        testbed, server, client = make(seed=6)
+        frames = [b"x" * 30_000 for _ in range(4)]
+        stream_frames(testbed, server, client, frames)
+        assert server.runtime.memory.pool.in_use == 0
+        assert client.runtime.memory.pool.in_use == 0
+
+
+class TestSyntheticFrames:
+    def test_synthetic_frame_sizes_verified(self):
+        testbed, server, client = make(synthetic=True, seed=7)
+        delivered = stream_frames(testbed, server, client, [500_000, 250_000])
+        assert [f for f, _t in delivered] == [500_000, 250_000]
+
+    def test_synthetic_and_real_take_same_fragment_count(self):
+        testbed_a, server_a, client_a = make(seed=8)
+        real = b"z" * 120_000
+        stream_frames(testbed_a, server_a, client_a, [real])
+        real_frags = testbed_a.hosts[0].nic.tx_frames.value
+
+        testbed_b, server_b, client_b = make(synthetic=True, seed=8)
+        stream_frames(testbed_b, server_b, client_b, [120_000])
+        synthetic_frags = testbed_b.hosts[0].nic.tx_frames.value
+        assert real_frags == synthetic_frags
+
+    def test_server_frame_starts_align_with_frames(self):
+        testbed, server, client = make(synthetic=True, seed=9)
+        delivered = stream_frames(testbed, server, client, [100_000] * 3)
+        assert len(server.frame_starts) == 3
+        for (frame, done), start in zip(delivered, server.frame_starts):
+            assert done > start
+
+
+class TestModes:
+    def test_slow_mode_streams_correctly(self):
+        testbed, server, client = make(mode="slow", seed=10)
+        frame = b"slowpath" * 4000
+        delivered = stream_frames(testbed, server, client, [frame])
+        assert delivered[0][0] == frame
+        assert server.stream.datapath == "udp"
+
+    def test_fast_mode_faster_than_slow(self):
+        def run(mode):
+            testbed, server, client = make(mode=mode, synthetic=True, seed=11)
+            delivered = stream_frames(testbed, server, client, [2_000_000])
+            return delivered[0][1] - server.frame_starts[0]
+
+        assert run("fast") < run("slow")

@@ -1,0 +1,96 @@
+"""Demikernel (Catnap/Catnip) baseline tests."""
+
+import pytest
+
+from repro.baselines.demikernel import DemikernelApp, DemiQueue
+from repro.hw import Testbed
+from repro.netstack import Packet
+
+
+class TestDemiQueue:
+    def test_invalid_flavor_rejected(self):
+        bed = Testbed.local()
+        with pytest.raises(ValueError):
+            DemiQueue(bed.hosts[0], "catfish", 7000)
+
+    def test_catnap_push_pop_round_trip(self):
+        bed = Testbed.local(seed=1)
+        sim = bed.sim
+        q_a = DemiQueue(bed.hosts[0], "catnap", 7100)
+        q_b = DemiQueue(bed.hosts[1], "catnap", 7100)
+        got = []
+
+        def tx():
+            yield from q_a.push(Packet("10.0.0.1", "10.0.0.2", 7100, 7100, payload=b"demi"))
+
+        def rx():
+            batch = yield from q_b.pop()
+            got.extend(p.payload_bytes() for p in batch)
+
+        sim.process(tx())
+        sim.process(rx())
+        sim.run()
+        assert got == [b"demi"]
+
+    def test_catnip_push_is_synchronous_with_wire(self):
+        """Catnip returns from push only after the frame left the NIC."""
+        bed = Testbed.local(seed=2)
+        sim = bed.sim
+        queue = DemiQueue(bed.hosts[0], "catnip", 7200)
+        jumbo = Packet("10.0.0.1", "10.0.0.2", 7200, 7200, payload_len=8192)
+        times = {}
+
+        def tx():
+            yield from queue.push(jumbo)
+            times["returned"] = sim.now
+
+        sim.process(tx())
+        sim.run()
+        serialization = jumbo.wire_size * 8.0 / 100.0
+        assert times["returned"] >= serialization
+
+    def test_catnip_pop_releases_mbufs(self):
+        bed = Testbed.local(seed=3)
+        sim = bed.sim
+        q_a = DemiQueue(bed.hosts[0], "catnip", 7300)
+        q_b = DemiQueue(bed.hosts[1], "catnip", 7300)
+
+        def tx():
+            yield from q_a.push(Packet("10.0.0.1", "10.0.0.2", 7300, 7300, payload=b"x"))
+
+        def rx():
+            yield from q_b.pop()
+
+        sim.process(tx())
+        sim.process(rx())
+        sim.run()
+        assert q_b.datapath.mempool.in_use == 0
+
+
+class TestDemikernelApp:
+    def test_catnap_slower_than_raw_sockets(self):
+        """Catnap adds library overhead over the raw non-blocking socket."""
+        from repro.baselines.raw_udp import UdpBenchApp
+
+        catnap = DemikernelApp(Testbed.local(seed=4), "catnap").pingpong(200, 64)
+        raw = UdpBenchApp(Testbed.local(seed=4), blocking=False).pingpong(200, 64)
+        assert catnap.mean > raw.mean
+
+    def test_catnip_slower_than_raw_dpdk(self):
+        from repro.baselines.raw_dpdk import DpdkBenchApp
+
+        catnip = DemikernelApp(Testbed.local(seed=5), "catnip").pingpong(200, 64)
+        raw = DpdkBenchApp(Testbed.local(seed=5)).pingpong(200, 64)
+        assert catnip.mean > raw.mean
+
+    def test_catnip_latency_calibration(self):
+        rtts = DemikernelApp(Testbed.local(seed=6), "catnip").pingpong(300, 64)
+        assert rtts.mean == pytest.approx(4_260, rel=0.05)
+
+    def test_catnap_latency_calibration(self):
+        rtts = DemikernelApp(Testbed.local(seed=7), "catnap").pingpong(300, 64)
+        assert rtts.mean == pytest.approx(13_340, rel=0.05)
+
+    def test_stream_delivers_all_messages(self):
+        meter = DemikernelApp(Testbed.local(seed=8), "catnap").stream(500, 256)
+        assert meter.messages == 500

@@ -1,0 +1,131 @@
+"""Cyclone-DDS-like and ZeroMQ-like MoM baseline tests."""
+
+from repro.baselines.dds import CycloneDdsNode, DdsDomain
+from repro.baselines.zeromq import ZmqContext, ZmqNode
+from repro.hw import Testbed
+
+
+class TestCycloneDds:
+    def make(self, seed=0):
+        bed = Testbed.local(seed=seed)
+        domain = DdsDomain()
+        node_a = CycloneDdsNode(bed.hosts[0], domain)
+        node_b = CycloneDdsNode(bed.hosts[1], domain)
+        return bed, node_a, node_b
+
+    def test_publish_reaches_subscriber(self):
+        bed, node_a, node_b = self.make()
+        got = []
+        node_b.subscribe("topic", lambda t, pkt: got.append(pkt.payload_bytes()))
+
+        def pub():
+            yield from node_a.publish("topic", size=None, data=b"sample-1")
+
+        bed.sim.process(pub())
+        bed.sim.run()
+        assert got == [b"sample-1"]
+
+    def test_no_delivery_without_subscription(self):
+        bed, node_a, node_b = self.make(seed=1)
+        got = []
+        node_b.subscribe("other", lambda t, pkt: got.append(pkt))
+
+        def pub():
+            yield from node_a.publish("unsubscribed", 64)
+
+        bed.sim.process(pub())
+        bed.sim.run()
+        assert got == []
+
+    def test_publisher_excluded_from_own_subscribers(self):
+        domain = DdsDomain()
+        bed = Testbed.local(seed=2)
+        node = CycloneDdsNode(bed.hosts[0], domain)
+        node.subscribe("t", lambda t, pkt: None)
+        assert domain.subscribers("t", exclude=node) == []
+
+    def test_burst_publish_counts(self):
+        bed, node_a, node_b = self.make(seed=3)
+        got = []
+        node_b.subscribe("bulk", lambda t, pkt: got.append(1))
+
+        def pub():
+            yield from node_a.publish_burst("bulk", 256, 40)
+
+        bed.sim.process(pub())
+        bed.sim.run()
+        assert len(got) == 40
+
+    def test_dds_latency_has_higher_variability_than_transport(self):
+        """The event-loop jitter makes Cyclone's RTT spread wider."""
+        bed, node_a, node_b = self.make(seed=4)
+        sim = bed.sim
+        from repro.simnet import Get, Store, Tally
+
+        pings, pongs = Store(sim), Store(sim)
+        node_b.subscribe("ping", lambda t, p: pings.try_put(1))
+        node_a.subscribe("pong", lambda t, p: pongs.try_put(1))
+        rtts = Tally("dds")
+
+        def requester():
+            for _ in range(150):
+                start = sim.now
+                yield from node_a.publish("ping", 64)
+                yield Get(pongs)
+                rtts.record(sim.now - start)
+
+        def responder():
+            while True:
+                yield Get(pings)
+                yield from node_b.publish("pong", 64)
+
+        sim.process(responder())
+        sim.process(requester())
+        sim.run()
+        assert rtts.stddev / rtts.mean > 0.01
+
+
+class TestZeroMq:
+    def make(self, seed=0):
+        bed = Testbed.local(seed=seed)
+        context = ZmqContext()
+        node_a = ZmqNode(bed.hosts[0], context)
+        node_b = ZmqNode(bed.hosts[1], context)
+        return bed, node_a, node_b
+
+    def test_radio_dish_delivery(self):
+        bed, node_a, node_b = self.make()
+        got = []
+        node_b.dish_join("group1", lambda g, pkt: got.append(pkt.payload_bytes()))
+
+        def send():
+            yield from node_a.radio_send("group1", size=None, data=b"zmq-msg")
+
+        bed.sim.process(send())
+        bed.sim.run()
+        assert got == [b"zmq-msg"]
+
+    def test_group_isolation(self):
+        bed, node_a, node_b = self.make(seed=1)
+        got = []
+        node_b.dish_join("red", lambda g, pkt: got.append(g))
+
+        def send():
+            yield from node_a.radio_send("blue", 64)
+            yield from node_a.radio_send("red", 64)
+
+        bed.sim.process(send())
+        bed.sim.run()
+        assert got == ["red"]
+
+    def test_sender_does_not_receive_own_message(self):
+        bed, node_a, _node_b = self.make(seed=2)
+        got = []
+        node_a.dish_join("self", lambda g, pkt: got.append(1))
+
+        def send():
+            yield from node_a.radio_send("self", 64)
+
+        bed.sim.process(send())
+        bed.sim.run()
+        assert got == []

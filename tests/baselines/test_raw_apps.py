@@ -1,0 +1,57 @@
+"""Raw UDP / raw DPDK benchmark application tests."""
+
+import pytest
+
+from repro.baselines.raw_dpdk import DpdkBenchApp
+from repro.baselines.raw_udp import UdpBenchApp
+from repro.hw import Testbed
+
+
+class TestUdpBenchApp:
+    def test_pingpong_round_count(self):
+        rtts = UdpBenchApp(Testbed.local(seed=0)).pingpong(100, 64)
+        assert rtts.count == 100
+
+    def test_blocking_slower_than_nonblocking(self):
+        blocking = UdpBenchApp(Testbed.local(seed=1), blocking=True).pingpong(150, 64)
+        nonblocking = UdpBenchApp(Testbed.local(seed=1), blocking=False).pingpong(150, 64)
+        assert blocking.mean > 1.8 * nonblocking.mean
+
+    def test_stream_counts_all_payload_bytes(self):
+        meter = UdpBenchApp(Testbed.local(seed=2)).stream(400, 512)
+        assert meter.messages == 400
+        assert meter.bytes == 400 * 512
+
+    def test_larger_payload_more_goodput(self):
+        small = UdpBenchApp(Testbed.local(seed=3)).stream(600, 64).gbps()
+        large = UdpBenchApp(Testbed.local(seed=4)).stream(600, 4096).gbps()
+        assert large > small
+
+
+class TestDpdkBenchApp:
+    def test_pingpong_round_count(self):
+        rtts = DpdkBenchApp(Testbed.local(seed=5)).pingpong(100, 64)
+        assert rtts.count == 100
+
+    def test_faster_than_udp_at_every_size(self):
+        for size in (64, 1024):
+            dpdk = DpdkBenchApp(Testbed.local(seed=6)).pingpong(100, size)
+            udp = UdpBenchApp(Testbed.local(seed=6)).pingpong(100, size)
+            assert dpdk.mean < udp.mean
+
+    def test_stream_releases_all_mbufs(self):
+        app = DpdkBenchApp(Testbed.local(seed=7))
+        app.stream(500, 1024)
+        assert app.server_dp.mempool.in_use == 0
+
+    def test_stream_throughput_beats_udp(self):
+        dpdk = DpdkBenchApp(Testbed.local(seed=8)).stream(800, 1024).gbps()
+        udp = UdpBenchApp(Testbed.local(seed=8)).stream(800, 1024).gbps()
+        assert dpdk > 3 * udp
+
+    def test_jumbo_payload_single_frame(self):
+        """An 8 KB payload rides one jumbo frame: one TX per message."""
+        bed = Testbed.local(seed=9)
+        app = DpdkBenchApp(bed)
+        app.stream(100, 8192)
+        assert bed.hosts[0].nic.tx_frames.value == 100

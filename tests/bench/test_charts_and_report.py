@@ -1,0 +1,88 @@
+"""Tests for terminal charts and JSON reporting."""
+
+import json
+
+import pytest
+
+from repro.bench.charts import grouped_series_chart, hbar_chart, sparkline
+from repro.bench.report import write_json_report
+from repro.simnet import Tally
+
+
+class TestHbarChart:
+    def test_bars_scale_with_values(self):
+        chart = hbar_chart("T", ["a", "b"], [10.0, 5.0], width=20)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 20
+        assert lines[2].count("#") == 10
+
+    def test_reference_markers_rendered(self):
+        chart = hbar_chart("T", ["a"], [10.0], reference={"a": 5.0}, width=20)
+        assert "|" in chart
+        assert "paper" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart("T", ["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert "(no data)" in hbar_chart("T", [], [])
+
+    def test_units_shown(self):
+        assert "3.00 Gbps" in hbar_chart("T", ["x"], [3.0], unit=" Gbps")
+
+
+class TestGroupedSeries:
+    def test_blocks_per_x_value(self):
+        chart = grouped_series_chart(
+            "T", ["64B", "1KB"], {"sys1": [1.0, 2.0], "sys2": [2.0, 4.0]}
+        )
+        assert chart.count("64B:") == 1
+        assert chart.count("1KB:") == 1
+        assert chart.count("sys1") == 2
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_series_chart("T", ["a"], {"s": [1.0, 2.0]})
+
+
+class TestSparkline:
+    def test_monotone_values_monotone_glyphs(self):
+        line = sparkline([0, 2, 4, 8])
+        assert len(line) == 4
+        assert line[-1] == "@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestJsonReport:
+    def test_tallies_serialized_as_summaries(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        tally = Tally("rtt")
+        tally.record(5.0)
+        write_json_report(path, {"fig7": {"raw_dpdk": tally}})
+        data = json.load(open(path))
+        assert data[0]["experiments"]["fig7"]["raw_dpdk"]["mean"] == 5.0
+
+    def test_tuple_keys_flattened(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        write_json_report(path, {"fig8a": {("raw_dpdk", 64): 3.5}})
+        data = json.load(open(path))
+        assert data[0]["experiments"]["fig8a"]["raw_dpdk/64"] == 3.5
+
+    def test_successive_runs_accumulate(self, tmp_path):
+        path = str(tmp_path / "report.json")
+        write_json_report(path, {"a": 1}, profile="local")
+        write_json_report(path, {"b": 2}, profile="cloud")
+        data = json.load(open(path))
+        assert len(data) == 2
+        assert data[1]["profile"] == "cloud"
+
+    def test_corrupt_file_recovered(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text("{not json")
+        write_json_report(str(path), {"a": 1})
+        data = json.load(open(str(path)))
+        assert len(data) == 1

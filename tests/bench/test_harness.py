@@ -1,0 +1,64 @@
+"""Benchmark harness tests: system registry and driver plumbing."""
+
+import pytest
+
+from repro.bench import (
+    SYSTEMS,
+    make_system,
+    make_testbed,
+    run_multisink,
+    run_pingpong,
+    run_throughput,
+)
+
+
+class TestRegistry:
+    def test_all_seven_systems_instantiable(self):
+        for name in SYSTEMS:
+            testbed = make_testbed("local", seed=1)
+            app = make_system(name, testbed)
+            assert app is not None
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            make_system("carrier-pigeon", make_testbed())
+
+    def test_profiles_by_name(self):
+        assert make_testbed("local").profile.name == "local"
+        assert make_testbed("cloud").profile.name == "cloud"
+        with pytest.raises(KeyError):
+            make_testbed("mars")
+
+
+class TestPingPongDriver:
+    def test_returns_requested_round_count(self):
+        tally = run_pingpong("udp_nonblocking", rounds=50, size=64, seed=2)
+        assert tally.count == 50
+
+    def test_deterministic_given_seed(self):
+        a = run_pingpong("insane_fast", rounds=50, size=64, seed=3)
+        b = run_pingpong("insane_fast", rounds=50, size=64, seed=3)
+        assert a.samples == b.samples
+
+    def test_different_seeds_differ(self):
+        a = run_pingpong("insane_fast", rounds=50, size=64, seed=4)
+        b = run_pingpong("insane_fast", rounds=50, size=64, seed=5)
+        assert a.samples != b.samples
+
+
+class TestThroughputDriver:
+    def test_throughput_positive_for_every_system(self):
+        for name in ("udp_nonblocking", "catnip", "insane_fast"):
+            gbps = run_throughput(name, messages=500, size=1024, seed=6)
+            assert gbps > 0
+
+    def test_multisink_returns_average(self):
+        value = run_multisink(2, messages=500, size=1024, seed=7)
+        assert value > 0
+
+    def test_goodput_excludes_headers(self):
+        """Goodput must count payload bytes only, so it can never exceed
+        the 100 Gbps line rate scaled by payload fraction."""
+        gbps = run_throughput("raw_dpdk", messages=2000, size=8192, seed=8)
+        wire_fraction = 8192 / (8192 + 90.0)
+        assert gbps <= 100.0 * wire_fraction + 0.5

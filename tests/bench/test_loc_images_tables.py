@@ -1,0 +1,78 @@
+"""Tests for the LoC counter, image-size table, and table formatting."""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.bench.images import RESOLUTIONS, image_size_bytes, table4_rows
+from repro.bench.loc import count_loc, default_examples_dir, table3_rows
+from repro.bench.tables import format_comparison, format_table
+
+
+class TestLocCounter:
+    def count(self, source):
+        with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as handle:
+            handle.write(source)
+            path = handle.name
+        try:
+            return count_loc(path)
+        finally:
+            os.unlink(path)
+
+    def test_counts_code_lines_only(self):
+        assert self.count("x = 1\ny = 2\n") == 2
+
+    def test_skips_blank_and_comment_lines(self):
+        assert self.count("# comment\n\nx = 1\n   # indented comment\n") == 1
+
+    def test_skips_docstrings(self):
+        source = '"""Module docstring\nspanning lines."""\nx = 1\n'
+        assert self.count(source) == 1
+
+    def test_one_line_docstring(self):
+        assert self.count('"""one-liner"""\nx = 1\n') == 1
+
+    def test_examples_dir_resolves(self):
+        assert os.path.isdir(default_examples_dir())
+
+    def test_table3_shape(self):
+        rows = table3_rows()
+        loc = {row["interface"]: row["loc"] for row in rows}
+        assert loc["insane"] < loc["udp"] < loc["dpdk"]
+        assert rows[0]["increase"] == "-"
+        assert rows[1]["paper_increase"] == "+20%"
+        assert rows[2]["paper_increase"] == "+103%"
+
+
+class TestImageTable:
+    def test_sizes_match_paper_table4(self):
+        expected = {"HD": 2.76, "FullHD": 6.22, "2K": 11.61, "4K": 24.88, "8K": 99.53}
+        for name, mb in expected.items():
+            assert image_size_bytes(name) / 1e6 == pytest.approx(mb, abs=0.01)
+
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(KeyError):
+            image_size_bytes("16K")
+
+    def test_rows_cover_all_resolutions(self):
+        rows = table4_rows()
+        assert [row["resolution"] for row in rows] == list(RESOLUTIONS)
+
+
+class TestTableFormatting:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "2.50" in lines[-1]
+        # all rows equally wide header separators
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_prepended(self):
+        table = format_table(["h"], [["x"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_comparison_note(self):
+        table = format_comparison("T", ["a"], [["1"]], paper_column="paper")
+        assert "value reported in the paper" in table

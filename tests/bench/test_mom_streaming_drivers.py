@@ -1,0 +1,55 @@
+"""Small-scale driver tests for the MoM and streaming benchmarks."""
+
+import pytest
+
+from repro.bench.mom import MOM_SYSTEMS, mom_pingpong, mom_throughput
+from repro.bench.streaming import frames_for_resolution, streaming_run
+
+
+class TestMomDrivers:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            mom_pingpong("rabbitmq", rounds=1)
+
+    @pytest.mark.parametrize("system", MOM_SYSTEMS)
+    def test_pingpong_completes_all_rounds(self, system):
+        tally = mom_pingpong(system, rounds=40, size=64, seed=3)
+        assert tally.count == 40
+        assert tally.mean > 0
+
+    def test_latency_ordering_holds_at_small_scale(self):
+        lunar = mom_pingpong("lunar_fast", rounds=60, size=64, seed=4)
+        cyclone = mom_pingpong("cyclone_dds", rounds=60, size=64, seed=4)
+        assert lunar.mean < cyclone.mean
+
+    @pytest.mark.parametrize("system", ["lunar_fast", "lunar_slow", "cyclone_dds"])
+    def test_throughput_positive(self, system):
+        assert mom_throughput(system, messages=400, size=1024, seed=5) > 0
+
+
+class TestStreamingDrivers:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            streaming_run("netflix", "HD", frames=1)
+
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(KeyError):
+            streaming_run("lunar_fast", "16K", frames=1)
+
+    def test_fps_and_latency_consistency(self):
+        fps, latencies = streaming_run("lunar_fast", "HD", frames=4, seed=6)
+        assert fps > 0
+        assert len(latencies) == 4
+        assert all(latency > 0 for latency in latencies)
+
+    def test_frames_for_resolution_bounded(self):
+        for resolution in ("HD", "8K"):
+            frames = frames_for_resolution(resolution, quick=True)
+            assert 4 <= frames <= 60
+        # bigger frames -> fewer of them
+        assert frames_for_resolution("8K", quick=True) <= frames_for_resolution("HD", quick=True)
+
+    def test_sendfile_driver_latencies(self):
+        fps, latencies = streaming_run("sendfile", "HD", frames=3, seed=7)
+        assert len(latencies) == 3
+        assert fps > 0

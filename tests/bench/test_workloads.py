@@ -1,0 +1,65 @@
+"""Workload generator tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench.workloads import ConstantRate, OnOffBurst, PoissonArrivals, drive_source
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+class TestGenerators:
+    def test_constant_rate_gaps(self):
+        gaps = list(itertools.islice(ConstantRate(1000).gaps(random.Random(0)), 5))
+        assert gaps == [1000] * 5
+
+    def test_constant_rate_from_hz(self):
+        assert ConstantRate.hz(1000).interval_ns == pytest.approx(1e6)
+
+    def test_poisson_mean_converges(self):
+        rng = random.Random(1)
+        workload = PoissonArrivals(rate_per_s=1e6)  # mean gap 1 us
+        gaps = list(itertools.islice(workload.gaps(rng), 5000))
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1000, rel=0.1)
+
+    def test_on_off_alternates(self):
+        workload = OnOffBurst(on_ns=1000, off_ns=50_000, burst_interval_ns=200)
+        gaps = list(itertools.islice(workload.gaps(random.Random(2)), 12))
+        assert 50_000 in gaps
+        assert gaps.count(200) >= 5
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ConstantRate(0),
+        lambda: PoissonArrivals(0),
+        lambda: OnOffBurst(0, 1, 1),
+    ])
+    def test_invalid_parameters(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestDriver:
+    def test_drive_source_emits_count_messages(self):
+        bed = Testbed.local(seed=9)
+        sim = bed.sim
+        deployment = InsaneDeployment(bed)
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="wl")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="wl")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1, callback=lambda d: None)
+        emits = []
+        sim.process(
+            drive_source(tx, source, 128, ConstantRate(10_000), 25, on_emit=emits.append)
+        )
+        sim.run()
+        assert len(emits) == 25
+        assert sink.received.value == 25
+        # paced: consecutive emits are at least the interval apart
+        deltas = [b - a for a, b in zip(emits, emits[1:])]
+        assert all(delta >= 10_000 for delta in deltas)

@@ -1,0 +1,90 @@
+"""Process failures must surface, never pass silently."""
+
+import pytest
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+def test_callback_exception_recorded_in_sim_failures():
+    bed = Testbed.local(seed=60)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    tx = Session(deployment.runtime(0), "tx")
+    rx = Session(deployment.runtime(1), "rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="boom")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="boom")
+    source = tx.create_source(tx_stream, channel=1)
+
+    def bad_callback(delivery):
+        raise ValueError("application bug")
+
+    rx.create_sink(rx_stream, channel=1, callback=bad_callback)
+
+    def producer():
+        buffer = tx.get_buffer(source, 4)
+        yield from tx.emit_data(source, buffer, length=4)
+
+    sim.process(producer())
+    sim.run()
+    assert any(isinstance(exc.cause if hasattr(exc, "cause") else exc, ValueError)
+               for _name, exc in sim.failures) or any(
+        "application bug" in repr(exc) for _name, exc in sim.failures
+    )
+
+
+def test_healthy_run_records_no_failures():
+    bed = Testbed.local(seed=61)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    tx = Session(deployment.runtime(0), "tx")
+    rx = Session(deployment.runtime(1), "rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="fine")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="fine")
+    source = tx.create_source(tx_stream, channel=1)
+    rx.create_sink(rx_stream, channel=1, callback=lambda d: None)
+
+    def producer():
+        buffer = tx.get_buffer(source, 4)
+        yield from tx.emit_data(source, buffer, length=4)
+
+    sim.process(producer())
+    sim.run()
+    assert sim.failures == []
+
+
+def test_polling_threads_survive_application_failures():
+    """A crashing app process must not take the runtime down: traffic from
+    other applications keeps flowing."""
+    bed = Testbed.local(seed=62)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    good_tx = Session(deployment.runtime(0), "good")
+    bad_tx = Session(deployment.runtime(0), "bad")
+    rx = Session(deployment.runtime(1), "rx")
+    good_stream = good_tx.create_stream(QosPolicy.fast(), name="good")
+    bad_stream = bad_tx.create_stream(QosPolicy.fast(), name="good")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="good")
+    good_source = good_tx.create_source(good_stream, channel=1)
+    bad_source = bad_tx.create_source(bad_stream, channel=1)
+    sink = rx.create_sink(rx_stream, channel=1)
+
+    def crasher():
+        buffer = bad_tx.get_buffer(bad_source, 4)
+        yield from bad_tx.emit_data(bad_source, buffer, length=4)
+        raise RuntimeError("segfault simulation")
+
+    def good_producer():
+        from repro.simnet import Timeout
+
+        yield Timeout(50_000)  # after the crash
+        for _ in range(3):
+            buffer = good_tx.get_buffer(good_source, 4)
+            yield from good_tx.emit_data(good_source, buffer, length=4)
+
+    sim.process(crasher())
+    sim.process(good_producer())
+    sim.run()
+    assert len(sink.ring) == 4  # the crasher's emit plus three good ones
+    assert len(sim.failures) == 1

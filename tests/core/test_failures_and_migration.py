@@ -1,0 +1,190 @@
+"""Failure injection and dynamic re-deployment (migration) tests.
+
+INSANE is explicitly best-effort (paper §5.2: no built-in fault-tolerance
+semantics) and explicitly built for components that "migrate seamlessly at
+runtime" (§1).  These tests verify both properties hold in the
+implementation: loss degrades gracefully without leaking resources, and an
+application can detach from one runtime and reattach at another while its
+peers keep working, unchanged.
+"""
+
+import pytest
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.simnet import Timeout
+
+
+class TestLinkLoss:
+    def run_lossy_flow(self, loss_rate, messages=200, seed=0):
+        testbed = Testbed.local(seed=seed)
+        for link in testbed.links:
+            link.loss_rate = loss_rate
+        sim = testbed.sim
+        deployment = InsaneDeployment(testbed)
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="lossy")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="lossy")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)
+
+        def producer():
+            for _ in range(messages):
+                buffer = yield from tx.get_buffer_wait(source, 64)
+                yield from tx.emit_data(source, buffer, length=64)
+
+        sim.process(producer())
+        sim.run()
+        return testbed, deployment, sink, messages
+
+    def test_loss_free_link_delivers_everything(self):
+        testbed, _deployment, sink, messages = self.run_lossy_flow(0.0)
+        assert len(sink.ring) == messages
+
+    def test_lossy_link_degrades_gracefully(self):
+        testbed, _deployment, sink, messages = self.run_lossy_flow(0.2, seed=1)
+        lost = sum(link.lost_frames.value for link in testbed.links)
+        assert lost > 0
+        assert len(sink.ring) == messages - lost
+
+    def test_loss_does_not_leak_sender_slots(self):
+        """Sender-side slots are released at wire departure, so frames lost
+        on the cable must not pin pool memory."""
+        testbed, deployment, sink, _messages = self.run_lossy_flow(0.5, seed=2)
+        assert deployment.runtime(0).memory.pool.in_use == 0
+
+    def test_full_blackout_delivers_nothing_without_hanging(self):
+        testbed, _deployment, sink, _messages = self.run_lossy_flow(1.0, seed=3)
+        assert len(sink.ring) == 0
+
+
+class TestMigration:
+    def test_subscriber_migrates_between_hosts(self):
+        """A sink app detaches from host1 and reattaches on host2; the
+        publisher's code and stream never change."""
+        testbed = Testbed.local(hosts=3, seed=4)
+        sim = testbed.sim
+        deployment = InsaneDeployment(testbed)
+        publisher = Session(deployment.runtime(0), "pub")
+        stream = publisher.create_stream(QosPolicy.fast(), name="mig")
+        source = publisher.create_source(stream, channel=1)
+        received = {"host1": 0, "host2": 0}
+
+        # phase 1: the consumer runs on host1
+        consumer_a = Session(deployment.runtime(1), "consumer")
+        stream_a = consumer_a.create_stream(QosPolicy.fast(), name="mig")
+        consumer_a.create_sink(
+            stream_a, channel=1,
+            callback=lambda d: received.__setitem__("host1", received["host1"] + 1),
+        )
+
+        def publish_burst(count):
+            for _ in range(count):
+                buffer = yield from publisher.get_buffer_wait(source, 32)
+                yield from publisher.emit_data(source, buffer, length=32)
+                yield Timeout(5_000)
+
+        def scenario():
+            yield from publish_burst(10)
+            yield Timeout(100_000)
+            # the consumer component migrates: detach at host1 ...
+            consumer_a.close()
+            # ... and reattach at host2 (same application code)
+            consumer_b = Session(deployment.runtime(2), "consumer")
+            stream_b = consumer_b.create_stream(QosPolicy.fast(), name="mig")
+            consumer_b.create_sink(
+                stream_b, channel=1,
+                callback=lambda d: received.__setitem__("host2", received["host2"] + 1),
+            )
+            yield from publish_burst(10)
+
+        sim.process(scenario())
+        sim.run()
+        assert received == {"host1": 10, "host2": 10}
+
+    def test_migration_across_heterogeneous_hosts_rebinds_datapath(self):
+        """Migrating to a host without DPDK transparently falls back."""
+        from repro.hw import LOCAL_TESTBED
+
+        accelerated = Testbed(LOCAL_TESTBED, seed=5)
+        plain = Testbed(
+            LOCAL_TESTBED.replace(dpdk_capable=False, xdp_capable=False), seed=6
+        )
+        app_policy = QosPolicy.fast()
+
+        def deploy(testbed):
+            deployment = InsaneDeployment(testbed)
+            session = Session(deployment.runtime(0), "roaming-app")
+            stream = session.create_stream(app_policy, name="roam")
+            return stream
+
+        fast_stream = deploy(accelerated)
+        fallback_stream = deploy(plain)
+        assert fast_stream.datapath == "dpdk"
+        assert fallback_stream.datapath == "udp"
+        assert fallback_stream.decision.fallback
+
+    def test_session_close_releases_rings_and_subscriptions(self):
+        testbed = Testbed.local(seed=7)
+        deployment = InsaneDeployment(testbed)
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "ephemeral")
+        stream = session.create_stream(QosPolicy.fast(), name="eph")
+        session.create_sink(stream, channel=1)
+        assert runtime.sink_ring_count == 1
+        session.close()
+        assert runtime.sink_ring_count == 0
+        from repro.core.channel import ChannelKey
+
+        assert not deployment.control.has_subscribers(ChannelKey("eph", 1))
+
+
+class TestMessageConservation:
+    def test_every_emitted_message_is_accounted_for(self):
+        """Conservation invariant under a mixed random workload:
+        emitted == delivered + every drop counter."""
+        testbed = Testbed.local(hosts=3, seed=8)
+        sim = testbed.sim
+        deployment = InsaneDeployment(testbed)
+        sessions = []
+        sinks = []
+        emitted = [0]
+        for index in range(3):
+            session = Session(deployment.runtime(index), "node%d" % index)
+            stream = session.create_stream(QosPolicy.fast(), name="soak")
+            sessions.append((session, stream))
+        for index, (session, stream) in enumerate(sessions):
+            sinks.append(session.create_sink(stream, channel=77))
+
+        def producer(session, stream, count, seed):
+            import random
+
+            rng = random.Random(seed)
+            source = session.create_source(stream, channel=77)
+            for _ in range(count):
+                size = rng.choice((16, 128, 1024))
+                buffer = yield from session.get_buffer_wait(source, size)
+                yield from session.emit_data(source, buffer, length=size)
+                emitted[0] += 1
+                yield Timeout(rng.randrange(200, 3_000))
+
+        for index, (session, stream) in enumerate(sessions):
+            sim.process(producer(session, stream, 60, seed=index))
+        sim.run()
+
+        delivered = sum(len(sink.ring) for sink in sinks)
+        drops = 0
+        for runtime in deployment.runtimes.values():
+            for binding in runtime.bindings.values():
+                drops += binding.pool_drops.value
+                drops += binding.no_sink_drops.value
+                drops += binding.unknown_drops.value
+            for endpoints in runtime._sinks.values():
+                for endpoint in endpoints:
+                    drops += endpoint.dropped.value
+        for host in testbed.hosts:
+            drops += host.nic.rx_dropped.value
+        # each emit fans out to 3 sinks (2 remote + 1 local)
+        assert delivered + drops == emitted[0] * 3

@@ -1,0 +1,78 @@
+"""Token ring tests."""
+
+from repro.core.ipc import Token, TokenRing
+from repro.hw import Testbed
+
+
+def make_ring(capacity=4):
+    bed = Testbed.local()
+    return bed, TokenRing(bed.sim, bed.hosts[0], capacity, "ring")
+
+
+def make_token(slot=1):
+    return Token(slot_id=slot, length=64, stream="s", channel=1)
+
+
+def test_enqueue_dequeue_fifo():
+    _, ring = make_ring()
+    for slot in range(3):
+        assert ring.try_enqueue(make_token(slot))
+    assert [ring.try_dequeue().slot_id for _ in range(3)] == [0, 1, 2]
+    assert ring.try_dequeue() is None
+
+
+def test_full_ring_rejects_and_counts():
+    _, ring = make_ring(capacity=2)
+    assert ring.try_enqueue(make_token())
+    assert ring.try_enqueue(make_token())
+    assert not ring.try_enqueue(make_token())
+    assert ring.rejected.value == 1
+    assert ring.enqueued.value == 2
+
+
+def test_drain_respects_limit():
+    _, ring = make_ring(capacity=8)
+    for slot in range(6):
+        ring.try_enqueue(make_token(slot))
+    batch = ring.drain(4)
+    assert [token.slot_id for token in batch] == [0, 1, 2, 3]
+    assert len(ring) == 2
+
+
+def test_blocking_enqueue_applies_backpressure():
+    bed, ring = make_ring(capacity=1)
+    sim = bed.sim
+    order = []
+
+    def producer():
+        yield ring.enqueue_effect(make_token(1))
+        order.append(("put1", sim.now))
+        yield ring.enqueue_effect(make_token(2))
+        order.append(("put2", sim.now))
+
+    def consumer():
+        from repro.simnet import Timeout
+
+        yield Timeout(500)
+        ring.try_dequeue()
+        order.append(("got", sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put2", 500) in order  # blocked until the consumer drained
+
+
+def test_half_cost_reflects_profile():
+    bed, ring = make_ring()
+    stage = bed.profile.stage("insane_ipc")
+    effect = ring.half_cost(burst=1)
+    expected = stage.cost(0, burst=1) / 2.0
+    # jittered, but within a few percent
+    assert abs(effect.delay - expected) / expected < 0.2
+
+
+def test_token_meta_is_per_token():
+    a, b = make_token(), make_token()
+    a.meta["x"] = 1
+    assert "x" not in b.meta

@@ -1,0 +1,104 @@
+"""Stateful property tests of the slot pool (hypothesis state machines).
+
+The memory manager is the middleware's highest-risk surface: every message
+crosses it, and multi-sink delivery shares slots by refcount.  The machine
+below drives random interleavings of alloc / write / addref / release and
+checks, at every step, the invariants the rest of the system relies on:
+
+* conservation: free + live == total slots;
+* isolation: a slot's bytes never change unless written through its
+  own buffer;
+* no resurrection: released slots cannot be used again through stale
+  handles.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+import hypothesis.strategies as st
+
+from repro.core.errors import BufferLifecycleError
+from repro.core.memory import SlotPool
+from repro.simnet import Simulator
+
+SLOTS = 6
+SLOT_BYTES = 16
+
+
+class SlotPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = SlotPool(Simulator(), slots=SLOTS, slot_bytes=SLOT_BYTES, name="sm")
+        self.live = {}      # buffer -> (expected_bytes, refcount)
+        self.counter = 0
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule()
+    def alloc(self):
+        buffer = self.pool.try_alloc()
+        if buffer is None:
+            assert self.pool.free_slots == 0
+            return
+        self.counter += 1
+        pattern = bytes([self.counter % 256]) * 8
+        buffer.write(pattern)
+        self.live[buffer] = [pattern, 1]
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def addref(self, data):
+        buffer = data.draw(st.sampled_from(sorted(self.live, key=lambda b: b.slot_id)))
+        self.pool.addref(buffer)
+        self.live[buffer][1] += 1
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        buffer = data.draw(st.sampled_from(sorted(self.live, key=lambda b: b.slot_id)))
+        self.pool.release(buffer)
+        self.live[buffer][1] -= 1
+        if self.live[buffer][1] == 0:
+            del self.live[buffer]
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def rewrite(self, data):
+        buffer = data.draw(st.sampled_from(sorted(self.live, key=lambda b: b.slot_id)))
+        if buffer.frozen:
+            return
+        self.counter += 1
+        pattern = bytes([self.counter % 256]) * 8
+        buffer.write(pattern)
+        self.live[buffer][0] = pattern
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def freeze_then_write_fails(self, data):
+        buffer = data.draw(st.sampled_from(sorted(self.live, key=lambda b: b.slot_id)))
+        buffer.freeze()
+        try:
+            buffer.write(b"nope")
+            raise AssertionError("write after freeze must fail")
+        except BufferLifecycleError:
+            pass
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def conservation(self):
+        assert self.pool.free_slots + self.pool.in_use == SLOTS
+        assert self.pool.in_use == len(self.live)
+
+    @invariant()
+    def isolation(self):
+        for buffer, (expected, _refs) in self.live.items():
+            assert bytes(buffer.view[: len(expected)]) == expected
+
+    @invariant()
+    def lookup_consistency(self):
+        for buffer in self.live:
+            assert self.pool.lookup(buffer.slot_id) is buffer
+
+
+TestSlotPoolStateful = SlotPoolMachine.TestCase
+TestSlotPoolStateful.settings = settings(max_examples=40, stateful_step_count=40, deadline=None)

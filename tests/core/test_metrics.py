@@ -1,0 +1,68 @@
+"""Prometheus export tests."""
+
+import re
+
+from repro.core import QosPolicy, Session
+from repro.core.metrics import export_deployment, export_runtime
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+_METRIC_RE = re.compile(r'^insane_[a-z_]+\{[^}]*\} -?\d+(\.\d+)?$')
+
+
+def run_small_flow(seed=0):
+    bed = Testbed.local(seed=seed)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    tx = Session(deployment.runtime(0), "tx")
+    rx = Session(deployment.runtime(1), "rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="m")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="m")
+    source = tx.create_source(tx_stream, channel=1)
+    rx.create_sink(rx_stream, channel=1, callback=lambda d: None)
+
+    def producer():
+        for _ in range(7):
+            buffer = yield from tx.get_buffer_wait(source, 64)
+            yield from tx.emit_data(source, buffer, length=64)
+
+    sim.process(producer())
+    sim.run()
+    return deployment
+
+
+def test_every_line_is_well_formed():
+    deployment = run_small_flow()
+    body = export_deployment(deployment)
+    for line in body.strip().splitlines():
+        assert _METRIC_RE.match(line), "malformed metric line: %r" % line
+
+
+def test_counters_reflect_traffic():
+    deployment = run_small_flow(seed=1)
+    lines = export_runtime(deployment.runtime(0))
+    tx_line = next(
+        line for line in lines
+        if line.startswith("insane_binding_tx_packets_total") and 'datapath="dpdk"' in line
+    )
+    assert tx_line.endswith(" 7")
+
+
+def test_per_app_ring_metrics_present():
+    deployment = run_small_flow(seed=2)
+    lines = export_runtime(deployment.runtime(0))
+    assert any('app="tx"' in line and "tx_ring_enqueued_total" in line for line in lines)
+
+
+def test_deployment_export_covers_all_hosts():
+    deployment = run_small_flow(seed=3)
+    body = export_deployment(deployment)
+    assert 'host="host0"' in body
+    assert 'host="host1"' in body
+
+
+def test_label_escaping():
+    from repro.core.metrics import _line
+
+    line = _line("x", {"weird": 'va"lue\\'}, 1)
+    assert '\\"' in line and "\\\\" in line

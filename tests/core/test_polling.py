@@ -1,0 +1,115 @@
+"""Polling-thread pool tests (paper §5.3)."""
+
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+
+
+def make(config=None, seed=0):
+    testbed = Testbed.local(seed=seed)
+    return testbed, InsaneDeployment(testbed, config=config)
+
+
+class TestThreadMapping:
+    def test_per_datapath_mapping_spawns_one_thread_per_plugin(self):
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "app")
+        session.create_stream(QosPolicy.fast(), name="a")
+        session.create_stream(QosPolicy.slow(), name="b")
+        assert len(runtime.bindings) == 2
+        assert len(runtime.threads) == 2
+        assert all(len(t.bindings) == 1 for t in runtime.threads)
+
+    def test_shared_mapping_multiplexes_all_plugins(self):
+        testbed, deployment = make(config=RuntimeConfig(thread_mapping="shared"))
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "app")
+        session.create_stream(QosPolicy.fast(), name="a")
+        session.create_stream(QosPolicy.slow(), name="b")
+        assert len(runtime.bindings) == 2
+        assert len(runtime.threads) == 1
+        assert len(runtime.threads[0].bindings) == 2
+
+    def test_invalid_mapping_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RuntimeConfig(thread_mapping="bogus")
+
+    def test_each_thread_pins_one_core(self):
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        before = runtime.host.pinned_cores  # the kernel listener is pinned
+        session = Session(runtime, "app")
+        session.create_stream(QosPolicy.fast(), name="a")   # +1 dpdk thread
+        session.create_stream(QosPolicy.slow(), name="b")   # udp already up
+        assert before == 1
+        assert runtime.host.pinned_cores == before + 1
+
+    def test_stopped_thread_unpins_its_core(self):
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "app")
+        session.create_stream(QosPolicy.fast(), name="a")
+        pinned = runtime.host.pinned_cores
+        for thread in runtime.threads:
+            thread.stop()
+        testbed.sim.run()
+        assert runtime.host.pinned_cores == pinned - len(runtime.threads)
+
+
+class TestIdleBehaviour:
+    def test_idle_thread_parks_without_spinning(self):
+        """An idle runtime must not generate unbounded simulation events."""
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "app")
+        session.create_stream(QosPolicy.fast(), name="idle")
+        # run with nothing to do: the event heap must drain
+        executed = testbed.sim.run(until=10_000_000)
+        assert executed < 100
+
+    def test_kick_wakes_parked_thread(self):
+        testbed, deployment = make()
+        sim = testbed.sim
+        runtime = deployment.runtime(0)
+        tx = Session(runtime, "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="wake")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="wake")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)
+        sim.run()  # everything parks
+
+        def late_producer():
+            buffer = tx.get_buffer(source, 8)
+            buffer.write(b"wake up!")
+            yield from tx.emit_data(source, buffer)
+
+        sim.process(late_producer())
+        sim.run()
+        assert len(sink.ring) == 1
+
+    def test_pending_kick_is_not_lost(self):
+        """A kick arriving while the thread is mid-pass must not be lost."""
+        testbed, deployment = make()
+        sim = testbed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="burst")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="burst")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)
+
+        def producer():
+            for index in range(100):
+                buffer = yield from tx.get_buffer_wait(source, 4)
+                buffer.write(b"%03d" % index + b"!")
+                yield from tx.emit_data(source, buffer)
+
+        sim.process(producer())
+        sim.run()
+        received = sink.received.value + len(sink.ring)
+        assert received == 100

@@ -1,0 +1,92 @@
+"""QoS policy and mapping-strategy tests (paper §5.2)."""
+
+import pytest
+
+from repro.core.errors import NoDatapathError
+from repro.core.qos import (
+    Acceleration,
+    MappingDecision,
+    QosPolicy,
+    ResourceBudget,
+    TimeSensitivity,
+    default_strategy,
+    resolve_mapping,
+)
+
+ALL = frozenset({"udp", "xdp", "dpdk", "rdma"})
+NO_HW = frozenset({"udp", "xdp", "dpdk"})   # typical cloud: no RDMA NIC
+KERNEL_ONLY = frozenset({"udp"})
+
+
+class TestDefaultStrategy:
+    def test_no_acceleration_always_udp(self):
+        for available in (ALL, NO_HW, KERNEL_ONLY):
+            decision = default_strategy(QosPolicy.slow(), available)
+            assert decision.datapath == "udp"
+            assert not decision.fallback
+
+    def test_rdma_preferred_when_present(self):
+        decision = default_strategy(QosPolicy.fast(), ALL)
+        assert decision.datapath == "rdma"
+
+    def test_dpdk_when_no_rdma_and_unconstrained(self):
+        decision = default_strategy(QosPolicy.fast(), NO_HW)
+        assert decision.datapath == "dpdk"
+
+    def test_xdp_when_resources_constrained(self):
+        decision = default_strategy(QosPolicy.fast(constrained=True), NO_HW)
+        assert decision.datapath == "xdp"
+
+    def test_constrained_falls_to_dpdk_if_no_xdp(self):
+        decision = default_strategy(QosPolicy.fast(constrained=True), frozenset({"udp", "dpdk"}))
+        assert decision.datapath == "dpdk"
+
+    def test_fallback_to_udp_with_warning(self):
+        decision = default_strategy(QosPolicy.fast(), KERNEL_ONLY)
+        assert decision.datapath == "udp"
+        assert decision.fallback
+        assert "falling back" in decision.warning
+
+    def test_rdma_chosen_even_when_constrained(self):
+        # RDMA offloads to hardware: best performance for low resource usage
+        decision = default_strategy(QosPolicy.fast(constrained=True), ALL)
+        assert decision.datapath == "rdma"
+
+
+class TestResolveMapping:
+    def test_custom_strategy_returning_name(self):
+        decision = resolve_mapping(QosPolicy.fast(), ALL, strategy=lambda p, a: "xdp")
+        assert decision.datapath == "xdp"
+
+    def test_custom_strategy_returning_decision(self):
+        custom = MappingDecision("dpdk", fallback=False)
+        decision = resolve_mapping(QosPolicy.fast(), ALL, strategy=lambda p, a: custom)
+        assert decision is custom
+
+    def test_unavailable_choice_raises(self):
+        with pytest.raises(NoDatapathError):
+            resolve_mapping(QosPolicy.fast(), KERNEL_ONLY, strategy=lambda p, a: "rdma")
+
+    def test_default_strategy_used_when_none(self):
+        assert resolve_mapping(QosPolicy.slow(), ALL).datapath == "udp"
+
+
+class TestQosPolicy:
+    def test_slow_factory(self):
+        policy = QosPolicy.slow()
+        assert policy.acceleration is Acceleration.NONE
+        assert policy.time_sensitivity is TimeSensitivity.BEST_EFFORT
+
+    def test_fast_factory_variants(self):
+        assert QosPolicy.fast().resources is ResourceBudget.UNCONSTRAINED
+        assert QosPolicy.fast(constrained=True).resources is ResourceBudget.CONSTRAINED
+        assert (
+            QosPolicy.fast(time_sensitive=True).time_sensitivity
+            is TimeSensitivity.TIME_SENSITIVE
+        )
+
+    def test_policy_is_hashable_and_frozen(self):
+        policy = QosPolicy.fast()
+        assert hash(policy) == hash(QosPolicy.fast())
+        with pytest.raises(Exception):
+            policy.acceleration = Acceleration.NONE

@@ -1,0 +1,181 @@
+"""Runtime dispatch edge cases: drops, backpressure, fan-out accounting."""
+
+import pytest
+
+from repro.core import QosPolicy, Session
+from repro.core.channel import ChannelKey
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import INSANE_PORTS, InsaneDeployment
+from repro.hw import Testbed
+from repro.netstack import Packet
+
+
+def make(config=None, seed=0, hosts=2):
+    testbed = Testbed.local(seed=seed, hosts=hosts)
+    return testbed, InsaneDeployment(testbed, config=config)
+
+
+class TestDropPaths:
+    def test_packet_without_insane_header_counted_unknown(self):
+        testbed, deployment = make()
+        sim = testbed.sim
+        rx_runtime = deployment.runtime(1)
+        session = Session(rx_runtime, "rx")
+        stream = session.create_stream(QosPolicy.fast(), name="x")
+        session.create_sink(stream, channel=1)
+        # a foreign packet lands on INSANE's DPDK port
+        alien = Packet("10.0.0.1", "10.0.0.2", INSANE_PORTS["dpdk"], INSANE_PORTS["dpdk"], payload_len=64)
+        testbed.hosts[0].nic.transmit(alien)
+        sim.run()
+        assert rx_runtime.bindings["dpdk"].unknown_drops.value == 1
+
+    def test_no_local_sink_drop(self):
+        testbed, deployment = make()
+        sim = testbed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="y")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="y")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)
+
+        def producer():
+            buffer = tx.get_buffer(source, 4)
+            yield from tx.emit_data(source, buffer, length=4)
+
+        # close the sink while the packet is in flight
+        def closer():
+            from repro.simnet import Timeout
+
+            yield Timeout(1_500)
+            sink.close()
+
+        sim.process(producer())
+        sim.process(closer())
+        sim.run()
+        assert deployment.runtime(1).bindings["dpdk"].no_sink_drops.value == 1
+
+    def test_receiver_pool_exhaustion_drops(self):
+        testbed, deployment = make(config=RuntimeConfig(pool_slots=8), seed=3)
+        sim = testbed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="z")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="z")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)  # nobody consumes
+
+        def producer():
+            for _ in range(20):
+                buffer = yield from tx.get_buffer_wait(source, 4)
+                yield from tx.emit_data(source, buffer, length=4)
+
+        sim.process(producer())
+        sim.run()
+        binding = deployment.runtime(1).bindings["dpdk"]
+        delivered = len(sink.ring)
+        assert binding.pool_drops.value > 0
+        assert delivered + binding.pool_drops.value == 20
+
+    def test_sink_ring_overflow_drops_and_releases(self):
+        testbed, deployment = make(config=RuntimeConfig(ipc_ring_slots=4, pool_slots=256), seed=4)
+        sim = testbed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="w")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="w")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)  # never consumes
+
+        def producer():
+            for _ in range(20):
+                buffer = yield from tx.get_buffer_wait(source, 4)
+                yield from tx.emit_data(source, buffer, length=4)
+
+        sim.process(producer())
+        sim.run()
+        rx_runtime = deployment.runtime(1)
+        assert sink.endpoint.dropped.value > 0
+        # dropped tokens released their slots: only ring-resident ones held
+        assert rx_runtime.memory.pool.in_use == len(sink.ring)
+
+
+class TestFanoutAccounting:
+    def test_l2_penalty_applies_beyond_ring_budget(self):
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        session = Session(runtime, "app")
+        stream = session.create_stream(QosPolicy.fast(), name="f")
+        binding = runtime.bindings["dpdk"]
+        base = binding._fanout_cost(1)
+        # register sinks beyond the L2 budget
+        sinks = [session.create_sink(stream, channel=100 + i) for i in range(8)]
+        loaded = binding._fanout_cost(1)
+        assert loaded > base
+        excess = runtime.sink_ring_count - binding.l2_budget
+        assert loaded - base == pytest.approx(excess * binding.l2_penalty_ns)
+        for sink in sinks:
+            sink.close()
+        assert binding._fanout_cost(1) == pytest.approx(base)
+
+    def test_fanout_cost_grows_with_sink_count(self):
+        testbed, deployment = make()
+        runtime = deployment.runtime(0)
+        Session(runtime, "app").create_stream(QosPolicy.fast(), name="g")
+        binding = runtime.bindings["dpdk"]
+        assert binding._fanout_cost(0) == 0.0
+        assert binding._fanout_cost(3) > binding._fanout_cost(1)
+
+
+class TestControlPlane:
+    def test_runtime_registration_conflicts(self):
+        testbed, deployment = make()
+        from repro.core.runtime import InsaneRuntime
+
+        with pytest.raises(ValueError):
+            InsaneRuntime(testbed.hosts[0], deployment.control)
+
+    def test_subscriptions_follow_sink_lifecycle(self):
+        testbed, deployment = make()
+        rx = Session(deployment.runtime(1), "rx")
+        stream = rx.create_stream(QosPolicy.slow(), name="subs")
+        key = ChannelKey("subs", 9)
+        assert deployment.control.remote_subscribers(key, "10.0.0.1") == []
+        sink = rx.create_sink(stream, channel=9)
+        assert deployment.control.remote_subscribers(key, "10.0.0.1") == [
+            ("10.0.0.2", frozenset({"udp"}))
+        ]
+        # a local query excludes the subscriber's own host
+        assert deployment.control.remote_subscribers(key, "10.0.0.2") == []
+        sink.close()
+        assert deployment.control.remote_subscribers(key, "10.0.0.1") == []
+
+    def test_shutdown_unregisters_everything(self):
+        testbed, deployment = make()
+        rx = Session(deployment.runtime(1), "rx")
+        stream = rx.create_stream(QosPolicy.slow(), name="down")
+        rx.create_sink(stream, channel=1)
+        deployment.runtime(1).shutdown()
+        testbed.sim.run()
+        assert deployment.control.runtime_at("10.0.0.2") is None
+
+
+class TestEmitOutcomeIds:
+    def test_outcomes_are_per_source_unique(self):
+        testbed, deployment = make()
+        sim = testbed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        stream = tx.create_stream(QosPolicy.fast(), name="ids")
+        source_a = tx.create_source(stream, channel=1)
+        source_b = tx.create_source(stream, channel=2)
+        ids = []
+
+        def producer():
+            for source in (source_a, source_b):
+                buffer = tx.get_buffer(source, 4)
+                emit_id = yield from tx.emit_data(source, buffer, length=4)
+                ids.append(emit_id)
+
+        sim.process(producer())
+        sim.run()
+        assert len(set(ids)) == 2

@@ -1,0 +1,137 @@
+"""Access-control tests (paper §8, Security)."""
+
+import pytest
+
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import InsaneDeployment
+from repro.core.security import (
+    RIGHT_PUBLISH,
+    RIGHT_SUBSCRIBE,
+    AccessController,
+    Credential,
+    SecurityError,
+)
+from repro.hw import Testbed
+from repro.simnet import Simulator
+
+SECRET = b"provider-secret"
+
+
+class TestAccessController:
+    def make(self):
+        sim = Simulator()
+        return sim, AccessController(SECRET, sim=sim)
+
+    def test_issue_and_verify(self):
+        sim, controller = self.make()
+        credential = controller.issue("app", "telemetry", {RIGHT_PUBLISH})
+        assert controller.check(credential, "app", "telemetry", RIGHT_PUBLISH)
+
+    def test_right_not_granted(self):
+        sim, controller = self.make()
+        credential = controller.issue("app", "telemetry", {RIGHT_PUBLISH})
+        assert not controller.check(credential, "app", "telemetry", RIGHT_SUBSCRIBE)
+
+    def test_wrong_app_or_stream(self):
+        sim, controller = self.make()
+        credential = controller.issue("app", "telemetry", {RIGHT_PUBLISH})
+        assert not controller.check(credential, "other", "telemetry", RIGHT_PUBLISH)
+        assert not controller.check(credential, "app", "control", RIGHT_PUBLISH)
+
+    def test_tampered_signature_rejected(self):
+        sim, controller = self.make()
+        good = controller.issue("app", "telemetry", {RIGHT_PUBLISH, RIGHT_SUBSCRIBE})
+        forged = Credential(
+            good.app_id, good.stream, frozenset({RIGHT_PUBLISH}), None, good.signature
+        )
+        assert not controller.check(forged, "app", "telemetry", RIGHT_PUBLISH)
+
+    def test_foreign_secret_rejected(self):
+        sim, controller = self.make()
+        foreign = AccessController(b"other-secret", sim=sim)
+        credential = foreign.issue("app", "telemetry", {RIGHT_PUBLISH})
+        assert not controller.check(credential, "app", "telemetry", RIGHT_PUBLISH)
+
+    def test_expiry(self):
+        sim, controller = self.make()
+        credential = controller.issue("app", "t", {RIGHT_PUBLISH}, ttl_ns=1000)
+        assert controller.check(credential, "app", "t", RIGHT_PUBLISH)
+        sim.schedule(2000, lambda: None)
+        sim.run()
+        assert not controller.check(credential, "app", "t", RIGHT_PUBLISH)
+
+    def test_missing_credential_denied_and_audited(self):
+        sim, controller = self.make()
+        with pytest.raises(SecurityError):
+            controller.enforce(None, "app", "t", RIGHT_PUBLISH)
+        assert controller.denials == 1
+        assert controller.audit[-1][4] is False
+
+    def test_invalid_rights_rejected_at_issue(self):
+        sim, controller = self.make()
+        with pytest.raises(ValueError):
+            controller.issue("app", "t", {"fly"})
+        with pytest.raises(ValueError):
+            controller.issue("app", "t", set())
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            AccessController(b"")
+
+
+class TestRuntimeEnforcement:
+    def make_deployment(self):
+        bed = Testbed.local(seed=50)
+        controller = AccessController(SECRET, sim=bed.sim)
+        deployment = InsaneDeployment(
+            bed, config=RuntimeConfig(access_controller=controller)
+        )
+        return bed, deployment, controller
+
+    def test_authorized_flow_works_end_to_end(self):
+        bed, deployment, controller = self.make_deployment()
+        sim = bed.sim
+        tx = Session(deployment.runtime(0), "tx")
+        rx = Session(deployment.runtime(1), "rx")
+        tx.present(controller.issue("tx", "secured", {RIGHT_PUBLISH}))
+        rx.present(controller.issue("rx", "secured", {RIGHT_SUBSCRIBE}))
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="secured")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="secured")
+        source = tx.create_source(tx_stream, channel=1)
+        got = []
+        rx.create_sink(rx_stream, channel=1, callback=lambda d: got.append(d.length))
+
+        def producer():
+            buffer = tx.get_buffer(source, 8)
+            yield from tx.emit_data(source, buffer, length=8)
+
+        sim.process(producer())
+        sim.run()
+        assert got == [8]
+
+    def test_unauthorized_publish_rejected(self):
+        bed, deployment, controller = self.make_deployment()
+        session = Session(deployment.runtime(0), "intruder")
+        stream = session.create_stream(QosPolicy.fast(), name="secured")
+        with pytest.raises(SecurityError):
+            session.create_source(stream, channel=1)
+
+    def test_subscribe_only_credential_cannot_publish(self):
+        bed, deployment, controller = self.make_deployment()
+        session = Session(deployment.runtime(0), "reader")
+        session.present(controller.issue("reader", "secured", {RIGHT_SUBSCRIBE}))
+        stream = session.create_stream(QosPolicy.fast(), name="secured")
+        session.create_sink(stream, channel=1)  # allowed
+        with pytest.raises(SecurityError):
+            session.create_source(stream, channel=1)
+
+    def test_open_runtime_stays_open(self):
+        """Without a controller configured, INSANE behaves as the paper's
+        prototype: no built-in access control."""
+        bed = Testbed.local(seed=51)
+        deployment = InsaneDeployment(bed)
+        session = Session(deployment.runtime(0), "anyone")
+        stream = session.create_stream(QosPolicy.fast(), name="open")
+        session.create_source(stream, channel=1)
+        session.create_sink(stream, channel=2)

@@ -1,0 +1,94 @@
+"""Transparent runtime software upgrade tests (paper §4, Snap-style)."""
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.simnet import Timeout
+
+
+def test_upgrade_preserves_traffic_and_sessions():
+    """Messages emitted before, during, and after an upgrade all arrive;
+    the application sessions never notice."""
+    bed = Testbed.local(seed=40)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    rx_runtime = deployment.runtime(1)
+    tx = Session(deployment.runtime(0), "tx")
+    rx = Session(rx_runtime, "rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="up")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="up")
+    source = tx.create_source(tx_stream, channel=1)
+    got = []
+    rx.create_sink(rx_stream, channel=1, callback=lambda d: got.append(d.length))
+    downtime = []
+
+    def producer():
+        for _ in range(60):
+            buffer = yield from tx.get_buffer_wait(source, 64)
+            yield from tx.emit_data(source, buffer, length=64)
+            yield Timeout(10_000)
+
+    def upgrader():
+        yield Timeout(200_000)  # mid-stream
+        spent = yield from rx_runtime.upgrade()
+        downtime.append(spent)
+
+    sim.process(producer())
+    sim.process(upgrader())
+    sim.run()
+    assert len(got) == 60
+    assert rx_runtime.version == 2
+    assert downtime[0] >= 100_000
+    assert rx.runtime is rx_runtime  # session untouched
+
+
+def test_upgrade_restores_thread_mapping():
+    from repro.core.config import RuntimeConfig
+
+    bed = Testbed.local(seed=41)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed, config=RuntimeConfig(threads_per_datapath=2))
+    runtime = deployment.runtime(0)
+    session = Session(runtime, "app")
+    session.create_stream(QosPolicy.fast(), name="map")
+    threads_before = len(runtime.threads)
+
+    def upgrader():
+        yield from runtime.upgrade()
+
+    sim.process(upgrader())
+    sim.run()
+    assert len(runtime.threads) == threads_before
+    for binding in runtime.bindings.values():
+        assert len(binding.threads) == 2
+
+
+def test_upgrade_releases_old_cores():
+    bed = Testbed.local(seed=42)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    runtime = deployment.runtime(0)
+    Session(runtime, "app").create_stream(QosPolicy.fast(), name="c")
+    pinned_before = runtime.host.pinned_cores
+
+    def upgrader():
+        yield from runtime.upgrade()
+
+    sim.process(upgrader())
+    sim.run()
+    assert runtime.host.pinned_cores == pinned_before
+
+
+def test_back_to_back_upgrades():
+    bed = Testbed.local(seed=43)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    runtime = deployment.runtime(0)
+
+    def upgrader():
+        yield from runtime.upgrade()
+        yield from runtime.upgrade()
+
+    sim.process(upgrader())
+    sim.run()
+    assert runtime.version == 3

@@ -1,0 +1,91 @@
+"""ARP-over-the-wire tests for the DPDK datapath's control path."""
+
+import pytest
+
+from repro.datapaths import DpdkDatapath
+from repro.hw import Testbed
+from repro.netstack import MacAddress
+from repro.netstack.arp import ArpTimeout
+
+
+def make_pair(seed=0):
+    bed = Testbed.local(seed=seed)
+    dp_a = DpdkDatapath(bed.hosts[0])
+    dp_b = DpdkDatapath(bed.hosts[1])
+    dp_a.enable_arp()
+    dp_b.enable_arp()
+    return bed, dp_a, dp_b
+
+
+def test_resolution_over_the_wire():
+    bed, dp_a, dp_b = make_pair()
+    results = []
+
+    def worker():
+        mac = yield from dp_a.resolve("10.0.0.2")
+        results.append(mac)
+
+    bed.sim.process(worker())
+    bed.sim.run()
+    assert results == [MacAddress.from_index(2)]
+    # exactly one request and one reply crossed the wire
+    assert bed.hosts[0].nic.tx_frames.value == 1
+    assert bed.hosts[1].nic.tx_frames.value == 1
+
+
+def test_responder_learns_requester_binding():
+    """Receiving a request teaches the responder the sender's MAC, so the
+    reverse resolution needs no wire traffic."""
+    bed, dp_a, dp_b = make_pair(seed=1)
+
+    def forward():
+        yield from dp_a.resolve("10.0.0.2")
+
+    bed.sim.process(forward())
+    bed.sim.run()
+    assert dp_b.arp.lookup("10.0.0.1") == MacAddress.from_index(1)
+    assert dp_b.arp.requests_sent == 0
+
+
+def test_resolution_timeout_when_peer_unreachable():
+    bed, dp_a, _dp_b = make_pair(seed=2)
+    for link in bed.links:
+        link.loss_rate = 1.0
+    errors = []
+
+    def worker():
+        try:
+            yield from dp_a.resolve("10.0.0.2")
+        except ArpTimeout as exc:
+            errors.append(exc)
+
+    bed.sim.process(worker())
+    bed.sim.run()
+    assert len(errors) == 1
+    assert dp_a.arp.requests_sent == dp_a.arp.max_retries
+
+
+def test_resolve_requires_enable():
+    bed = Testbed.local(seed=3)
+    dp = DpdkDatapath(bed.hosts[0])
+    with pytest.raises(RuntimeError):
+        next(dp.resolve("10.0.0.2"))
+
+
+def test_enable_arp_idempotent():
+    bed = Testbed.local(seed=4)
+    dp = DpdkDatapath(bed.hosts[0])
+    assert dp.enable_arp() is dp.enable_arp()
+
+
+def test_arp_traffic_does_not_disturb_data_queues():
+    bed, dp_a, dp_b = make_pair(seed=5)
+    data_queue = dp_b.open_port(7000)
+
+    def worker():
+        yield from dp_a.resolve("10.0.0.2")
+
+    bed.sim.process(worker())
+    bed.sim.run()
+    assert len(data_queue) == 0
+    assert len(bed.hosts[1].nic.rx_ring) == 0

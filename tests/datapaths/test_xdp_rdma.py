@@ -1,0 +1,151 @@
+"""XDP and RDMA datapath tests (the technologies the paper describes in §3
+but had not yet integrated in its prototype)."""
+
+import pytest
+
+from repro.datapaths import RdmaDatapath, XdpDatapath
+from repro.hw import LOCAL_TESTBED, Testbed
+from repro.netstack import Packet
+from tests.datapaths.conftest import mean, run_dpdk_pingpong, run_udp_pingpong
+
+
+def rdma_testbed(seed=0):
+    return Testbed(LOCAL_TESTBED.replace(rdma_nic=True), seed=seed)
+
+
+class TestXdp:
+    def test_round_trip_delivery(self):
+        bed = Testbed.local(seed=1)
+        sim = bed.sim
+        a, b = bed.hosts
+        dp_a, dp_b = XdpDatapath(a), XdpDatapath(b)
+        dp_a.open_port(7700)
+        queue_b = dp_b.open_port(7700)
+        got = []
+
+        def tx():
+            yield from dp_a.send(Packet(a.ip, b.ip, 7700, 7700, payload=b"xdp!"))
+
+        def rx():
+            batch = yield from dp_b.recv_burst(queue_b)
+            got.extend(p.payload_bytes() for p in batch)
+
+        sim.process(tx())
+        sim.process(rx())
+        sim.run()
+        assert got == [b"xdp!"]
+
+    def test_availability_follows_profile(self):
+        assert XdpDatapath.available(LOCAL_TESTBED)
+        assert not XdpDatapath.available(LOCAL_TESTBED.replace(xdp_capable=False))
+
+    def test_xdp_latency_between_udp_and_dpdk(self):
+        bed = Testbed.local(seed=2)
+        sim = bed.sim
+        a, b = bed.hosts
+        dp_a, dp_b = XdpDatapath(a), XdpDatapath(b)
+        queue_a = dp_a.open_port(7701)
+        queue_b = dp_b.open_port(7701)
+        rtts = []
+
+        def client():
+            for _ in range(200):
+                start = sim.now
+                yield from dp_a.send(Packet(a.ip, b.ip, 7701, 7701, payload_len=64))
+                yield from dp_a.recv_burst(queue_a)
+                rtts.append(sim.now - start)
+
+        def server():
+            while True:
+                batch = yield from dp_b.recv_burst(queue_b)
+                for packet in batch:
+                    yield from dp_b.send(Packet(b.ip, a.ip, 7701, 7701, payload_len=packet.payload_len))
+
+        sim.process(server())
+        sim.process(client())
+        sim.run()
+        xdp_rtt = mean(rtts)
+        dpdk_rtt = mean(run_dpdk_pingpong(Testbed.local(seed=3), 200, 64))
+        udp_rtt = mean(run_udp_pingpong(Testbed.local(seed=4), 200, 64))
+        assert dpdk_rtt < xdp_rtt < udp_rtt
+
+
+class TestRdma:
+    def test_requires_rdma_nic(self):
+        assert not RdmaDatapath.available(LOCAL_TESTBED)
+        assert RdmaDatapath.available(LOCAL_TESTBED.replace(rdma_nic=True))
+
+    def test_two_sided_send_recv(self):
+        bed = rdma_testbed(seed=5)
+        sim = bed.sim
+        a, b = bed.hosts
+        qp_a = RdmaDatapath(a).create_qp(7800)
+        qp_b = RdmaDatapath(b).create_qp(7800)
+        got = []
+
+        def tx():
+            yield from qp_a.post_send(Packet(a.ip, b.ip, 7800, 7800, payload=b"verbs"))
+
+        def rx():
+            batch = yield from qp_b.poll_recv()
+            got.extend(p.payload_bytes() for p in batch)
+
+        sim.process(tx())
+        sim.process(rx())
+        sim.run()
+        assert got == [b"verbs"]
+        assert qp_a.posted_sends.value == 1
+        assert qp_b.completions.value == 1
+
+    def test_duplicate_qp_rejected(self):
+        bed = rdma_testbed(seed=6)
+        dp = RdmaDatapath(bed.hosts[0])
+        dp.create_qp(7900)
+        with pytest.raises(ValueError):
+            dp.create_qp(7900)
+
+    def test_recv_depth_bounds_unconsumed_messages(self):
+        """Without pre-posted receives, extra messages drop (RNR)."""
+        bed = rdma_testbed(seed=7)
+        sim = bed.sim
+        a, b = bed.hosts
+        qp_a = RdmaDatapath(a).create_qp(8000)
+        RdmaDatapath(b).create_qp(8000, recv_depth=4)
+
+        def tx():
+            for _ in range(10):
+                yield from qp_a.post_send(Packet(a.ip, b.ip, 8000, 8000, payload_len=64))
+
+        sim.process(tx())
+        sim.run()
+        assert b.nic.rx_dropped.value == 6
+
+    def test_rdma_is_fastest_technology(self):
+        bed = rdma_testbed(seed=8)
+        sim = bed.sim
+        a, b = bed.hosts
+        qp_a = RdmaDatapath(a).create_qp(8100)
+        qp_b = RdmaDatapath(b).create_qp(8100)
+        rtts = []
+
+        def client():
+            for _ in range(200):
+                start = sim.now
+                yield from qp_a.post_send(Packet(a.ip, b.ip, 8100, 8100, payload_len=64))
+                yield from qp_a.poll_recv()
+                rtts.append(sim.now - start)
+
+        def server():
+            while True:
+                batch = yield from qp_b.poll_recv()
+                for packet in batch:
+                    yield from qp_b.post_send(Packet(b.ip, a.ip, 8100, 8100, payload_len=64))
+
+        sim.process(server())
+        sim.process(client())
+        sim.run()
+        rdma_rtt = mean(rtts)
+        dpdk_rtt = mean(run_dpdk_pingpong(Testbed.local(seed=9), 200, 64))
+        assert rdma_rtt < dpdk_rtt
+        # the paper quotes sub-microsecond one-way latency for RDMA
+        assert rdma_rtt / 2 < 1_500

@@ -1,0 +1,169 @@
+"""Tests for NIC, link, switch, host, and topology models."""
+
+import pytest
+
+from repro.hw import CLOUD_TESTBED, LOCAL_TESTBED, Testbed
+from repro.hw.profiles import StageCost
+from repro.netstack import Packet
+
+
+def make_packet(src, dst, size=64):
+    return Packet(src, dst, 7000, 7001, payload_len=size)
+
+
+class TestStageCost:
+    def test_burst_amortizes_fixed_only(self):
+        stage = StageCost(fixed=320, per_pkt=50, per_byte=0.5)
+        assert stage.cost(100, burst=1) == 320 + 50 + 50
+        assert stage.cost(100, burst=32) == 10 + 50 + 50
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            StageCost(per_pkt=1).cost(0, burst=0)
+
+
+class TestProfiles:
+    def test_profiles_expose_required_stages(self):
+        required = {
+            "udp_tx", "udp_rx", "dpdk_tx", "dpdk_rx", "ustack_tx", "ustack_rx",
+            "xdp_tx", "xdp_rx", "rdma_post", "rdma_poll_cq",
+            "insane_ipc", "insane_sched_slow", "insane_sched_fast",
+            "insane_dispatch_slow", "insane_dispatch_fast",
+            "catnap_lib", "catnip_lib",
+        }
+        for profile in (LOCAL_TESTBED, CLOUD_TESTBED):
+            missing = required - set(profile.stages)
+            assert not missing, "%s missing %s" % (profile.name, missing)
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            LOCAL_TESTBED.stage("nonexistent")
+        with pytest.raises(KeyError):
+            LOCAL_TESTBED.scalar("nonexistent")
+
+    def test_cloud_kernel_costs_scaled_up(self):
+        local = LOCAL_TESTBED.stage("udp_rx").cost(64)
+        cloud = CLOUD_TESTBED.stage("udp_rx").cost(64)
+        assert cloud > local
+
+    def test_cloud_has_switch_local_does_not(self):
+        assert CLOUD_TESTBED.has_switch
+        assert not LOCAL_TESTBED.has_switch
+
+
+class TestDirectLink:
+    def test_frame_travels_between_hosts(self):
+        bed = Testbed.local()
+        src, dst = bed.hosts
+        src.nic.transmit(make_packet(src.ip, dst.ip))
+        bed.sim.run()
+        assert len(dst.nic.rx_ring) == 1
+        ok, packet = dst.nic.rx_ring.try_get()
+        assert ok and packet.dst_ip == dst.ip
+
+    def test_latency_includes_dma_serialization_propagation(self):
+        bed = Testbed.local()
+        src, dst = bed.hosts
+        packet = make_packet(src.ip, dst.ip, size=64)
+        src.nic.transmit(packet)
+        bed.sim.run()
+        profile = bed.profile
+        serialization = packet.wire_size * 8.0 / profile.nic_bandwidth_gbps
+        expected = (
+            profile.nic_tx_dma_ns
+            + serialization
+            + profile.link_propagation_ns
+            + profile.nic_rx_dma_ns
+        )
+        assert bed.sim.now == pytest.approx(expected, rel=1e-9)
+
+    def test_tx_serialization_queues_back_to_back_frames(self):
+        bed = Testbed.local()
+        src, dst = bed.hosts
+        big = make_packet(src.ip, dst.ip, size=8192)
+        departure_a = src.nic.transmit(big)
+        departure_b = src.nic.transmit(make_packet(src.ip, dst.ip, size=8192))
+        # the second frame cannot start serializing before the first ends
+        assert departure_b >= departure_a + big.wire_size * 8.0 / 100.0
+
+    def test_rx_ring_overflow_drops(self):
+        bed = Testbed.local()
+        src, dst = bed.hosts
+        capacity = bed.profile.nic_rx_ring_slots
+        for _ in range(capacity + 50):
+            src.nic.transmit(make_packet(src.ip, dst.ip))
+        bed.sim.run()
+        assert len(dst.nic.rx_ring) == capacity
+        assert dst.nic.rx_dropped.value == 50
+
+
+class TestSwitchTopology:
+    def test_cloud_frames_pass_through_switch(self):
+        bed = Testbed.cloud()
+        src, dst = bed.hosts
+        src.nic.transmit(make_packet(src.ip, dst.ip))
+        bed.sim.run()
+        assert bed.switch.forwarded.value == 1
+        assert len(dst.nic.rx_ring) == 1
+
+    def test_switch_adds_forwarding_latency(self):
+        local = Testbed.local()
+        cloud = Testbed.cloud()
+        for bed in (local, cloud):
+            src, dst = bed.hosts
+            src.nic.transmit(make_packet(src.ip, dst.ip))
+            bed.sim.run()
+        assert cloud.sim.now > local.sim.now + CLOUD_TESTBED.switch_forward_ns
+
+    def test_multi_host_topology_routes_by_ip(self):
+        bed = Testbed(LOCAL_TESTBED, hosts=4)
+        assert bed.switch is not None
+        a, b, c, d = bed.hosts
+        a.nic.transmit(make_packet(a.ip, c.ip))
+        a.nic.transmit(make_packet(a.ip, d.ip))
+        bed.sim.run()
+        assert len(c.nic.rx_ring) == 1
+        assert len(d.nic.rx_ring) == 1
+        assert len(b.nic.rx_ring) == 0
+
+    def test_unknown_destination_dropped_at_switch(self):
+        bed = Testbed.cloud()
+        src = bed.hosts[0]
+        src.nic.transmit(make_packet(src.ip, "10.9.9.9"))
+        bed.sim.run()
+        assert bed.switch.dropped.value == 1
+
+
+class TestHost:
+    def test_jitter_centered_on_cost(self):
+        bed = Testbed.local(seed=3)
+        host = bed.hosts[0]
+        samples = [host.jitter(1000.0) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert 980 < mean < 1020
+
+    def test_stage_cost_without_jitter_is_exact(self):
+        bed = Testbed.local()
+        host = bed.hosts[0]
+        exact = LOCAL_TESTBED.stage("dpdk_tx").cost(64)
+        assert host.stage_cost("dpdk_tx", 64, jitter=False) == exact
+
+    def test_core_pinning_limits(self):
+        bed = Testbed.local()
+        host = bed.hosts[0]
+        for _ in range(LOCAL_TESTBED.cores):
+            host.pin_core()
+        with pytest.raises(RuntimeError):
+            host.pin_core()
+        host.unpin_core()
+        host.pin_core()
+
+    def test_host_lookup_by_ip(self):
+        bed = Testbed.local()
+        assert bed.host_by_ip("10.0.0.2") is bed.hosts[1]
+        with pytest.raises(KeyError):
+            bed.host_by_ip("1.2.3.4")
+
+    def test_testbed_requires_two_hosts(self):
+        with pytest.raises(ValueError):
+            Testbed(LOCAL_TESTBED, hosts=1)

@@ -1,0 +1,64 @@
+"""Switch output-port queueing and overflow behaviour."""
+
+from repro.hw import CLOUD_TESTBED, Testbed
+from repro.netstack import Packet
+
+
+def flood(bed, count, size=8192):
+    src, dst = bed.hosts[0], bed.hosts[1]
+    for _ in range(count):
+        src.nic.transmit(Packet(src.ip, dst.ip, 1000, 2000, payload_len=size))
+    bed.sim.run()
+    return dst
+
+
+def test_output_queue_serializes_bursts():
+    """Back-to-back frames leave the switch spaced by serialization time."""
+    bed = Testbed.cloud(seed=0)
+    dst = flood(bed, 3)
+    assert dst.nic.rx_frames.value == 3
+    arrivals = []
+    while True:
+        ok, packet = dst.nic.rx_ring.try_get()
+        if not ok:
+            break
+        arrivals.append(packet.trace)
+    # all three forwarded, none dropped at the switch
+    assert bed.switch.forwarded.value == 3
+    assert bed.switch.dropped.value == 0
+
+
+def test_sustained_overload_drops_at_switch():
+    """Two line-rate senders converging on one output port overflow its
+    queue once it exceeds max_port_queue_ns."""
+    bed = Testbed(CLOUD_TESTBED, hosts=3, seed=1)
+    bed.switch.max_port_queue_ns = 10_000.0  # very shallow for the test
+    a, b, c = bed.hosts
+    for _ in range(100):
+        a.nic.transmit(Packet(a.ip, c.ip, 1, 2, payload_len=8192))
+        b.nic.transmit(Packet(b.ip, c.ip, 1, 2, payload_len=8192))
+    bed.sim.run()
+    delivered = c.nic.rx_frames.value + c.nic.rx_dropped.value
+    assert bed.switch.dropped.value > 0
+    assert delivered + bed.switch.dropped.value == 200
+
+
+def test_two_senders_share_one_output_port():
+    bed = Testbed(CLOUD_TESTBED, hosts=3, seed=2)
+    a, b, c = bed.hosts
+    for _ in range(5):
+        a.nic.transmit(Packet(a.ip, c.ip, 1, 2, payload_len=1024))
+        b.nic.transmit(Packet(b.ip, c.ip, 1, 2, payload_len=1024))
+    bed.sim.run()
+    assert c.nic.rx_frames.value == 10
+
+
+def test_switch_latency_scales_with_queue_depth():
+    """The tenth frame of a burst arrives later than a lone frame."""
+    lone = Testbed.cloud(seed=3)
+    flood(lone, 1)
+    lone_time = lone.sim.now
+
+    burst = Testbed.cloud(seed=3)
+    flood(burst, 10, size=8192)
+    assert burst.sim.now > lone_time

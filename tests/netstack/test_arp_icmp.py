@@ -1,0 +1,175 @@
+"""ARP and ICMP control-path tests."""
+
+import pytest
+
+from repro.netstack.addresses import MacAddress
+from repro.netstack.arp import (
+    OP_REPLY,
+    OP_REQUEST,
+    ArpPacket,
+    ArpResolver,
+    ArpTimeout,
+)
+from repro.netstack.icmp import IcmpEcho, TYPE_ECHO_REPLY
+from repro.simnet import Simulator
+
+
+class TestArpCodec:
+    def test_request_round_trip(self):
+        request = ArpPacket.request(MacAddress.from_index(1), "10.0.0.1", "10.0.0.2")
+        parsed = ArpPacket.from_bytes(request.to_bytes())
+        assert parsed.op == OP_REQUEST
+        assert parsed.sender_ip == "10.0.0.1"
+        assert parsed.target_ip == "10.0.0.2"
+        assert parsed.sender_mac == MacAddress.from_index(1)
+
+    def test_reply_round_trip(self):
+        reply = ArpPacket.reply(
+            MacAddress.from_index(2), "10.0.0.2", MacAddress.from_index(1), "10.0.0.1"
+        )
+        parsed = ArpPacket.from_bytes(reply.to_bytes())
+        assert parsed.op == OP_REPLY
+        assert parsed.target_mac == MacAddress.from_index(1)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            ArpPacket(3, MacAddress(0), "10.0.0.1", MacAddress(0), "10.0.0.2")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            ArpPacket.from_bytes(b"\x00" * 10)
+
+
+class TestArpResolver:
+    def make(self, retry_ns=1000, max_retries=3):
+        sim = Simulator()
+        sent = []
+        resolver = ArpResolver(
+            sim,
+            MacAddress.from_index(1),
+            "10.0.0.1",
+            send_request=sent.append,
+            retry_ns=retry_ns,
+            max_retries=max_retries,
+        )
+        return sim, resolver, sent
+
+    def test_resolve_after_reply(self):
+        sim, resolver, sent = self.make()
+        results = []
+
+        def worker():
+            mac = yield from resolver.resolve("10.0.0.2")
+            results.append(mac)
+
+        sim.process(worker())
+        # the peer answers the first request
+        sim.schedule(500, lambda: resolver.on_reply(
+            ArpPacket.reply(MacAddress.from_index(2), "10.0.0.2", resolver.own_mac, "10.0.0.1")
+        ))
+        sim.run()
+        assert results == [MacAddress.from_index(2)]
+        assert sent == ["10.0.0.2"]
+
+    def test_cached_entry_skips_request(self):
+        sim, resolver, sent = self.make()
+        resolver.on_reply(
+            ArpPacket.reply(MacAddress.from_index(2), "10.0.0.2", resolver.own_mac, "10.0.0.1")
+        )
+        results = []
+
+        def worker():
+            mac = yield from resolver.resolve("10.0.0.2")
+            results.append(mac)
+
+        sim.process(worker())
+        sim.run()
+        assert results == [MacAddress.from_index(2)]
+        assert sent == []
+
+    def test_retry_then_timeout(self):
+        sim, resolver, sent = self.make(max_retries=3)
+        errors = []
+
+        def worker():
+            try:
+                yield from resolver.resolve("10.0.0.9")
+            except ArpTimeout as exc:
+                errors.append(exc)
+
+        sim.process(worker())
+        sim.run()
+        assert len(sent) == 3
+        assert len(errors) == 1
+        assert resolver.failures == 1
+
+    def test_concurrent_resolvers_share_one_request(self):
+        sim, resolver, sent = self.make()
+        results = []
+
+        def worker():
+            mac = yield from resolver.resolve("10.0.0.2")
+            results.append(mac)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.schedule(300, lambda: resolver.on_reply(
+            ArpPacket.reply(MacAddress.from_index(2), "10.0.0.2", resolver.own_mac, "10.0.0.1")
+        ))
+        sim.run()
+        assert len(results) == 2
+        assert len(sent) == 1
+
+    def test_entries_expire(self):
+        sim, resolver, sent = self.make()
+        resolver.ttl_ns = 1000
+        resolver.on_reply(
+            ArpPacket.reply(MacAddress.from_index(2), "10.0.0.2", resolver.own_mac, "10.0.0.1")
+        )
+        assert resolver.lookup("10.0.0.2") is not None
+        sim.schedule(2000, lambda: None)
+        sim.run()
+        assert resolver.lookup("10.0.0.2") is None
+
+    def test_responder_side_reply_generation(self):
+        sim, resolver, _sent = self.make()
+        request = ArpPacket.request(MacAddress.from_index(9), "10.0.0.9", "10.0.0.1")
+        reply = resolver.make_reply_for(request)
+        assert reply is not None
+        assert reply.op == OP_REPLY
+        assert reply.sender_mac == resolver.own_mac
+        # requests for other hosts are ignored
+        other = ArpPacket.request(MacAddress.from_index(9), "10.0.0.9", "10.0.0.3")
+        assert resolver.make_reply_for(other) is None
+
+
+class TestIcmp:
+    def test_echo_round_trip(self):
+        request = IcmpEcho.request(77, 3, payload=b"ping-payload")
+        parsed = IcmpEcho.from_bytes(request.to_bytes())
+        assert parsed.identifier == 77
+        assert parsed.sequence == 3
+        assert parsed.payload == b"ping-payload"
+
+    def test_reply_echoes_payload(self):
+        request = IcmpEcho.request(1, 1, payload=b"abc")
+        reply = request.reply()
+        assert reply.kind == TYPE_ECHO_REPLY
+        assert reply.payload == b"abc"
+        assert IcmpEcho.from_bytes(reply.to_bytes()).kind == TYPE_ECHO_REPLY
+
+    def test_cannot_reply_to_a_reply(self):
+        with pytest.raises(ValueError):
+            IcmpEcho.request(1, 1).reply().reply()
+
+    def test_corruption_detected(self):
+        data = bytearray(IcmpEcho.request(5, 6, b"x").to_bytes())
+        data[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            IcmpEcho.from_bytes(bytes(data))
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            IcmpEcho(13, 0, 0)
+        with pytest.raises(ValueError):
+            IcmpEcho.request(70000, 0)

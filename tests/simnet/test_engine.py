@@ -1,0 +1,113 @@
+"""Unit tests for the DES event loop."""
+
+import pytest
+
+from repro.simnet import Simulator, SimulationError
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, True)
+    sim.run(until=50)
+    assert not fired
+    assert sim.now == 50
+    sim.run()
+    assert fired == [True]
+    assert sim.now == 100
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, True)
+    handle.cancel()
+    sim.run()
+    assert not fired
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: sim.schedule_at(25, seen.append, sim.now))
+    sim.run()
+    # the callback records the time at scheduling (10); it fires at 25
+    assert sim.now == 25
+    assert seen == [10]
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    hits = []
+
+    def outer():
+        hits.append(("outer", sim.now))
+        sim.schedule(5, inner)
+
+    def inner():
+        hits.append(("inner", sim.now))
+
+    sim.schedule(10, outer)
+    sim.run()
+    assert hits == [("outer", 10), ("inner", 15)]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    order = []
+    sim.schedule(1, order.append, 1)
+    sim.schedule(2, order.append, 2)
+    assert sim.step()
+    assert order == [1]
+    assert sim.step()
+    assert order == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    h.cancel()
+    assert sim.peek() == 9
+
+
+def test_run_returns_executed_count():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1, lambda: None)
+    assert sim.run() == 4
+
+
+def test_rng_is_deterministic_per_seed():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b
+    assert a != c

@@ -1,0 +1,208 @@
+"""Unit tests for generator-based processes and their effects."""
+
+import pytest
+
+from repro.simnet import AnyOf, Get, Join, Put, Signal, Simulator, Store, Timeout, Wait
+from repro.simnet.errors import ProcessFailed
+from repro.simnet.process import Interrupt
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def body():
+        yield Timeout(100)
+        times.append(sim.now)
+        yield Timeout(50)
+        times.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert times == [100, 150]
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(10)
+        return 42
+
+    def parent():
+        value = yield Join(sim.process(child()))
+        results.append(value)
+
+    sim.process(parent())
+    sim.run()
+    assert results == [42]
+
+
+def test_yielding_process_directly_joins_it():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(5)
+        return "done"
+
+    def parent():
+        value = yield sim.process(child())
+        results.append((value, sim.now))
+
+    sim.process(parent())
+    sim.run()
+    assert results == [("done", 5)]
+
+
+def test_wait_receives_signal_value():
+    sim = Simulator()
+    sig = Signal(sim)
+    got = []
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append((value, sim.now))
+
+    sim.process(waiter())
+    sim.schedule(30, sig.succeed, "hello")
+    sim.run()
+    assert got == [("hello", 30)]
+
+
+def test_wait_on_already_fired_signal_resumes_immediately():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.succeed(7)
+    got = []
+
+    def waiter():
+        value = yield Wait(sig)
+        got.append(value)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [7]
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield Get(store)
+        got.append((item, sim.now))
+
+    def producer():
+        yield Timeout(20)
+        yield Put(store, "msg")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("msg", 20)]
+
+
+def test_put_blocks_when_store_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer():
+        yield Put(store, 1)
+        events.append(("put1", sim.now))
+        yield Put(store, 2)
+        events.append(("put2", sim.now))
+
+    def consumer():
+        yield Timeout(100)
+        item = yield Get(store)
+        events.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # second put only completes once the consumer drained the store at t=100
+    assert ("put2", 100) in events
+
+
+def test_anyof_resumes_on_first_signal():
+    sim = Simulator()
+    a, b = Signal(sim), Signal(sim)
+    got = []
+
+    def waiter():
+        index, value = yield AnyOf([a, b])
+        got.append((index, value, sim.now))
+
+    sim.process(waiter())
+    sim.schedule(10, b.succeed, "b-wins")
+    sim.schedule(20, a.succeed, "late")
+    sim.run()
+    assert got == [(1, "b-wins", 10)]
+
+
+def test_process_failure_propagates_to_joiner():
+    sim = Simulator()
+    failures = []
+
+    def bad():
+        yield Timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield Join(sim.process(bad(), name="bad"))
+        except ProcessFailed as exc:
+            failures.append(exc)
+
+    sim.process(parent())
+    sim.run()
+    assert len(failures) == 1
+    assert isinstance(failures[0].cause, ValueError)
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulator()
+    seen = []
+
+    def sleeper():
+        try:
+            yield Timeout(10_000)
+        except Interrupt:
+            seen.append(sim.now)
+
+    proc = sim.process(sleeper())
+    sim.schedule(5, proc.interrupt)
+    sim.run()
+    assert seen == [5]
+
+
+def test_fifo_ordering_through_store():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield Get(store)
+            out.append(item)
+
+    sim.process(consumer())
+    for index in range(3):
+        store.put_nowait(index)
+    sim.run()
+    assert out == [0, 1, 2]
+
+
+def test_store_put_nowait_raises_when_full():
+    from repro.simnet import StoreFullError
+
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    store.put_nowait("a")
+    store.put_nowait("b")
+    with pytest.raises(StoreFullError):
+        store.put_nowait("c")

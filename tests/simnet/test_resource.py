@@ -1,0 +1,65 @@
+"""Tests for the counted Resource primitive."""
+
+import pytest
+
+from repro.simnet import Resource, Simulator
+
+
+def test_try_acquire_until_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    assert resource.try_acquire()
+    assert resource.try_acquire()
+    assert not resource.try_acquire()
+    assert resource.available == 0
+
+
+def test_release_wakes_fifo_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(name):
+        yield resource.acquire_effect()
+        order.append(name)
+
+    resource.try_acquire()
+    sim.process(worker("first"))
+    sim.process(worker("second"))
+    sim.run()
+    assert order == []  # both blocked
+    resource.release()
+    sim.run()
+    assert order == ["first"]
+    resource.release()
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_release_without_acquire_raises():
+    resource = Resource(Simulator(), capacity=1)
+    with pytest.raises(RuntimeError):
+        resource.release()
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_handoff_keeps_in_use_constant():
+    """Releasing straight to a waiter must not change the in-use count."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.try_acquire()
+    got = []
+
+    def worker():
+        yield resource.acquire_effect()
+        got.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    resource.release()
+    sim.run()
+    assert got and resource.in_use == 1

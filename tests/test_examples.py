@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are deliverables; these tests keep them working as the library
+evolves.  Each runs in a subprocess with reduced workloads where the
+script accepts parameters.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+CASES = [
+    ("quickstart.py", []),
+    ("pubsub_mom.py", ["--samples", "10"]),
+    ("image_streaming.py", ["--frames", "4", "--width", "160", "--height", "90"]),
+    ("qos_migration.py", []),
+    ("time_sensitive.py", []),
+    ("reliable_transfer.py", ["--chunks", "30", "--loss", "0.1"]),
+    ("edge_orchestration.py", []),
+    ("utcp_file_transfer.py", ["--kb", "32", "--loss", "0.05"]),
+    (os.path.join("loc_apps", "app_insane.py"), ["--rounds", "50", "--messages", "300"]),
+    (os.path.join("loc_apps", "app_udp.py"), ["--rounds", "50", "--messages", "300"]),
+    (os.path.join("loc_apps", "app_dpdk.py"), ["--rounds", "50", "--messages", "300"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)] + args,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        "%s failed:\nstdout:\n%s\nstderr:\n%s" % (script, result.stdout, result.stderr)
+    )
+    assert result.stdout.strip(), "%s produced no output" % script

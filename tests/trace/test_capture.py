@@ -1,0 +1,95 @@
+"""Wire-tap capture tests."""
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import INSANE_PORTS, InsaneDeployment
+from repro.hw import Testbed
+from repro.netstack import Packet
+from repro.trace import WireTap
+
+
+def test_capture_records_frames_with_metadata():
+    bed = Testbed.local(seed=0)
+    tap = WireTap().attach_all(bed)
+    a, b = bed.hosts
+    a.nic.transmit(Packet(a.ip, b.ip, 1000, 2000, payload_len=64))
+    bed.sim.run()
+    assert len(tap) == 1
+    record = tap.records[0]
+    assert record.src_ip == a.ip
+    assert record.dst_port == 2000
+    assert record.payload_len == 64
+    assert not record.dropped
+
+
+def test_filtering_by_endpoint_and_port():
+    bed = Testbed.local(seed=1)
+    tap = WireTap().attach_all(bed)
+    a, b = bed.hosts
+    a.nic.transmit(Packet(a.ip, b.ip, 1000, 2000, payload_len=64))
+    b.nic.transmit(Packet(b.ip, a.ip, 2000, 1000, payload_len=64))
+    a.nic.transmit(Packet(a.ip, b.ip, 1000, 3000, payload_len=64))
+    bed.sim.run()
+    assert len(tap.filter(src_ip=a.ip)) == 2
+    assert len(tap.filter(port=3000)) == 1
+    assert len(tap.filter(dst_ip=a.ip)) == 1
+
+
+def test_dropped_frames_flagged():
+    bed = Testbed.local(seed=2)
+    for link in bed.links:
+        link.loss_rate = 1.0
+    tap = WireTap().attach_all(bed)
+    a, b = bed.hosts
+    a.nic.transmit(Packet(a.ip, b.ip, 1000, 2000, payload_len=64))
+    bed.sim.run()
+    assert len(tap.filter(dropped=True)) == 1
+    assert tap.bytes_on_wire() == 0
+
+
+def test_capture_bounded_and_truncation_flagged():
+    bed = Testbed.local(seed=3)
+    tap = WireTap(max_records=5).attach_all(bed)
+    a, b = bed.hosts
+    for _ in range(10):
+        a.nic.transmit(Packet(a.ip, b.ip, 1000, 2000, payload_len=64))
+    bed.sim.run()
+    assert len(tap) == 5
+    assert tap.truncated
+    assert "truncated" in tap.to_text()
+
+
+def test_to_text_is_tcpdump_like():
+    bed = Testbed.local(seed=4)
+    tap = WireTap().attach_all(bed)
+    a, b = bed.hosts
+    a.nic.transmit(Packet(a.ip, b.ip, 1000, 2000, payload_len=64))
+    bed.sim.run()
+    text = tap.to_text()
+    assert "10.0.0.1:1000 > 10.0.0.2:2000" in text
+    assert "len=64" in text
+
+
+def test_insane_traffic_visible_on_wire():
+    """An INSANE fast flow shows up on the tap at the DPDK port, and the
+    co-located path produces no frames at all."""
+    bed = Testbed.local(seed=5)
+    tap = WireTap().attach_all(bed)
+    sim = bed.sim
+    deployment = InsaneDeployment(bed)
+    tx = Session(deployment.runtime(0), "tx")
+    rx = Session(deployment.runtime(1), "rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="tap")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="tap")
+    source = tx.create_source(tx_stream, channel=1)
+    rx.create_sink(rx_stream, channel=1, callback=lambda d: None)
+    local_sink = tx.create_sink(tx_stream, channel=1, callback=lambda d: None)
+
+    def producer():
+        for _ in range(5):
+            buffer = yield from tx.get_buffer_wait(source, 64)
+            yield from tx.emit_data(source, buffer, length=64)
+
+    sim.process(producer())
+    sim.run()
+    on_wire = tap.filter(port=INSANE_PORTS["dpdk"])
+    assert len(on_wire) == 5  # one frame per remote delivery, none local
