@@ -1,0 +1,78 @@
+"""Wall-clock perf bench: events/sec of the simulation kernel.
+
+Not a paper figure — this measures the *harness itself* (see Becker et al.
+on unmeasured emulation overhead corrupting reproduction claims).  It runs
+the fig5 ping-pong, fig8a streaming, and fig8b 8-sink workloads on both the
+fast and the legacy engine, prints a comparison table, and appends the
+record to ``BENCH_wallclock.json`` so the perf trajectory is tracked across
+PRs.
+
+Run directly (not collected by the tier-1 suite)::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py           # smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --full    # paper-scale
+"""
+
+import argparse
+import sys
+
+from repro.bench.perfbench import run_suite, summary_lines, write_report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Measure simulation-kernel events/sec on the paper workloads."
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale message counts (slower)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default="BENCH_wallclock.json",
+                        help="perf-trajectory report to append to")
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the legacy-engine comparison runs")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if the fig8a events/sec speedup "
+                             "over the legacy engine falls below this")
+    parser.add_argument("--min-churn-speedup", type=float, default=None,
+                        help="exit non-zero if the engine-churn events/sec "
+                             "speedup falls below this")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per measurement (best wall kept)")
+    args = parser.parse_args(argv)
+
+    record = run_suite(full=args.full, seed=args.seed,
+                       compare_legacy=not args.no_legacy, reps=args.reps)
+    for line in summary_lines(record):
+        print(line)
+    write_report(record, path=args.json)
+    print("perf record appended to %s" % args.json)
+
+    if not args.no_legacy:
+        mismatched = [
+            name for name, entry in record["suite"].items()
+            if "results_close" in entry and not entry["results_close"]
+        ]
+        if mismatched:
+            print("ERROR: stacks disagree on simulated results: %s" % mismatched)
+            return 1
+        churn = record["suite"]["engine_churn"]
+        if not churn["identical_stream"]:
+            print("ERROR: engines diverged on the churn event stream")
+            return 1
+        if args.min_speedup is not None:
+            speedup = record["suite"]["fig8a_streaming"]["speedup_events_per_sec"]
+            if speedup < args.min_speedup:
+                print("ERROR: fig8a events/sec speedup %.2fx < required %.2fx"
+                      % (speedup, args.min_speedup))
+                return 1
+        if args.min_churn_speedup is not None:
+            speedup = churn["speedup_events_per_sec"]
+            if speedup < args.min_churn_speedup:
+                print("ERROR: engine-churn events/sec speedup %.2fx < "
+                      "required %.2fx" % (speedup, args.min_churn_speedup))
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

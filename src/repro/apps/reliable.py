@@ -109,7 +109,7 @@ class ReliableSender:
             self._timer.cancel()
             self._timer = None
         if self._unacked and not self.closed:
-            self._timer = self.sim.schedule(self.rto_ns, self._on_timeout)
+            self._timer = self.sim.schedule_cancellable(self.rto_ns, self._on_timeout)
 
     def _on_timeout(self):
         self._timer = None

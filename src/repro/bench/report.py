@@ -26,11 +26,16 @@ def _key(key):
     return str(key)
 
 
-def write_json_report(path, results_by_experiment, profile="local", seed=0):
+def write_json_report(path, results_by_experiment, profile="local", seed=0,
+                      sim_stats=None):
     """Append one run's results to a JSON report file.
 
     The file holds a list of run records, so successive invocations (e.g.
-    local then cloud) accumulate rather than overwrite.
+    local then cloud) accumulate rather than overwrite.  Pass a
+    :meth:`repro.simnet.Simulator.stats` dict (or a mapping of them) as
+    ``sim_stats`` to record kernel counters — events executed, peak heap,
+    purged timers — alongside the results, so a perf regression can be told
+    apart from a workload change when trajectories diverge.
     """
     record = {
         "profile": profile,
@@ -40,6 +45,8 @@ def write_json_report(path, results_by_experiment, profile="local", seed=0):
             for name, results in results_by_experiment.items()
         },
     }
+    if sim_stats is not None:
+        record["sim_stats"] = _jsonable(sim_stats)
     runs = []
     if os.path.exists(path):
         with open(path) as handle:

@@ -7,13 +7,20 @@ handles; the runtime keeps its own registry of sink endpoints.
 """
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
+from repro.core.qos import TimeSensitivity
 from repro.simnet import Counter
 
 
-@dataclass(frozen=True)
-class ChannelKey:
-    """What makes endpoints rendezvous: stream name + channel id."""
+class ChannelKey(NamedTuple):
+    """What makes endpoints rendezvous: stream name + channel id.
+
+    A named tuple rather than a dataclass: construction, hashing, and
+    equality all run at C speed, and a plain ``(stream, channel)`` tuple
+    hashes equal to it — the runtime's per-packet sink lookups rely on
+    both properties.
+    """
 
     stream: str
     channel: int
@@ -31,16 +38,14 @@ class Stream:
         self.closed = False
         self.sources = []
         self.sinks = []
+        # resolved once: emit_data reads this per message
+        self.time_sensitive = (
+            policy.time_sensitivity is TimeSensitivity.TIME_SENSITIVE
+        )
 
     @property
     def datapath(self):
         return self.decision.datapath
-
-    @property
-    def time_sensitive(self):
-        from repro.core.qos import TimeSensitivity
-
-        return self.policy.time_sensitivity is TimeSensitivity.TIME_SENSITIVE
 
     def close(self):
         for source in list(self.sources):
@@ -61,6 +66,9 @@ class Source:
         self.closed = False
         self.emitted = Counter("source.emitted")
         self._next_emit_id = 0
+        # the client-to-runtime ring, resolved lazily on first emit and
+        # reused for every subsequent one (the binding never changes)
+        self._ring = None
 
     def next_emit_id(self):
         self._next_emit_id += 1
@@ -102,6 +110,10 @@ class Sink:
         self.callback = callback
         self.closed = False
         self.received = Counter("sink.received")
+        # hot-path caches: the endpoint ring and the binding's IPC cost
+        # helper are fixed for the sink's lifetime
+        self._endpoint_ring = endpoint.ring
+        self._ipc_half = stream.binding.ipc_half_cost
 
     @property
     def ring(self):

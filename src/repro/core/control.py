@@ -24,6 +24,10 @@ class ControlPlane:
         self._runtimes = {}   # ip -> runtime
         # ChannelKey -> ip -> {datapath_name: subscriber_count}
         self._subscriptions = defaultdict(lambda: defaultdict(dict))
+        # (key, local_ip) -> remote subscriber list; publishers consult
+        # their cached view per emitted message, while membership changes
+        # (rare, out of band) invalidate it wholesale
+        self._remote_cache = {}
 
     # -- runtime membership ----------------------------------------------
 
@@ -37,6 +41,7 @@ class ControlPlane:
         self._runtimes.pop(runtime.host.ip, None)
         for subscribers in self._subscriptions.values():
             subscribers.pop(runtime.host.ip, None)
+        self._remote_cache.clear()
 
     def runtime_at(self, ip):
         return self._runtimes.get(ip)
@@ -50,6 +55,7 @@ class ControlPlane:
     def subscribe(self, key, runtime, datapath="udp"):
         counts = self._subscriptions[key][runtime.host.ip]
         counts[datapath] = counts.get(datapath, 0) + 1
+        self._remote_cache.clear()
 
     def unsubscribe(self, key, runtime, datapath="udp"):
         subscribers = self._subscriptions.get(key)
@@ -66,9 +72,25 @@ class ControlPlane:
             del subscribers[runtime.host.ip]
         if not subscribers:
             del self._subscriptions[key]
+        self._remote_cache.clear()
 
     def remote_subscribers(self, key, local_ip):
-        """``(ip, frozenset(datapaths))`` of remote runtimes on ``key``."""
+        """``(ip, frozenset(datapaths))`` of remote runtimes on ``key``.
+
+        Consulted once per emitted message, so the computed view is cached
+        until the next membership change.  Callers must not mutate the
+        returned list.
+        """
+        cache_key = (key, local_ip)
+        cached = self._remote_cache.get(cache_key)
+        if cached is None:
+            cached = self._remote_cache[cache_key] = (
+                self.remote_subscribers_uncached(key, local_ip)
+            )
+        return cached
+
+    def remote_subscribers_uncached(self, key, local_ip):
+        """Recompute the subscriber view (the pre-overhaul per-emit cost)."""
         subscribers = self._subscriptions.get(key, {})
         return [
             (ip, frozenset(counts))

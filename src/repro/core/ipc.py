@@ -8,35 +8,46 @@ shared memory (paper §5.3, Fig. 4).  The simulated ring is a bounded
 dequeuing side so that the cost lands on the correct simulated core.
 """
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-from repro.simnet import Counter, Store, Timeout
+from repro.core.channel import ChannelKey
+from repro.simnet import Counter, Get, Put, Store, Timeout
 
 
-@dataclass
 class Token:
     """One entry of a token ring.
 
     ``slot_id`` identifies the payload slot in the runtime's shared pool
     (the processes never exchange pointers); ``buffer`` is the simulation's
     resolved handle so tests can verify zero-copy behaviour.
+
+    Three tokens are built per delivered message (emit, dispatch,
+    per-sink delivery), so this is a plain ``__slots__`` class rather
+    than a dataclass.
     """
 
-    slot_id: int
-    length: int
-    stream: str
-    channel: int
-    emit_id: Optional[object] = None
-    source_ip: Optional[str] = None
-    buffer: object = None
-    meta: dict = field(default_factory=dict)
+    __slots__ = (
+        "slot_id", "length", "stream", "channel",
+        "emit_id", "source_ip", "buffer", "meta",
+    )
+
+    def __init__(self, slot_id, length, stream, channel,
+                 emit_id=None, source_ip=None, buffer=None, meta=None):
+        self.slot_id = slot_id
+        self.length = length
+        self.stream = stream
+        self.channel = channel
+        self.emit_id = emit_id
+        self.source_ip = source_ip
+        self.buffer = buffer
+        self.meta = {} if meta is None else meta
 
     @property
     def key(self):
-        from repro.core.channel import ChannelKey
-
         return ChannelKey(self.stream, self.channel)
+
+    def __repr__(self):
+        return "Token(slot=%r, len=%r, %s:%s)" % (
+            self.slot_id, self.length, self.stream, self.channel
+        )
 
 
 class TokenRing:
@@ -47,6 +58,9 @@ class TokenRing:
         self.host = host
         self.store = Store(sim, capacity=capacity, name=name)
         self.name = name
+        self._half_ns = host.profile.stage("insane_ipc").cost(0, burst=1) / 2.0
+        #: pre-overhaul behaviour: recompute the stage cost per call
+        self._legacy = getattr(sim, "legacy_stack", False)
         self.enqueued = Counter(name + ".enqueued")
         self.rejected = Counter(name + ".rejected")
 
@@ -59,6 +73,8 @@ class TokenRing:
 
     def half_cost(self, burst=1):
         """The per-side CPU cost of one ring crossing."""
+        if burst == 1 and not self._legacy:
+            return Timeout(self.host.jitter(self._half_ns))
         return Timeout(self.host.jitter(self.host.profile.stage("insane_ipc").cost(0, burst=burst) / 2.0))
 
     def try_enqueue(self, token):
@@ -72,9 +88,13 @@ class TokenRing:
     def enqueue_effect(self, token):
         """A ``Put`` effect that blocks the producer while the ring is full
         (backpressure rather than silent loss on the client side)."""
-        from repro.simnet import Put
+        if self._legacy:
+            # verbatim pre-overhaul path: per-call import + increment()
+            from repro.simnet import Put as PutEffect
 
-        self.enqueued.increment()
+            self.enqueued.increment()
+            return PutEffect(self.store, token)
+        self.enqueued.value += 1
         return Put(self.store, token)
 
     def try_dequeue(self):
@@ -82,8 +102,6 @@ class TokenRing:
         return token if ok else None
 
     def dequeue_effect(self):
-        from repro.simnet import Get
-
         return Get(self.store)
 
     def drain(self, max_items):

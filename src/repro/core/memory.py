@@ -81,11 +81,22 @@ class SlotPool:
         self.slot_bytes = slot_bytes
         self._backing = bytearray(slots * slot_bytes)
         self._view = memoryview(self._backing)
-        self._free = list(range(slots - 1, -1, -1))
+        # Buffer objects are built once and recycled through the free list
+        # (popping from the end yields slot 0 first, as the id-based free
+        # list did); allocation then never constructs objects or slices
+        # views on the hot path.
+        self._free = [
+            Buffer(self, slot_id, self._view[slot_id * slot_bytes:(slot_id + 1) * slot_bytes])
+            for slot_id in range(slots - 1, -1, -1)
+        ]
         self._live = {}
         self.allocations = Counter(name + ".allocations")
         self.exhaustions = Counter(name + ".exhaustions")
         self._waiters = []
+        #: pre-overhaul behaviour: construct a Buffer (and slice a view)
+        #: per allocation instead of recycling pooled objects — only the
+        #: perf baseline sets legacy_stack
+        self._legacy = getattr(sim, "legacy_stack", False)
 
     @property
     def free_slots(self):
@@ -103,13 +114,26 @@ class SlotPool:
                 "application level" % (size, self.slot_bytes)
             )
         if not self._free:
-            self.exhaustions.increment()
+            if self._legacy:
+                self.exhaustions.increment()
+            else:
+                self.exhaustions.value += 1
             return None
-        slot_id = self._free.pop()
-        offset = slot_id * self.slot_bytes
-        buffer = Buffer(self, slot_id, self._view[offset : offset + self.slot_bytes])
-        self._live[slot_id] = buffer
-        self.allocations.increment()
+        buffer = self._free.pop()
+        if self._legacy:
+            # verbatim pre-overhaul allocation: a fresh Buffer wrapping a
+            # freshly sliced view, plus increment() calls
+            slot_id = buffer.slot_id
+            offset = slot_id * self.slot_bytes
+            buffer = Buffer(self, slot_id, self._view[offset : offset + self.slot_bytes])
+            self._live[slot_id] = buffer
+            self.allocations.increment()
+            return buffer
+        buffer.length = 0
+        buffer.refcount = 1
+        buffer.frozen = False
+        self._live[buffer.slot_id] = buffer
+        self.allocations.value += 1
         return buffer
 
     def alloc(self, size=0):
@@ -146,10 +170,13 @@ class SlotPool:
             callback = self._waiters.pop(0)
             buffer.refcount = 1
             self._live[buffer.slot_id] = buffer
-            self.allocations.increment()
+            if self._legacy:
+                self.allocations.increment()
+            else:
+                self.allocations.value += 1
             self.sim.schedule(0, callback, buffer, None)
         else:
-            self._free.append(buffer.slot_id)
+            self._free.append(buffer)
 
     def lookup(self, slot_id):
         """Resolve a slot id received over an IPC ring to its buffer."""
@@ -189,6 +216,8 @@ class MemoryManager:
         )
         self._attached = {}
         self._quotas = {}
+        if getattr(sim, "legacy_stack", False):
+            self.alloc_for = self._alloc_for_legacy
 
     def attach(self, app_id, quota=None):
         """Attach an application; ``quota`` optionally caps how many slots
@@ -210,6 +239,23 @@ class MemoryManager:
 
     def alloc_for(self, app_id, size=0):
         """Allocate a slot on behalf of an attached application."""
+        owned = self._attached.get(app_id)
+        if owned is None:
+            raise ValueError("application %r is not attached" % (app_id,))
+        if self._quotas:
+            quota = self._quotas.get(app_id)
+            if quota is not None and len(owned) >= quota:
+                raise PoolExhaustedError(
+                    "application %r reached its slot quota (%d)" % (app_id, quota)
+                )
+        buffer = self.pool.try_alloc(size)
+        if buffer is None:
+            raise PoolExhaustedError("%s out of slots" % self.pool.name)
+        owned.add(buffer)
+        return buffer
+
+    def _alloc_for_legacy(self, app_id, size=0):
+        """Pre-overhaul allocation accounting, verbatim (perf baseline)."""
         if app_id not in self._attached:
             raise ValueError("application %r is not attached" % (app_id,))
         quota = self._quotas.get(app_id)

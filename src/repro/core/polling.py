@@ -48,26 +48,60 @@ class PollingThread:
 
     def _loop(self):
         try:
-            while self.running:
-                progressed = False
-                for binding in list(self.bindings):
-                    progressed = (yield from binding.tx_pass()) or progressed
-                    progressed = (yield from binding.rx_pass()) or progressed
-                if progressed:
-                    continue
-                if self._pending_kick:
-                    self._pending_kick = False
-                    continue
-                yield from self._park()
+            if getattr(self.sim, "legacy_stack", False):
+                yield from self._legacy_loop()
+            else:
+                yield from self._fast_loop()
         finally:
             self.host.unpin_core()
+
+    def _fast_loop(self):
+        """Poll bindings, but only enter a pass that can make progress.
+
+        ``tx_pass``/``rx_pass`` are generators: calling them allocates a
+        generator object and runs the full drain scaffolding even when
+        every queue is empty.  The pending checks are plain attribute
+        reads, and a pass that would find nothing yields nothing — so
+        skipping it is invisible to the simulation and only saves wall
+        clock.  A stale positive is harmless: the pass runs, finds no
+        eligible work (e.g. a closed TSN gate), and reports no progress,
+        exactly as the unconditional loop would.
+        """
+        while self.running:
+            progressed = False
+            for binding in self.bindings:
+                if binding.tx_pending():
+                    progressed = (yield from binding.tx_pass()) or progressed
+                if binding.rx_pending():
+                    progressed = (yield from binding.rx_pass()) or progressed
+            if progressed:
+                continue
+            if self._pending_kick:
+                self._pending_kick = False
+                continue
+            yield from self._park()
+
+    def _legacy_loop(self):
+        """The pre-overhaul loop: every binding pays a full (generator)
+        tx/rx pass per iteration whether or not any work is pending."""
+        while self.running:
+            progressed = False
+            for binding in list(self.bindings):
+                progressed = (yield from binding.tx_pass()) or progressed
+                progressed = (yield from binding.rx_pass()) or progressed
+            if progressed:
+                continue
+            if self._pending_kick:
+                self._pending_kick = False
+                continue
+            yield from self._park()
 
     def _park(self):
         """Idle: sleep until kicked or until the next TSN gate opens."""
         self._signal = Signal(self.sim)
         wake_at = self._earliest_scheduler_wake()
         if wake_at is not None and wake_at > self.sim.now:
-            self._wake_handle = self.sim.schedule_at(wake_at, self.kick)
+            self._wake_handle = self.sim.schedule_cancellable_at(wake_at, self.kick)
         yield Wait(self._signal)
         self._signal = None
         self._pending_kick = False

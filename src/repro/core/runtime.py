@@ -7,6 +7,7 @@ everything with a configurable pool of polling threads.  Applications attach
 over shared memory (sessions) and exchange slot-id tokens with it.
 """
 
+from repro.core.channel import ChannelKey
 from repro.core.config import RuntimeConfig
 from repro.core.control import ControlPlane
 from repro.core.ipc import Token, TokenRing
@@ -84,8 +85,17 @@ class DatapathBinding:
         #: max ns of frames the NIC may hold before the send loop throttles
         #: (keeps transmit ordering under the scheduler's control)
         self.max_nic_backlog_ns = 5_000.0
+        #: pre-overhaul cost-accounting behaviour; see repro.simnet.legacy
+        self._legacy = getattr(self.sim, "legacy_stack", False)
         # one SPSC ring per attached application (paper Fig. 4)
         self.tx_rings = {}
+        self._ring_list = []   # stable iteration order, no dict copy per pass
+        # token/packet costs are pure functions of (stage set, size, burst);
+        # memoizing them skips the per-item profile lookups on the hot path
+        # without perturbing any value (jitter is applied after the sum)
+        self._token_cost_cache = {}
+        self._rx_cost_cache = {}
+        self._ipc_half_ns = self.profile.stage("insane_ipc").cost(0, burst=1) / 2.0
         self.fifo = scheduler_for(False, best_effort=config.best_effort_scheduler)
         self.tsn = None
         self.cross_tech_routes = Counter("%s.%s.cross_tech" % (self.host.name, name))
@@ -94,6 +104,10 @@ class DatapathBinding:
         self.unknown_drops = Counter("%s.%s.unknown_drops" % (self.host.name, name))
         self._wire_datapath()
         self.rx_queue.on_item = self._kick
+        if self._legacy:
+            # the perf baseline runs the verbatim pre-overhaul passes
+            self.tx_pass = self._tx_pass_legacy
+            self.rx_pass = self._rx_pass_legacy
 
     def ring_for(self, app_id):
         """The application's private SPSC emit ring on this binding."""
@@ -107,12 +121,13 @@ class DatapathBinding:
             )
             ring.store.on_item = self._kick
             self.tx_rings[app_id] = ring
+            self._ring_list.append(ring)
         return ring
 
     def ipc_half_cost(self, burst=1):
         """Per-side cost of one client<->runtime ring crossing."""
-        from repro.simnet import Timeout
-
+        if burst == 1 and not self._legacy:
+            return Timeout(self.host.jitter(self._ipc_half_ns))
         cost = self.profile.stage("insane_ipc").cost(0, burst=burst) / 2.0
         return Timeout(self.host.jitter(cost))
 
@@ -188,8 +203,55 @@ class DatapathBinding:
 
     # -- TX path --------------------------------------------------------------------
 
+    def tx_pending(self):
+        """Whether a tx_pass could make progress right now.
+
+        May report a false positive (a queued TSN packet behind a closed
+        gate); the pass then simply finds nothing eligible.  Must never
+        report a false negative, or the polling thread would park with
+        work queued.
+        """
+        for ring in self._ring_list:
+            if ring.store._items:
+                return True
+        if len(self.fifo):
+            return True
+        tsn = self.tsn
+        return tsn is not None and len(tsn) > 0
+
+    def rx_pending(self):
+        """Whether the datapath's receive queue holds anything."""
+        return len(self.rx_queue) > 0
+
     def tx_pass(self):
         """Drain emitted tokens through the scheduler into the datapath."""
+        progressed = False
+        cache = self._token_cost_cache
+        jitter = self.host.jitter
+        route = self._route_token
+        for ring in self._ring_list:
+            tokens = ring.drain(self.tx_burst)
+            if not tokens:
+                continue
+            progressed = True
+            burst = len(tokens)
+            base = cache.get(burst)
+            if base is None:
+                base = cache[burst] = self._token_cost(burst)
+            yield Timeout(jitter(base * burst))
+            for token in tokens:
+                route(token)
+        max_batch = self.tx_burst if self.batching else 1
+        while True:
+            ready = self._pop_ready(self.sim.now, max_batch)
+            if not ready:
+                break
+            progressed = True
+            yield from self._send_batch(ready)
+        return progressed
+
+    def _tx_pass_legacy(self):
+        """Pre-overhaul tx pass: per-token cost lookups, no memoization."""
         progressed = False
         for ring in list(self.tx_rings.values()):
             tokens = ring.drain(self.tx_burst)
@@ -200,7 +262,7 @@ class DatapathBinding:
             cost = sum(self._token_cost(burst) for _ in tokens)
             yield Timeout(self.host.jitter(cost))
             for token in tokens:
-                self._route_token(token)
+                self._route_token_legacy(token)
         max_batch = self.tx_burst if self.batching else 1
         while True:
             ready = self._pop_ready(self.sim.now, max_batch)
@@ -214,8 +276,40 @@ class DatapathBinding:
         """Deliver locally over shared memory, schedule remote transmissions."""
         runtime = self.runtime
         buffer = token.buffer
+        key = (token.stream, token.channel)  # hashes equal to ChannelKey
+        local = runtime._sinks.get(key)
+        if local is None:
+            local = ()
+        remote = runtime.control.remote_subscribers(key, self.host.ip)
+        refs_needed = len(local) + len(remote)
+        if token.emit_id is not None:
+            runtime._outcomes[token.emit_id] = (
+                "sent" if refs_needed else "no_subscribers"
+            )
+        if refs_needed == 0:
+            buffer.pool.release(buffer)
+            return
+        pool = buffer.pool
+        for _ in range(refs_needed - 1):
+            pool.addref(buffer)
+        for endpoint in local:
+            runtime.deliver_to_sink(endpoint, token, buffer)
+        traffic_class = (
+            CLASS_TIME_SENSITIVE if token.meta.get("time_sensitive") else CLASS_BEST_EFFORT
+        )
+        for dst_ip, dst_datapaths in remote:
+            egress = self if self.name in dst_datapaths else self._egress_for(dst_datapaths)
+            packet = egress._build_packet(token, buffer, dst_ip)
+            egress._push_scheduler(packet, traffic_class)
+            if egress is not self:
+                egress._kick()
+
+    def _route_token_legacy(self, token):
+        """Pre-overhaul routing: per-emit subscriber recomputation."""
+        runtime = self.runtime
+        buffer = token.buffer
         local = runtime.local_sinks(token.key)
-        remote = runtime.control.remote_subscribers(token.key, self.host.ip)
+        remote = runtime.control.remote_subscribers_uncached(token.key, self.host.ip)
         refs_needed = len(local) + len(remote)
         runtime.mark_outcome(token, "sent" if refs_needed else "no_subscribers")
         if refs_needed == 0:
@@ -255,9 +349,12 @@ class DatapathBinding:
     def _build_packet(self, token, buffer, dst_ip):
         # carry whatever bytes the application actually wrote (possibly a
         # short prefix of the declared length: synthetic payload mode)
-        written = min(buffer.length, token.length)
+        written = buffer.length
+        if written > token.length:
+            written = token.length
         payload = buffer.view[:written] if written else None
-        trace = {"emit_ns": token.meta["emit_ns"]} if "emit_ns" in token.meta else None
+        meta = token.meta
+        trace = {"emit_ns": meta["emit_ns"]} if "emit_ns" in meta else None
         packet = Packet(
             self.host.ip,
             dst_ip,
@@ -267,11 +364,13 @@ class DatapathBinding:
             payload_len=token.length + INSANE_HEADER_BYTES,
             trace=trace,
         )
-        packet.stamp("runtime_tx", self.sim.now)
-        packet.meta["insane"] = (token.stream, token.channel, token.length)
-        packet.meta["tx_buffer"] = buffer
-        if "app" in token.meta:
-            packet.meta["flow"] = token.meta["app"]
+        if trace is not None:
+            trace["runtime_tx"] = self.sim.now
+        pmeta = packet.meta
+        pmeta["insane"] = (token.stream, token.channel, token.length)
+        pmeta["tx_buffer"] = buffer
+        if "app" in meta:
+            pmeta["flow"] = meta["app"]
         return packet
 
     def _push_scheduler(self, packet, traffic_class):
@@ -307,8 +406,10 @@ class DatapathBinding:
         backlog = nic.tx_backlog_ns(self.sim.now)
         if backlog > self.max_nic_backlog_ns:
             yield Timeout(backlog - self.max_nic_backlog_ns)
+        now = self.sim.now
         for packet in packets:
-            packet.stamp("datapath_tx", self.sim.now)
+            if packet.trace is not None:
+                packet.trace["datapath_tx"] = now
         if self.name == "udp":
             yield from self.socket.send_many(packets)
         elif self.name == "rdma":
@@ -320,6 +421,46 @@ class DatapathBinding:
 
     def rx_pass(self):
         """Drain received packets and dispatch them to local sinks."""
+        try_get = self.rx_queue.try_get
+        batch = []
+        while len(batch) < self.rx_burst:
+            ok, packet = try_get()
+            if not ok:
+                break
+            batch.append(packet)
+        if not batch:
+            return False
+        burst = len(batch)
+        cost = self.detect_ns
+        cache = self._rx_cost_cache
+        sinks_get = self.runtime._sinks.get
+        l2_excess = self.runtime.sink_ring_count > self.l2_budget
+        per_packet_sinks = []
+        for packet in batch:
+            # pure function of (payload_len, burst): memoized, same value
+            key = (packet.payload_len, burst)
+            pkt_cost = cache.get(key)
+            if pkt_cost is None:
+                if len(cache) > 4096:
+                    cache.clear()
+                pkt_cost = cache[key] = self._rx_pkt_cost(packet, burst)
+            cost += pkt_cost
+            meta = packet.meta.get("insane")
+            sinks = None
+            if meta is not None:
+                sinks = sinks_get((meta[0], meta[1]))
+                if sinks is not None and (len(sinks) > 1 or l2_excess):
+                    cost += self._fanout_cost(len(sinks))
+            per_packet_sinks.append(sinks)
+        yield Timeout(self.host.jitter(cost))
+        dispatch = self._dispatch
+        for packet, sinks in zip(batch, per_packet_sinks):
+            dispatch(packet, sinks)
+        return True
+
+    def _rx_pass_legacy(self):
+        """Pre-overhaul rx pass: per-packet cost recomputation, double
+        sink lookups (cost accounting, then dispatch)."""
         batch = []
         while len(batch) < self.rx_burst:
             ok, packet = self.rx_queue.try_get()
@@ -338,10 +479,56 @@ class DatapathBinding:
                 cost += self._fanout_cost(len(sinks))
         yield Timeout(self.host.jitter(cost))
         for packet in batch:
-            self._dispatch(packet)
+            self._dispatch_legacy(packet)
         return True
 
-    def _dispatch(self, packet):
+    def _dispatch(self, packet, sinks=None):
+        now = self.sim.now
+        trace = packet.trace
+        if trace is not None:
+            trace["runtime_rx"] = now
+        meta = packet.meta.get("insane")
+        if meta is None:
+            self.unknown_drops.value += 1
+            return
+        stream, channel, length = meta
+        if sinks is None:
+            sinks = self.runtime._sinks.get((stream, channel))
+        if not sinks:
+            self.no_sink_drops.value += 1
+            return
+        runtime = self.runtime
+        memory = runtime.memory
+        buffer = memory.pool.try_alloc()
+        if buffer is None:
+            self.pool_drops.value += 1
+            return
+        payload = packet.payload
+        if payload is not None:
+            # the NIC's DMA wrote straight into this pool slot
+            buffer.write(payload[:length])
+        buffer.length = length
+        if len(sinks) > 1:
+            addref = buffer.pool.addref
+            for _ in range(len(sinks) - 1):
+                addref(buffer)
+        src_ip = packet.src_ip
+        slot_id = buffer.slot_id
+        # one delivery token per sink, built directly (no intermediate
+        # token + meta-dict copy as in the pre-overhaul path)
+        for endpoint in sinks:
+            tmeta = (
+                {"recv_ns": now} if trace is None
+                else {"trace": trace, "recv_ns": now}
+            )
+            delivery = Token(slot_id, length, stream, channel,
+                            None, src_ip, buffer, tmeta)
+            memory.lend_to(endpoint.app_id, buffer)
+            if not endpoint.ring.try_put(delivery):
+                endpoint.dropped.increment()
+                memory.release_for(endpoint.app_id, buffer)
+
+    def _dispatch_legacy(self, packet):
         packet.stamp("runtime_rx", self.sim.now)
         meta = packet.meta.get("insane")
         if meta is None:
@@ -478,8 +665,6 @@ class InsaneRuntime:
         return endpoint
 
     def register_sink_key(self, stream, channel, app_id, datapath="udp"):
-        from repro.core.channel import ChannelKey
-
         return self.register_sink(ChannelKey(stream, channel), app_id, datapath=datapath)
 
     def unregister_sink(self, endpoint):
@@ -495,8 +680,6 @@ class InsaneRuntime:
         return self._sinks.get(key, [])
 
     def local_sinks_by_parts(self, stream, channel):
-        from repro.core.channel import ChannelKey
-
         return self._sinks.get(ChannelKey(stream, channel), [])
 
     def deliver_to_sink(self, endpoint, token, buffer):

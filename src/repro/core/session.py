@@ -27,9 +27,11 @@ and sink-side::
 import itertools
 
 from repro.core.channel import Delivery, Sink, Source, Stream
-from repro.core.errors import SessionError
+from repro.core.errors import PoolExhaustedError, SessionError
+from repro.core.ipc import Token
 from repro.core.qos import QosPolicy, resolve_mapping
 from repro.core.runtime import INSANE_HEADER_BYTES
+from repro.simnet import Get, Signal, Wait
 
 _session_ids = itertools.count(1)
 
@@ -45,6 +47,12 @@ class Session:
         self.streams = []
         self.closed = False
         self._credentials = {}
+        # pre-overhaul client-library behaviour (per-call imports, property
+        # chains, increment() calls) — only the perf baseline sets this
+        if getattr(runtime.sim, "legacy_stack", False):
+            self.emit_data = self._emit_data_legacy
+            self.consume_data = self._consume_data_legacy
+            self.get_buffer_wait = self._get_buffer_wait_legacy
         runtime.attach_session(self)
 
     def present(self, credential):
@@ -135,6 +143,22 @@ class Session:
 
         Generator — use ``buffer = yield from session.get_buffer_wait(...)``.
         """
+        self._check_open()
+        if source.closed:
+            raise SessionError("source is closed")
+        self.runtime.frame_policy.validate(size + INSANE_HEADER_BYTES)
+        try:
+            return self.runtime.memory.alloc_for(self.app_id, size)
+        except PoolExhaustedError:
+            signal = Signal(self.sim)
+            self.runtime.memory.alloc_waiter_for(
+                self.app_id, lambda buffer, exc: signal.succeed(buffer)
+            )
+            buffer = yield Wait(signal)
+            return buffer
+
+    def _get_buffer_wait_legacy(self, source, size):
+        """Pre-overhaul blocking allocation, verbatim (perf baseline)."""
         from repro.core.errors import PoolExhaustedError
         from repro.simnet import Signal, Wait
 
@@ -158,6 +182,45 @@ class Session:
         After this call the buffer belongs to the middleware: writing to it
         is an error (no after-write protection, paper §5.1).
         """
+        if self.closed:
+            raise SessionError("session %s is closed" % self.app_id)
+        if source.closed:
+            raise SessionError("source is closed")
+        if length is None:
+            length = buffer.length
+        if length > len(buffer.view):
+            raise SessionError("emit length exceeds buffer capacity")
+        buffer.frozen = True  # inline Buffer.freeze(): no-after-write
+        runtime = self.runtime
+        runtime.memory.transfer_ownership(self.app_id, buffer)
+        source._next_emit_id = next_id = source._next_emit_id + 1
+        emit_id = (self.app_id, id(source), next_id)
+        stream = source.stream
+        meta = {"app": self.app_id}
+        if stream.time_sensitive:
+            meta["time_sensitive"] = True
+        if runtime.config.trace:
+            meta["emit_ns"] = self.sim.now
+        token = Token(
+            buffer.slot_id,
+            length,
+            stream.name,
+            source.channel,
+            emit_id,
+            runtime.host.ip,
+            buffer,
+            meta,
+        )
+        ring = source._ring
+        if ring is None:
+            source._ring = ring = stream.binding.ring_for(self.app_id)
+        yield ring.half_cost()
+        yield ring.enqueue_effect(token)
+        source.emitted.value += 1
+        return emit_id
+
+    def _emit_data_legacy(self, source, buffer, length=None):
+        """Pre-overhaul emit path, verbatim (perf baseline)."""
         from repro.core.ipc import Token
 
         self._check_open()
@@ -203,6 +266,22 @@ class Session:
     def consume_data(self, sink, blocking=True):
         """Consume the next delivery; returns None immediately when
         non-blocking and no data is present."""
+        if self.closed:
+            raise SessionError("session %s is closed" % self.app_id)
+        if sink.closed:
+            raise SessionError("sink is closed")
+        if blocking:
+            token = yield Get(sink._endpoint_ring)
+        else:
+            ok, token = sink._endpoint_ring.try_get()
+            if not ok:
+                return None
+        yield sink._ipc_half()
+        sink.received.value += 1
+        return self._delivery_from(token)
+
+    def _consume_data_legacy(self, sink, blocking=True):
+        """Pre-overhaul consume path, verbatim (perf baseline)."""
         self._check_open()
         if sink.closed:
             raise SessionError("sink is closed")
@@ -248,8 +327,6 @@ class Session:
         )
 
     def _callback_loop(self, sink):
-        from repro.simnet import Get
-
         while not sink.closed and not self.closed:
             token = yield Get(sink.ring)
             yield sink.stream.binding.ipc_half_cost()

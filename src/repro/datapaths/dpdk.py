@@ -72,10 +72,17 @@ class DpdkDatapath(Datapath):
     def send_many(self, packets):
         """Transmit a burst through the PMD (rte_eth_tx_burst)."""
         burst = len(packets)
+        if self._legacy:
+            for packet in packets:
+                yield self.charge("ustack_tx", packet.payload_len, burst=burst)
+                yield self.charge("dpdk_tx", packet.payload_len, burst=burst)
+                packet.stamp("dpdk_tx_done", self.sim.now)
+                self.transmit(packet)
+            return
         for packet in packets:
-            yield self.charge("ustack_tx", packet.payload_len, burst=burst)
-            yield self.charge("dpdk_tx", packet.payload_len, burst=burst)
-            packet.stamp("dpdk_tx_done", self.sim.now)
+            yield self.charge_many(("ustack_tx", "dpdk_tx"), packet.payload_len, burst=burst)
+            if packet.trace is not None:
+                packet.trace["dpdk_tx_done"] = self.sim.now
             self.transmit(packet)
 
     # -- receive ------------------------------------------------------------------
@@ -93,8 +100,11 @@ class DpdkDatapath(Datapath):
         batch = self.drain_queue(queue, first, max_burst)
         delivered = []
         for packet in batch:
-            yield self.charge("dpdk_rx", packet.payload_len, burst=len(batch))
-            yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
+            if self._legacy:
+                yield self.charge("dpdk_rx", packet.payload_len, burst=len(batch))
+                yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
+            else:
+                yield self.charge_many(("dpdk_rx", "ustack_rx"), packet.payload_len, burst=len(batch))
             if not self._stage_into_mempool(packet):
                 continue
             packet.stamp("dpdk_rx_done", self.sim.now)

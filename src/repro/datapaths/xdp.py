@@ -53,10 +53,17 @@ class XdpDatapath(Datapath):
         batch like a real AF_XDP submission.
         """
         burst = len(packets)
+        if self._legacy:
+            for packet in packets:
+                yield self.charge("ustack_tx", packet.payload_len, burst=burst)
+                yield self.charge("xdp_tx", packet.payload_len, burst=burst)
+                packet.stamp("xdp_tx_done", self.sim.now)
+                self.transmit(packet)
+            return
         for packet in packets:
-            yield self.charge("ustack_tx", packet.payload_len, burst=burst)
-            yield self.charge("xdp_tx", packet.payload_len, burst=burst)
-            packet.stamp("xdp_tx_done", self.sim.now)
+            yield self.charge_many(("ustack_tx", "xdp_tx"), packet.payload_len, burst=burst)
+            if packet.trace is not None:
+                packet.trace["xdp_tx_done"] = self.sim.now
             self.transmit(packet)
 
     def recv_burst(self, queue, max_burst=None):
@@ -67,8 +74,11 @@ class XdpDatapath(Datapath):
         yield Timeout(self.host.jitter(self.detect_ns))
         batch = self.drain_queue(queue, first, max_burst)
         for packet in batch:
-            yield self.charge("xdp_rx", packet.payload_len, burst=len(batch))
-            yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
+            if self._legacy:
+                yield self.charge("xdp_rx", packet.payload_len, burst=len(batch))
+                yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
+            else:
+                yield self.charge_many(("xdp_rx", "ustack_rx"), packet.payload_len, burst=len(batch))
             if isinstance(packet.payload, memoryview):
                 packet.payload = bytes(packet.payload)
             packet.stamp("xdp_rx_done", self.sim.now)

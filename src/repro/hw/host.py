@@ -1,6 +1,10 @@
 """A host: CPU cores, one NIC, and cost-charging helpers."""
 
+from math import cos as _cos, log as _log, pi, sin as _sin, sqrt as _sqrt
+
 from repro.simnet import Resource, Timeout
+
+_TWOPI = 2.0 * pi
 
 
 class Host:
@@ -20,20 +24,60 @@ class Host:
         self.nic = None  # wired by the topology builder
         self.cores = Resource(sim, capacity=profile.cores, name=name + ".cores")
         self._pinned = 0
+        # jitter() runs once per charged stage — cache the rng and sigma,
+        # and draw inline (see jitter) so the hot path makes no calls
+        # beyond rng.random() itself
+        self._rng = sim.rng
+        self._cpu_sigma = profile.cpu_jitter
+        # StageCost.cost is a pure function of (key, size, burst); memoize
+        # the jitter-free value (jitter is applied on top per call)
+        self._stage_cache = {}
+        #: pre-overhaul behaviour: recompute costs and re-read rng/sigma
+        #: attributes per call, as the pre-change stack did (perf baseline)
+        self._legacy = getattr(sim, "legacy_stack", False)
 
     def jitter(self, cost_ns):
         """Apply the profile's CPU jitter to a software cost."""
-        sigma = self.profile.cpu_jitter
+        if self._legacy:
+            sigma = self.profile.cpu_jitter
+            if sigma <= 0:
+                return cost_ns
+            factor = self.sim.rng.gauss(1.0, sigma)
+            return cost_ns * (factor if factor >= 0.5 else 0.5)
+        sigma = self._cpu_sigma
         if sigma <= 0:
             return cost_ns
-        factor = self.sim.rng.gauss(1.0, sigma)
+        # Inline of random.Random.gauss(1.0, sigma) (CPython's Box-Muller
+        # with the pair cache in rng.gauss_next): draw-for-draw identical
+        # to calling rng.gauss, minus one Python call per charged stage.
+        rng = self._rng
+        z = rng.gauss_next
+        if z is None:
+            uniform = rng.random
+            x2pi = uniform() * _TWOPI
+            g2rad = _sqrt(-2.0 * _log(1.0 - uniform()))
+            z = _cos(x2pi) * g2rad
+            rng.gauss_next = _sin(x2pi) * g2rad
+        else:
+            rng.gauss_next = None
+        factor = 1.0 + z * sigma
         if factor < 0.5:
             factor = 0.5
         return cost_ns * factor
 
     def stage_cost(self, key, size, burst=1, jitter=True):
         """Cost of stage ``key`` for one packet of ``size`` bytes."""
-        cost = self.profile.stage(key).cost(size, burst=burst)
+        if self._legacy:
+            cost = self.profile.stage(key).cost(size, burst=burst)
+            return self.jitter(cost) if jitter else cost
+        cache_key = (key, size, burst)
+        cost = self._stage_cache.get(cache_key)
+        if cost is None:
+            if len(self._stage_cache) > 8192:
+                self._stage_cache.clear()
+            cost = self._stage_cache[cache_key] = self.profile.stage(key).cost(
+                size, burst=burst
+            )
         return self.jitter(cost) if jitter else cost
 
     def stage_cost_effect(self, key, size, burst=1):

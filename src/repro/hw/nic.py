@@ -42,6 +42,15 @@ class Nic:
         self.rx_frames = Counter(self.name + ".rx_frames")
         self.rx_dropped = Counter(self.name + ".rx_dropped")
         self._tx_free_at = 0.0
+        # hot-path scalars, hoisted out of the per-packet profile lookups
+        self._bandwidth_gbps = profile.nic_bandwidth_gbps
+        self._tx_dma_ns = profile.nic_tx_dma_ns
+        self._rx_dma_ns = profile.nic_rx_dma_ns
+        # pre-overhaul behaviour (per-packet profile lookups, stamp() and
+        # increment() calls) — only the perf baseline sets legacy_stack
+        if getattr(sim, "legacy_stack", False):
+            self.transmit = self._transmit_legacy
+            self._place_in_ring = self._place_in_ring_legacy
 
     # -- transmit ----------------------------------------------------------
 
@@ -62,6 +71,26 @@ class Nic:
         if self.egress is None:
             raise RuntimeError("%s is not wired to a link" % self.name)
         frame = Frame(packet)
+        sim = self.sim
+        now = sim.now
+        start = now + self._tx_dma_ns
+        if start < self._tx_free_at:
+            start = self._tx_free_at
+        departure = start + frame.wire_size * 8.0 / self._bandwidth_gbps
+        self._tx_free_at = departure
+        self.tx_frames.value += 1
+        if packet.trace is not None:
+            packet.trace["nic_tx_departure"] = departure
+        # schedule(departure - now) computes the same now+delay sum as
+        # schedule_at would, without the extra call
+        sim.schedule(departure - now, self.egress.carry, frame, self)
+        return departure
+
+    def _transmit_legacy(self, packet):
+        """Pre-overhaul transmit, verbatim (perf baseline)."""
+        if self.egress is None:
+            raise RuntimeError("%s is not wired to a link" % self.name)
+        frame = Frame(packet)
         now = self.sim.now
         ready = now + self.profile.nic_tx_dma_ns
         start = max(ready, self._tx_free_at)
@@ -76,9 +105,20 @@ class Nic:
 
     def receive(self, frame):
         """Called by the wire when a frame fully arrives at this NIC."""
-        self.sim.schedule(self.profile.nic_rx_dma_ns, self._place_in_ring, frame)
+        self.sim.schedule(self._rx_dma_ns, self._place_in_ring, frame)
 
     def _place_in_ring(self, frame):
+        packet = frame.packet
+        if packet.trace is not None:
+            packet.trace["nic_rx_arrival"] = self.sim.now
+        queue = self._steering.get(packet.dst_port, self.rx_ring)
+        if queue.try_put(packet):
+            self.rx_frames.value += 1
+        else:
+            self.rx_dropped.value += 1
+
+    def _place_in_ring_legacy(self, frame):
+        """Pre-overhaul ring placement, verbatim (perf baseline)."""
         packet = frame.packet
         packet.stamp("nic_rx_arrival", self.sim.now)
         queue = self._steering.get(packet.dst_port, self.rx_ring)

@@ -313,7 +313,7 @@ class UtcpConnection:
     def _arm_rto(self):
         if self._rto_handle is not None:
             self._rto_handle.cancel()
-        self._rto_handle = self.sim.schedule(
+        self._rto_handle = self.sim.schedule_cancellable(
             self.stack.rto_ns * self._backoff, self._on_rto
         )
 
@@ -346,7 +346,7 @@ class UtcpConnection:
 
     def _arm_persist(self):
         if self._persist_handle is None:
-            self._persist_handle = self.sim.schedule(PERSIST_NS, self._on_persist)
+            self._persist_handle = self.sim.schedule_cancellable(PERSIST_NS, self._on_persist)
 
     def _on_persist(self):
         self._persist_handle = None

@@ -1,37 +1,74 @@
 """The event loop at the heart of the simulation kernel.
 
-A :class:`Simulator` owns virtual time (nanoseconds) and a heap of scheduled
-callbacks.  Everything else in the repository — NICs, switches, datapath
-plugins, the INSANE runtime — is expressed either as plain callbacks scheduled
-here or as generator-based :class:`~repro.simnet.process.Process` objects.
+A :class:`Simulator` owns virtual time (nanoseconds) and the pending-event
+structures.  Everything else in the repository — NICs, switches, datapath
+plugins, the INSANE runtime — is expressed either as plain callbacks
+scheduled here or as generator-based :class:`~repro.simnet.process.Process`
+objects.
+
+The loop is the hottest code in the repository (every simulated packet costs
+dozens of events), so the common case is kept allocation-free:
+
+* :meth:`Simulator.schedule` stores plain ``(time, seq, fn, args)`` tuples
+  on the heap — tuple ordering is resolved in C, with no per-event handle
+  object and no Python-level ``__lt__`` during heap sifts.  Only
+  :meth:`Simulator.schedule_cancellable` allocates an :class:`EventHandle`,
+  for the rare timer that may be cancelled (retransmission timers, parked
+  polling-thread wakeups).
+* Zero-delay events — the bulk of the traffic: store hand-offs, signal
+  drains, process starts — bypass the heap entirely through a FIFO *lane*
+  (a deque append/popleft per event).  Lane entries carry the same global
+  sequence numbers as heap entries, so execution order is bit-identical to
+  a pure-heap engine: see :data:`repro.simnet.legacy.LegacySimulator` and
+  the golden-trace tests.
+* Cancelled timers are dropped lazily; when they exceed half the heap the
+  heap is compacted in place, keeping ``len(_heap)`` bounded under timer
+  churn (e.g. a retransmit timer cancelled per delivered packet).
+
+Determinism contract: with a fixed seed, event execution order is a pure
+function of the sequence of ``schedule*`` calls — same seed, same code ⇒
+bit-identical simulated timestamps, results, and rng stream.
 """
 
-import heapq
 import random
+from collections import deque
+from heapq import heapify, heappop, heappush
 
 from repro.simnet.errors import SimulationError
 
+#: never compact below this many cancelled entries (small heaps are cheap
+#: to scan lazily; compaction would thrash).
+_COMPACT_MIN = 64
+
+#: absolute delays below this (ns) are float-arithmetic dust, not genuine
+#: attempts to schedule in the past — ``schedule_at`` clamps them to zero.
+_PAST_EPSILON_NS = 1e-6
+
 
 class EventHandle:
-    """A cancellable reference to a scheduled callback."""
+    """A cancellable reference to a callback scheduled on the heap.
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    Only produced by :meth:`Simulator.schedule_cancellable`; the plain
+    :meth:`Simulator.schedule` fast path does not allocate handles.
+    """
 
-    def __init__(self, time, seq, fn, args):
-        self.time = time
-        self.seq = seq
+    __slots__ = ("sim", "fn", "args", "cancelled")
+
+    def __init__(self, sim, fn, args):
+        self.sim = sim
         self.fn = fn
         self.args = args
         self.cancelled = False
 
     def cancel(self):
         """Prevent the callback from running.  Safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
-
-    def __lt__(self, other):
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        sim = self.sim
+        sim._cancelled += 1
+        if sim._cancelled >= _COMPACT_MIN and sim._cancelled * 2 > len(sim._heap):
+            sim._compact()
 
 
 class Simulator:
@@ -45,81 +82,286 @@ class Simulator:
         :attr:`rng` so that a run is reproducible from its seed alone.
     """
 
+    #: When True, :meth:`process` builds pre-overhaul ``LegacyProcess``
+    #: trampolines and the datapath/polling layers revert to their
+    #: pre-overhaul behaviour (per-stage charges, unconditional poll
+    #: passes).  Only the perf harness sets this, to measure the full
+    #: pre-change stack; see :mod:`repro.simnet.legacy`.
+    legacy_stack = False
+
     def __init__(self, seed=0):
-        self._now = 0
+        #: current virtual time in nanoseconds — a plain attribute, not a
+        #: property: it is read on every schedule/cost call in the stack.
+        self.now = 0
+        #: timed events: ``(time, seq, fn, args)`` tuples, or
+        #: ``(time, seq, None, EventHandle)`` for cancellable timers.  ``seq``
+        #: is unique, so tuple comparison never reaches ``fn``.
         self._heap = []
+        #: zero-delay events at the current instant: ``(seq, fn, args)``.
+        #: Invariant: virtual time never advances while the lane is occupied,
+        #: so every lane entry fires at ``self.now``.
+        self._lane = deque()
         self._seq = 0
+        self._cancelled = 0   # cancelled handles still sitting in the heap
+        self._executed = 0
+        self._peak_heap = 0
+        self._purged = 0
         self.rng = random.Random(seed)
         #: (process_name, exception) for every process that died with an
         #: unhandled exception — checked by tests so failures cannot pass
         #: silently.
         self.failures = []
 
-    @property
-    def now(self):
-        """Current virtual time in nanoseconds."""
-        return self._now
+    # -- scheduling -------------------------------------------------------
 
     def schedule(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` ns of virtual time.
 
-        Returns an :class:`EventHandle` that can be cancelled.
+        This is the fire-and-forget fast path: no handle is allocated and
+        nothing is returned.  Use :meth:`schedule_cancellable` for the rare
+        timer that may need cancelling.
         """
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(
+                    "cannot schedule in the past (delay=%r)" % (delay,)
+                )
+            self._seq = seq = self._seq + 1
+            self._lane.append((seq, fn, args))
+            return
+        self._seq = seq = self._seq + 1
+        heap = self._heap
+        heappush(heap, (self.now + delay, seq, fn, args))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def schedule_cancellable(self, delay, fn, *args):
+        """Like :meth:`schedule`, but returns a cancellable :class:`EventHandle`."""
         if delay < 0:
             raise SimulationError("cannot schedule in the past (delay=%r)" % (delay,))
-        self._seq += 1
-        handle = EventHandle(self._now + delay, self._seq, fn, args)
-        heapq.heappush(self._heap, handle)
+        self._seq = seq = self._seq + 1
+        handle = EventHandle(self, fn, args)
+        heap = self._heap
+        heappush(heap, (self.now + delay, seq, None, handle))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
         return handle
 
     def schedule_at(self, time, fn, *args):
-        """Run ``fn(*args)`` at absolute virtual time ``time``."""
-        return self.schedule(time - self._now, fn, *args)
+        """Run ``fn(*args)`` at absolute virtual time ``time``.
+
+        A ``time`` computed by float arithmetic may land a hair before
+        ``now`` (e.g. ``now + a - a``); deltas smaller than a millionth of a
+        nanosecond are clamped to "now" rather than rejected.  Genuinely
+        past times still raise :class:`SimulationError`.
+        """
+        delay = time - self.now
+        if -_PAST_EPSILON_NS < delay < 0:
+            delay = 0
+        return self.schedule(delay, fn, *args)
+
+    def schedule_cancellable_at(self, time, fn, *args):
+        """Cancellable variant of :meth:`schedule_at`."""
+        delay = time - self.now
+        if -_PAST_EPSILON_NS < delay < 0:
+            delay = 0
+        return self.schedule_cancellable(delay, fn, *args)
 
     def process(self, generator, name=None):
         """Start a cooperative process; see :mod:`repro.simnet.process`."""
+        if self.legacy_stack:
+            from repro.simnet.legacy import LegacyProcess
+
+            return LegacyProcess(self, generator, name=name)
         from repro.simnet.process import Process
 
         return Process(self, generator, name=name)
 
+    # -- execution --------------------------------------------------------
+
     def run(self, until=None):
-        """Execute events until the heap drains or ``until`` ns is reached.
+        """Execute events until everything drains or ``until`` ns is reached.
 
         Returns the number of events executed.
         """
         executed = 0
         heap = self._heap
-        while heap:
-            handle = heap[0]
-            if handle.cancelled:
-                heapq.heappop(heap)
+        lane = self._lane
+        lane_pop = lane.popleft
+        if until is None:
+            # Unbounded drain — the common case (every benchmark and most
+            # tests): no per-event deadline check, pop-then-test instead of
+            # peek-then-pop.
+            while True:
+                if lane:
+                    if heap:
+                        entry = heap[0]
+                        if entry[0] == self.now and entry[1] < lane[0][0]:
+                            heappop(heap)
+                            fn = entry[2]
+                            if fn is None:
+                                handle = entry[3]
+                                if handle.cancelled:
+                                    self._cancelled -= 1
+                                    self._purged += 1
+                                    continue
+                                handle.fn(*handle.args)
+                            else:
+                                fn(*entry[3])
+                            executed += 1
+                            continue
+                    entry = lane_pop()
+                    entry[1](*entry[2])
+                    executed += 1
+                    continue
+                if not heap:
+                    break
+                entry = heappop(heap)
+                fn = entry[2]
+                if fn is None:
+                    handle = entry[3]
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        self._purged += 1
+                        continue
+                    self.now = entry[0]
+                    handle.fn(*handle.args)
+                else:
+                    self.now = entry[0]
+                    fn(*entry[3])
+                executed += 1
+            self._executed += executed
+            return executed
+        while True:
+            if lane:
+                # A heap event at the current instant that was scheduled
+                # before the lane head must run first (global seq order).
+                if heap:
+                    entry = heap[0]
+                    if entry[0] == self.now and entry[1] < lane[0][0]:
+                        heappop(heap)
+                        fn = entry[2]
+                        if fn is None:
+                            handle = entry[3]
+                            if handle.cancelled:
+                                self._cancelled -= 1
+                                self._purged += 1
+                                continue
+                            handle.fn(*handle.args)
+                        else:
+                            fn(*entry[3])
+                        executed += 1
+                        continue
+                entry = lane_pop()
+                entry[1](*entry[2])
+                executed += 1
                 continue
-            if until is not None and handle.time > until:
-                self._now = until
+            if not heap:
+                break
+            entry = heap[0]
+            fn = entry[2]
+            if fn is None and entry[3].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+                self._purged += 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                self.now = until
+                self._executed += executed
                 return executed
-            heapq.heappop(heap)
-            self._now = handle.time
-            handle.fn(*handle.args)
+            heappop(heap)
+            self.now = time
+            if fn is None:
+                handle = entry[3]
+                handle.fn(*handle.args)
+            else:
+                fn(*entry[3])
             executed += 1
-        if until is not None and until > self._now:
-            self._now = until
+        if until is not None and until > self.now:
+            self.now = until
+        self._executed += executed
         return executed
 
     def step(self):
         """Execute exactly one pending event; return False if none remain."""
         heap = self._heap
-        while heap:
-            handle = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            handle.fn(*handle.args)
+        lane = self._lane
+        while True:
+            if lane:
+                if heap:
+                    entry = heap[0]
+                    if entry[0] == self.now and entry[1] < lane[0][0]:
+                        heappop(heap)
+                        fn = entry[2]
+                        if fn is None:
+                            handle = entry[3]
+                            if handle.cancelled:
+                                self._cancelled -= 1
+                                self._purged += 1
+                                continue
+                            handle.fn(*handle.args)
+                        else:
+                            fn(*entry[3])
+                        self._executed += 1
+                        return True
+                entry = lane.popleft()
+                entry[1](*entry[2])
+                self._executed += 1
+                return True
+            if not heap:
+                return False
+            entry = heappop(heap)
+            fn = entry[2]
+            if fn is None:
+                handle = entry[3]
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    self._purged += 1
+                    continue
+                self.now = entry[0]
+                handle.fn(*handle.args)
+            else:
+                self.now = entry[0]
+                fn(*entry[3])
+            self._executed += 1
             return True
-        return False
 
     def peek(self):
         """Time of the next pending event, or ``None`` when idle."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap:
+            entry = heap[0]
+            if entry[2] is None and entry[3].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+                self._purged += 1
+                continue
+            break
+        if self._lane:
+            return self.now
+        return heap[0][0] if heap else None
+
+    # -- maintenance ------------------------------------------------------
+
+    def _compact(self):
+        """Drop cancelled timers and re-heapify (in place: ``run`` holds a
+        reference to the list)."""
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [e for e in heap if e[2] is not None or not e[3].cancelled]
+        heapify(heap)
+        self._purged += before - len(heap)
+        self._cancelled = 0
+
+    def stats(self):
+        """Counters for perf diagnosis, surfaced in benchmark reports."""
+        return {
+            "engine": "fast",
+            "events_executed": self._executed,
+            "heap_size": len(self._heap),
+            "lane_size": len(self._lane),
+            "peak_heap": self._peak_heap,
+            "cancelled_pending": self._cancelled,
+            "cancelled_purged": self._purged,
+        }

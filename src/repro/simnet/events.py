@@ -41,11 +41,33 @@ class Signal:
         semantics of the calling process).
         """
         if self.fired:
-            self.sim.schedule(0, callback, self.value, self.exception)
+            sim = self.sim
+            lane = getattr(sim, "_lane", None)
+            if lane is None:
+                sim.schedule(0, callback, self.value, self.exception)
+            else:
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, callback, (self.value, self.exception)))
         else:
             self._waiters.append(callback)
 
     def _drain(self):
         waiters, self._waiters = self._waiters, []
+        if not waiters:
+            return
+        sim = self.sim
+        value = self.value
+        exception = self.exception
+        # Wake-ups are zero-delay: append straight to the fast engine's
+        # lane (same sequence counter, so ordering matches schedule(0,...))
+        lane = getattr(sim, "_lane", None)
+        if lane is None:
+            for callback in waiters:
+                sim.schedule(0, callback, value, exception)
+            return
+        seq = sim._seq
+        args = (value, exception)
         for callback in waiters:
-            self.sim.schedule(0, callback, self.value, self.exception)
+            seq += 1
+            lane.append((seq, callback, args))
+        sim._seq = seq

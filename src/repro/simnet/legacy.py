@@ -1,0 +1,232 @@
+"""The pre-overhaul event loop, kept as a measurable reference.
+
+This module preserves the original object-per-event :class:`LegacySimulator`
+so that the wall-clock performance harness (:mod:`repro.bench.perfbench`)
+and the golden-trace determinism tests can run the *same* workloads on both
+engines and compare:
+
+* events/sec and wall seconds — the speedup recorded in
+  ``BENCH_wallclock.json`` is measured, not asserted;
+* simulated results — the fast engine must produce bit-identical
+  ``(now, executed, failures)`` and statistics for identical seeds, which
+  is only provable against an independent implementation.
+
+The API surface matches :class:`repro.simnet.Simulator` (including the
+``schedule_cancellable`` / ``stats`` extensions) so the two are drop-in
+interchangeable via ``Testbed(..., sim=...)``.  Do not use this engine for
+new code; it exists to be raced against and to notarize traces.
+
+Two baseline configurations exist:
+
+* ``LegacySimulator()`` alone swaps only the event loop; the application
+  layers run their current (optimized) code, so results are bit-identical
+  to the fast engine — this is the golden-trace configuration.
+* ``sim.legacy_stack = True`` (set before building the testbed)
+  additionally reverts the layers that were overhauled together with the
+  engine: :class:`LegacyProcess` trampolines, per-stage datapath charges,
+  and unconditional polling passes.  This reproduces the *full* pre-change
+  stack and is what the recorded speedup in ``BENCH_wallclock.json`` is
+  measured against.  Its event stream differs (more events, different rng
+  interleaving), so results are compared within tolerance, not
+  bit-for-bit.
+"""
+
+import heapq
+import random
+
+from repro.simnet.errors import ProcessFailed, SimulationError
+from repro.simnet.events import Signal
+from repro.simnet.process import Interrupt, Join, Process
+
+
+class LegacyEventHandle:
+    """A cancellable reference to a scheduled callback (one per event)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class LegacySimulator:
+    """The original deterministic DES loop: a heap of EventHandle objects.
+
+    Every scheduled event allocates an :class:`LegacyEventHandle`, and every
+    heap sift runs the Python-level ``__lt__`` above — the costs the
+    overhauled engine removes.
+    """
+
+    #: see :class:`repro.simnet.Simulator.legacy_stack`; the perf harness
+    #: sets this True on a LegacySimulator to measure the full
+    #: pre-overhaul stack rather than just the event loop.
+    legacy_stack = False
+
+    def __init__(self, seed=0):
+        self._now = 0
+        self._heap = []
+        self._seq = 0
+        self._executed = 0
+        self.rng = random.Random(seed)
+        #: (process_name, exception) for every process that died with an
+        #: unhandled exception — checked by tests so failures cannot pass
+        #: silently.
+        self.failures = []
+
+    @property
+    def now(self):
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` ns of virtual time."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % (delay,))
+        self._seq += 1
+        handle = LegacyEventHandle(self._now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # The legacy engine makes no fast/cancellable distinction: everything is
+    # cancellable, so the new-API names alias the plain scheduling calls.
+    schedule_cancellable = schedule
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        delay = time - self._now
+        if -1e-6 < delay < 0:
+            delay = 0
+        return self.schedule(delay, fn, *args)
+
+    schedule_cancellable_at = schedule_at
+
+    def process(self, generator, name=None):
+        """Start a cooperative process; see :mod:`repro.simnet.process`."""
+        if self.legacy_stack:
+            return LegacyProcess(self, generator, name=name)
+        from repro.simnet.process import Process
+
+        return Process(self, generator, name=name)
+
+    def run(self, until=None):
+        """Execute events until the heap drains or ``until`` ns is reached.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            handle = heap[0]
+            if handle.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and handle.time > until:
+                self._now = until
+                self._executed += executed
+                return executed
+            heapq.heappop(heap)
+            self._now = handle.time
+            handle.fn(*handle.args)
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        self._executed += executed
+        return executed
+
+    def step(self):
+        """Execute exactly one pending event; return False if none remain."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle.fn(*handle.args)
+            self._executed += 1
+            return True
+        return False
+
+    def peek(self):
+        """Time of the next pending event, or ``None`` when idle."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def stats(self):
+        """The same counters as :meth:`repro.simnet.Simulator.stats`.
+
+        The legacy engine has no zero-delay lane and never purges, so those
+        entries are structurally zero.
+        """
+        return {
+            "engine": "legacy",
+            "events_executed": self._executed,
+            "heap_size": len(self._heap),
+            "lane_size": 0,
+            "peak_heap": 0,
+            "cancelled_pending": 0,
+            "cancelled_purged": 0,
+        }
+
+
+class LegacyProcess:
+    """The pre-overhaul process trampoline, preserved for the baseline.
+
+    Compared to :class:`repro.simnet.process.Process` it re-allocates the
+    ``resume`` bound method on every scheduling, calls ``generator.send``
+    through attribute lookups, and dispatches every effect through its
+    ``apply`` method — the per-resumption costs the overhaul removed.
+    Interoperates with the same effect classes and stores, so any workload
+    runs unmodified on either trampoline.
+    """
+
+    def __init__(self, sim, generator, name=None):
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Signal(sim)
+        self._finished = False
+        sim.schedule(0, self.resume, None, None)
+
+    @property
+    def finished(self):
+        return self._finished
+
+    def resume(self, value, exception=None):
+        """Advance the generator with ``value`` (or throw ``exception``)."""
+        if self._finished:
+            return
+        try:
+            if exception is not None:
+                effect = self.generator.throw(exception)
+            else:
+                effect = self.generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(getattr(stop, "value", None))
+            return
+        except Exception as exc:  # surface the failure to joiners
+            self._finished = True
+            self.sim.failures.append((self.name, exc))
+            self.done.fail(ProcessFailed(self.name, exc))
+            return
+        if isinstance(effect, (Process, LegacyProcess)):
+            effect = Join(effect)
+        effect.apply(self.sim, self)
+
+    def interrupt(self, exception=None):
+        """Throw ``exception`` (default ``Interrupt``) into the body."""
+        self.sim.schedule(0, self.resume, None, exception or Interrupt())

@@ -23,8 +23,14 @@ Supported effects:
 Yielding another :class:`Process` directly is shorthand for ``Join``.
 """
 
-from repro.simnet.errors import ProcessFailed
+from heapq import heappush
+
+from repro.simnet.errors import ProcessFailed, SimulationError
 from repro.simnet.events import Signal
+
+#: shared args tuple for timer resumptions (``resume(None)``) — no
+#: per-event allocation on the hottest path in the repository.
+_NONE_ARGS = (None,)
 
 
 class Timeout:
@@ -131,21 +137,30 @@ class Process:
         self.name = name or getattr(generator, "__name__", "process")
         self.done = Signal(sim)
         self._finished = False
-        sim.schedule(0, self.resume, None, None)
+        # Bound methods are allocated per attribute access; the resume
+        # trampoline runs once per event, so cache them up front.
+        self._send = generator.send
+        self._throw = generator.throw
+        # The fast engine's scheduling internals (None on the legacy
+        # engine): Timeout resumptions — one per charged cost — bypass the
+        # schedule() call and push the heap/lane entry directly.
+        self._lane = getattr(sim, "_lane", None)
+        self.resume = resume = self._resume
+        sim.schedule(0, resume, None, None)
 
     @property
     def finished(self):
         return self._finished
 
-    def resume(self, value, exception=None):
+    def _resume(self, value, exception=None):
         """Advance the generator with ``value`` (or throw ``exception``)."""
         if self._finished:
             return
         try:
             if exception is not None:
-                effect = self.generator.throw(exception)
+                effect = self._throw(exception)
             else:
-                effect = self.generator.send(value)
+                effect = self._send(value)
         except StopIteration as stop:
             self._finished = True
             self.done.succeed(getattr(stop, "value", None))
@@ -155,9 +170,41 @@ class Process:
             self.sim.failures.append((self.name, exc))
             self.done.fail(ProcessFailed(self.name, exc))
             return
-        if isinstance(effect, Process):
-            effect = Join(effect)
-        effect.apply(self.sim, self)
+        # Inline dispatch for the hot effects (one C-level type check beats
+        # a method call); anything exotic falls back to effect.apply().
+        cls = effect.__class__
+        if cls is Timeout:
+            lane = self._lane
+            if lane is None:
+                self.sim.schedule(effect.delay, self.resume, None)
+                return
+            # inline of Simulator.schedule(delay, resume, None): same seq
+            # accounting, same lane/heap split, minus the call overhead
+            sim = self.sim
+            delay = effect.delay
+            if delay <= 0:
+                if delay < 0:
+                    raise SimulationError(
+                        "cannot schedule in the past (delay=%r)" % (delay,)
+                    )
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, self.resume, _NONE_ARGS))
+            else:
+                sim._seq = seq = sim._seq + 1
+                heap = sim._heap
+                heappush(heap, (sim.now + delay, seq, self.resume, _NONE_ARGS))
+                if len(heap) > sim._peak_heap:
+                    sim._peak_heap = len(heap)
+        elif cls is Get:
+            effect.store.add_getter(self.resume)
+        elif cls is Put:
+            effect.store.add_putter(effect.item, self.resume)
+        elif cls is Wait:
+            effect.signal.add_waiter(self.resume)
+        else:
+            if isinstance(effect, Process):
+                effect = Join(effect)
+            effect.apply(self.sim, self)
 
     def interrupt(self, exception=None):
         """Throw ``exception`` (default :class:`Interrupt`) into the body."""

@@ -12,6 +12,10 @@ from repro.simnet.errors import StoreFullError
 
 _UNBOUNDED = float("inf")
 
+#: shared args tuple for ``callback(None, None)`` completions — the wake-up
+#: path allocates nothing per event.
+_DONE_ARGS = (None, None)
+
 
 class Store:
     """A FIFO queue of items with optional capacity.
@@ -27,6 +31,11 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # The fast engine's zero-delay lane (None on the legacy engine):
+        # ready hand-offs append the event directly, skipping a
+        # ``schedule()`` call per item.  Sequence numbers are taken from
+        # the same counter, so ordering is identical either way.
+        self._lane = getattr(sim, "_lane", None)
         self._items = deque()
         self._getters = deque()
         self._putters = deque()
@@ -57,9 +66,15 @@ class Store:
         """Deposit ``item`` if there is room; return ``True`` on success."""
         if self._getters:
             getter = self._getters.popleft()
-            self.sim.schedule(0, getter, item, None)
+            lane = self._lane
+            if lane is None:
+                self.sim.schedule(0, getter, item, None)
+            else:
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, getter, (item, None)))
             return True
-        if self.is_full:
+        if len(self._items) >= self.capacity:
             return False
         self._items.append(item)
         if self.on_item is not None:
@@ -68,9 +83,11 @@ class Store:
 
     def try_get(self):
         """Return ``(True, item)`` if an item is available, else ``(False, None)``."""
-        if self._items:
-            item = self._items.popleft()
-            self._admit_putter()
+        items = self._items
+        if items:
+            item = items.popleft()
+            if self._putters:
+                self._admit_putter()
             return True, item
         return False, None
 
@@ -78,24 +95,45 @@ class Store:
 
     def add_getter(self, callback):
         """Register ``callback(item, exception)`` for the next item."""
-        ok, item = self.try_get()
-        if ok:
-            self.sim.schedule(0, callback, item, None)
+        items = self._items
+        if items:
+            item = items.popleft()
+            if self._putters:
+                self._admit_putter()
+            lane = self._lane
+            if lane is None:
+                self.sim.schedule(0, callback, item, None)
+            else:
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, callback, (item, None)))
         else:
             self._getters.append(callback)
 
     def add_putter(self, item, callback):
         """Deposit ``item`` when room is available, then ``callback(None, None)``."""
         if self.try_put(item):
-            self.sim.schedule(0, callback, None, None)
+            lane = self._lane
+            if lane is None:
+                self.sim.schedule(0, callback, None, None)
+            else:
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, callback, _DONE_ARGS))
         else:
             self._putters.append((item, callback))
 
     def _admit_putter(self):
-        if self._putters and not self.is_full:
+        if self._putters and len(self._items) < self.capacity:
             item, callback = self._putters.popleft()
             self._items.append(item)
-            self.sim.schedule(0, callback, None, None)
+            lane = self._lane
+            if lane is None:
+                self.sim.schedule(0, callback, None, None)
+            else:
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                lane.append((seq, callback, _DONE_ARGS))
 
 
 class Resource:

@@ -1,0 +1,116 @@
+"""Golden-trace determinism and heap-bound tests for the engine overhaul.
+
+The overhauled :class:`repro.simnet.Simulator` claims bit-identical
+behaviour to the pre-overhaul :class:`repro.simnet.legacy.LegacySimulator`
+when both run the same (fast) application stack.  That claim is what lets
+the perf harness present its speedup as a pure implementation change: same
+seed, same simulated timestamps, same results — only the wall clock moves.
+This module proves it on the paper workloads the harness measures.
+"""
+
+import pytest
+
+from repro.bench.perfbench import results_close, run_churn, run_workload
+from repro.simnet import Simulator
+
+# reduced iteration counts: these tests assert identity, not throughput
+ROUNDS = 60
+MESSAGES = 300
+
+
+def _strip_wall(record):
+    """The comparable portion of a run record (everything simulated)."""
+    return {
+        "sim_ns": record["sim_ns"],
+        "events": record["events"],
+        "result": record["result"],
+        "failures": record["failures"],
+    }
+
+
+@pytest.mark.parametrize("workload", ["fig5_pingpong", "fig8a_streaming"])
+def test_same_seed_same_trace(workload):
+    """Two runs with the same seed are indistinguishable."""
+    first = run_workload(workload, rounds=ROUNDS, messages=MESSAGES, seed=7)
+    second = run_workload(workload, rounds=ROUNDS, messages=MESSAGES, seed=7)
+    assert _strip_wall(first) == _strip_wall(second)
+
+
+@pytest.mark.parametrize(
+    "workload", ["fig5_pingpong", "fig8a_streaming", "fig8b_8sink"]
+)
+def test_fast_engine_matches_legacy_engine(workload):
+    """Golden trace: engine swap alone changes nothing simulated.
+
+    Both configurations run the *fast* stack; only the event loop differs.
+    Timestamps, event counts, and results must agree bit-for-bit — this is
+    the strict guarantee the two-stack tolerance comparison rests on.
+    """
+    fast = run_workload(workload, engine="fast",
+                        rounds=ROUNDS, messages=MESSAGES, seed=3)
+    golden = run_workload(workload, engine="legacy", stack="fast",
+                          rounds=ROUNDS, messages=MESSAGES, seed=3)
+    assert _strip_wall(fast) == _strip_wall(golden)
+
+
+def test_legacy_stack_results_within_tolerance():
+    """The full pre-overhaul stack models the same system.
+
+    Its event stream differs (per-stage charges add events and reorder rng
+    draws), so the comparison is tolerance-based, as in the perf harness.
+    """
+    fast = run_workload("fig8a_streaming", rounds=ROUNDS,
+                        messages=MESSAGES, seed=0)
+    legacy = run_workload("fig8a_streaming", engine="legacy",
+                          rounds=ROUNDS, messages=MESSAGES, seed=0)
+    assert fast["failures"] == 0
+    assert legacy["failures"] == 0
+    # coalescing removed events — strictly fewer on the fast stack
+    assert fast["events"] < legacy["events"]
+    assert results_close(fast, legacy)
+
+
+def test_churn_stream_identical_across_engines():
+    """The engine microbenchmark drives both engines through one stream."""
+    fast = run_churn("fast", events=20_000, seed=1)
+    legacy = run_churn("legacy", events=20_000, seed=1)
+    assert fast["events"] == legacy["events"]
+    assert fast["sim_ns"] == legacy["sim_ns"]
+
+
+def test_cancelled_timers_keep_heap_bounded():
+    """10k schedule/cancel cycles must not accumulate dead heap entries.
+
+    This is the retransmission-timer pattern: a timer armed per packet and
+    cancelled on delivery.  Lazy compaction keeps the heap proportional to
+    the *live* timer population, not the cancellation history.
+    """
+    sim = Simulator()
+    fired = []
+    for i in range(10_000):
+        handle = sim.schedule_cancellable(1e9 + i, fired.append, i)
+        handle.cancel()
+        # one live timer per 100 cancelled ones survives
+        if i % 100 == 0:
+            sim.schedule(1.0 + i, fired.append, -i)
+        assert len(sim._heap) < 512
+    executed = sim.run()
+    assert executed == 100
+    assert fired == [0] + [-i for i in range(100, 10_000, 100)]
+    stats = sim.stats()
+    assert stats["cancelled_purged"] == 10_000
+    assert stats["heap_size"] == 0
+
+
+def test_cancel_after_fire_is_harmless():
+    """Cancelling an already-fired handle neither raises nor corrupts."""
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_cancellable(5.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    handle.cancel()
+    handle.cancel()
+    sim.schedule(1.0, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]

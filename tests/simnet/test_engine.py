@@ -1,8 +1,9 @@
-"""Unit tests for the DES event loop."""
+"""Unit tests for the DES event loop (fast paths included)."""
 
 import pytest
 
 from repro.simnet import Simulator, SimulationError
+from repro.simnet.legacy import LegacySimulator
 
 
 def test_schedule_runs_in_time_order():
@@ -25,6 +26,33 @@ def test_same_time_events_run_in_schedule_order():
     assert order == ["first", "second", "third"]
 
 
+def test_zero_delay_lane_preserves_global_order():
+    # zero-delay events go through the FIFO lane, but must interleave with
+    # same-timestamp heap events in scheduling (seq) order
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0, order.append, "lane-1")
+        sim.schedule(0, order.append, "lane-2")
+
+    sim.schedule(10, outer)
+    sim.schedule(10, order.append, "heap-peer")  # same time, earlier than lane
+    sim.run()
+    assert order == ["outer", "heap-peer", "lane-1", "lane-2"]
+    assert sim.now == 10
+
+
+def test_zero_delay_lane_runs_before_later_heap_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(5, order.append, "later")
+    sim.schedule(0, order.append, "immediate")
+    sim.run()
+    assert order == ["immediate", "later"]
+
+
 def test_run_until_stops_clock_at_bound():
     sim = Simulator()
     fired = []
@@ -40,16 +68,25 @@ def test_run_until_stops_clock_at_bound():
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     fired = []
-    handle = sim.schedule(10, fired.append, True)
+    handle = sim.schedule_cancellable(10, fired.append, True)
     handle.cancel()
+    handle.cancel()  # idempotent
     sim.run()
     assert not fired
+
+
+def test_plain_schedule_returns_no_handle():
+    sim = Simulator()
+    assert sim.schedule(10, lambda: None) is None
+    assert sim.schedule(0, lambda: None) is None
 
 
 def test_negative_delay_rejected():
     sim = Simulator()
     with pytest.raises(SimulationError):
         sim.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_cancellable(-1, lambda: None)
 
 
 def test_schedule_at_absolute_time():
@@ -60,6 +97,24 @@ def test_schedule_at_absolute_time():
     # the callback records the time at scheduling (10); it fires at 25
     assert sim.now == 25
     assert seen == [10]
+
+
+def test_schedule_at_clamps_float_dust():
+    # now + a - a can land a hair before now; that is not "the past"
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: sim.schedule_at(sim.now - 1e-9, fired.append, True))
+    sim.run()
+    assert fired == [True]
+    assert sim.now == 10
+
+
+def test_schedule_at_still_rejects_genuinely_past_times():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
 
 
 def test_nested_scheduling_from_callbacks():
@@ -90,12 +145,36 @@ def test_step_executes_single_event():
     assert not sim.step()
 
 
+def test_step_honors_lane_and_heap_interleave():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0, order.append, "lane")
+
+    sim.schedule(10, outer)
+    sim.schedule(10, order.append, "heap-peer")
+    assert sim.step() and sim.step() and sim.step()
+    assert order == ["outer", "heap-peer", "lane"]
+    assert not sim.step()
+
+
 def test_peek_skips_cancelled():
     sim = Simulator()
-    h = sim.schedule(5, lambda: None)
+    h = sim.schedule_cancellable(5, lambda: None)
     sim.schedule(9, lambda: None)
     h.cancel()
     assert sim.peek() == 9
+
+
+def test_peek_sees_lane_at_current_instant():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.schedule(0, lambda: None)
+    assert sim.peek() == 0
+    sim.run()
+    assert sim.peek() is None
 
 
 def test_run_returns_executed_count():
@@ -111,3 +190,55 @@ def test_rng_is_deterministic_per_seed():
     c = Simulator(seed=43).rng.random()
     assert a == b
     assert a != c
+
+
+def test_heap_compaction_bounds_cancelled_backlog():
+    # schedule/cancel churn (a retransmit timer per packet) must not grow
+    # the heap without bound: cancelled entries are purged lazily
+    sim = Simulator()
+    sim.schedule(20_000, lambda: None)  # keep the sim alive past the churn
+    for i in range(10_000):
+        handle = sim.schedule_cancellable(10_000 + i, lambda: None)
+        handle.cancel()
+    assert len(sim._heap) < 2_000
+    stats = sim.stats()
+    assert stats["cancelled_purged"] >= 9_000
+    sim.run()
+    assert sim.stats()["heap_size"] == 0
+
+
+def test_stats_counts_events_and_peaks():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i + 1, lambda: None)
+    sim.schedule(0, lambda: None)
+    sim.run()
+    stats = sim.stats()
+    assert stats["events_executed"] == 6
+    assert stats["peak_heap"] == 5  # lane events never touch the heap
+    assert stats["heap_size"] == 0
+    assert stats["lane_size"] == 0
+    assert stats["engine"] == "fast"
+
+
+def test_legacy_engine_matches_fast_engine_on_microbenchmark():
+    # the golden-trace reference must agree with the fast engine on a
+    # mixed workload of timed, zero-delay, and cancelled events
+    def workload(sim):
+        order = []
+
+        def tick(i):
+            order.append((sim.now, i))
+            if i < 40:
+                sim.schedule(0, tick, i + 1) if i % 3 else sim.schedule(7, tick, i + 1)
+
+        sim.schedule(5, tick, 0)
+        sim.schedule(5, order.append, (None, "peer"))
+        doomed = sim.schedule_cancellable(1_000, order.append, (None, "never"))
+        doomed.cancel()
+        executed = sim.run()
+        return order, executed, sim.now
+
+    fast = workload(Simulator(seed=7))
+    legacy = workload(LegacySimulator(seed=7))
+    assert fast == legacy
