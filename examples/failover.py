@@ -1,0 +1,90 @@
+"""Fault injection and QoS-aware failover (``repro.faults``).
+
+A publisher streams sensor readings over the fast (DPDK) datapath while a
+fault schedule crashes that datapath mid-run.  The runtime's health
+monitor detects the failure, re-maps the stream onto the best surviving
+datapath its QoS policy allows (XDP here), migrates the tokens parked in
+the dead binding's rings, and traffic continues — degraded, not dead.
+Emit outcomes flip from ``sent`` to ``degraded`` so the application can
+see the fallback happened.
+
+Run with::
+
+    python examples/failover.py [--fail-at-us 500]
+"""
+
+import argparse
+
+from repro.core import EmitOutcome, QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.faults import FaultSchedule
+from repro.hw import Testbed
+from repro.simnet import Timeout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--messages", type=int, default=40)
+    parser.add_argument("--interval-us", type=float, default=25.0)
+    parser.add_argument("--fail-at-us", type=float, default=500.0)
+    args = parser.parse_args()
+
+    testbed = Testbed.local(seed=7)
+    sim = testbed.sim
+    with InsaneDeployment(testbed) as deployment, \
+            Session(deployment.runtime(0), "sensor") as pub, \
+            Session(deployment.runtime(1), "monitor") as sub:
+        pub_stream = pub.create_stream(QosPolicy.fast(), name="telemetry")
+        sub_stream = sub.create_stream(QosPolicy.fast(), name="telemetry")
+        source = pub.create_source(pub_stream, channel=1)
+        sink = sub.create_sink(sub_stream, channel=1)
+        print("stream mapped to datapath: %s" % pub_stream.datapath)
+
+        emit_ids = []
+        delivered = []
+
+        def publisher():
+            for index in range(args.messages):
+                buffer = yield from pub.get_buffer_wait(source, 64)
+                buffer.write(b"reading-%04d" % index)
+                emit_ids.append((yield from pub.emit_data(source, buffer)))
+                yield Timeout(args.interval_us * 1000.0)
+
+        def subscriber():
+            while True:
+                delivery = yield from sub.consume_data(sink)
+                delivered.append(sim.now)
+                sub.release_buffer(sink, delivery)
+
+        sim.process(publisher(), name="sensor")
+        sim.process(subscriber(), name="monitor")
+
+        # crash the DPDK datapath on the publisher's host mid-stream
+        schedule = FaultSchedule().datapath_failure(
+            at=args.fail_at_us * 1000.0, host=0,
+            datapath=pub_stream.datapath, reason="driver crash (injected)",
+        )
+        schedule.apply(testbed, deployment)
+        sim.run()
+
+        runtime = deployment.runtime(0)
+        event = runtime.health.events[0]
+        outcomes = [pub.check_emit_outcome(source, e) for e in emit_ids]
+        print("datapath failed at   : %.0f us (%s)"
+              % (event.failed_at / 1000.0, event.reason))
+        print("detected after       : %.0f us"
+              % (event.detection_latency_ns / 1000.0))
+        print("stream re-mapped     : %s -> %s"
+              % (event.remapped[0][2], event.remapped[0][3]))
+        print("tokens migrated      : %d" % event.migrated)
+        print("delivered            : %d / %d"
+              % (len(delivered), len(emit_ids)))
+        print("emit outcomes        : %d sent, %d degraded"
+              % (outcomes.count(EmitOutcome.SENT),
+                 outcomes.count(EmitOutcome.DEGRADED)))
+        for warning in runtime.warnings:
+            print("runtime warning      : %s" % warning)
+
+
+if __name__ == "__main__":
+    main()

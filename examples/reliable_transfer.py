@@ -33,12 +33,6 @@ def main():
         link.loss_rate = args.loss
     tap = WireTap().attach_all(testbed)
     sim = testbed.sim
-    deployment = InsaneDeployment(testbed)
-
-    tx = Session(deployment.runtime(0), "uploader")
-    rx = Session(deployment.runtime(1), "downloader")
-    tx_stream = tx.create_stream(QosPolicy.fast(), name="transfer")
-    rx_stream = rx.create_stream(QosPolicy.fast(), name="transfer")
 
     blob = bytes((i * 31) % 256 for i in range(args.chunks * args.chunk_size))
     chunks = [
@@ -46,17 +40,24 @@ def main():
     ]
     received = []
 
-    sender = ReliableSender(tx, tx_stream, channel=10, window=32)
-    receiver = ReliableReceiver(rx, rx_stream, channel=10, deliver=received.append)
+    with InsaneDeployment(testbed) as deployment, \
+            Session(deployment.runtime(0), "uploader") as tx, \
+            Session(deployment.runtime(1), "downloader") as rx:
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="transfer")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="transfer")
 
-    def uploader():
-        for chunk in chunks:
-            yield from sender.send(chunk)
-        yield from sender.drain()
-        sender.close()
+        sender = ReliableSender(tx, tx_stream, channel=10, window=32)
+        receiver = ReliableReceiver(rx, rx_stream, channel=10,
+                                    deliver=received.append)
 
-    sim.process(uploader())
-    sim.run()
+        def uploader():
+            for chunk in chunks:
+                yield from sender.send(chunk)
+            yield from sender.drain()
+            sender.close()
+
+        sim.process(uploader())
+        sim.run()
 
     assert b"".join(received) == blob, "transfer corrupted!"
     lost = sum(link.lost_frames.value for link in testbed.links)

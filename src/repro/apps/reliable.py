@@ -13,6 +13,7 @@ enough to host classic transport protocols (paper §5.1).
 
 import struct
 
+from repro.core.errors import TransferError
 from repro.simnet import Counter, Signal, Timeout, Wait
 
 #: seq number, kind (0 = DATA, 1 = ACK), payload length
@@ -26,14 +27,25 @@ KIND_ACK = 1
 class ReliableSender:
     """Sliding-window ARQ sender over an INSANE source/sink pair."""
 
-    def __init__(self, session, stream, channel, window=32, rto_ns=150_000):
+    def __init__(self, session, stream, channel, window=32, rto_ns=150_000,
+                 backoff=2.0, max_rto_ns=None, max_retries=None):
         if window < 1:
             raise ValueError("window must be >= 1")
+        if backoff < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
         self.session = session
         self.sim = session.sim
         self.channel = channel
         self.window = window
         self.rto_ns = rto_ns
+        #: exponential backoff: each timeout without ACK progress scales
+        #: the RTO by this factor, capped at ``max_rto_ns``; any progress
+        #: resets it — keeps a dead path from being hammered at line rate.
+        self.backoff = backoff
+        self.max_rto_ns = max_rto_ns if max_rto_ns is not None else rto_ns * 16
+        #: consecutive no-progress timeouts before the sender gives up
+        #: (``None`` = retry forever, the historical behaviour).
+        self.max_retries = max_retries
         self.source = session.create_source(stream, channel)
         self.ack_sink = session.create_sink(stream, channel + 1, callback=self._on_ack)
         self.next_seq = 0
@@ -41,9 +53,13 @@ class ReliableSender:
         self._unacked = {}                 # seq -> payload bytes
         self._window_open = None           # Signal fired when space frees up
         self._timer = None
+        self._current_rto_ns = rto_ns
+        self._timeouts_in_a_row = 0
         self.retransmissions = Counter("arq.retransmissions")
         self.acked = Counter("arq.acked")
         self.closed = False
+        #: True once max_retries was exhausted; send/drain then raise.
+        self.failed = False
 
     # -- public API -------------------------------------------------------
 
@@ -51,10 +67,19 @@ class ReliableSender:
         """Send ``data`` reliably (generator; blocks while the window is
         full).  Returns the assigned sequence number."""
         if self.closed:
-            raise RuntimeError("sender is closed")
+            raise TransferError("sender is closed")
+        if self.failed:
+            raise TransferError(
+                "sender gave up after %d consecutive timeouts" % self._timeouts_in_a_row
+            )
         while self.next_seq - self.base >= self.window:
             self._window_open = Signal(self.sim)
             yield Wait(self._window_open)
+            if self.failed:
+                raise TransferError(
+                    "sender gave up after %d consecutive timeouts"
+                    % self._timeouts_in_a_row
+                )
         seq = self.next_seq
         self.next_seq += 1
         self._unacked[seq] = bytes(data)
@@ -67,8 +92,16 @@ class ReliableSender:
         return len(self._unacked)
 
     def drain(self):
-        """Wait until every sent message has been acknowledged (generator)."""
+        """Wait until every sent message has been acknowledged (generator).
+
+        Raises :class:`TransferError` if the sender exhausts
+        ``max_retries`` while data is still outstanding."""
         while self._unacked:
+            if self.failed:
+                raise TransferError(
+                    "sender gave up with %d messages unacknowledged"
+                    % len(self._unacked)
+                )
             self._window_open = Signal(self.sim)
             yield Wait(self._window_open)
 
@@ -99,6 +132,9 @@ class ReliableSender:
                 del self._unacked[seq]
                 self.acked.increment()
         self.base = ack_seq
+        # ACK progress: reset the exponential backoff
+        self._current_rto_ns = self.rto_ns
+        self._timeouts_in_a_row = 0
         if self._window_open is not None and not self._window_open.fired:
             self._window_open.succeed()
             self._window_open = None
@@ -108,13 +144,25 @@ class ReliableSender:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        if self._unacked and not self.closed:
-            self._timer = self.sim.schedule_cancellable(self.rto_ns, self._on_timeout)
+        if self._unacked and not self.closed and not self.failed:
+            self._timer = self.sim.schedule_cancellable(
+                self._current_rto_ns, self._on_timeout
+            )
 
     def _on_timeout(self):
         self._timer = None
         if not self._unacked or self.closed:
             return
+        self._timeouts_in_a_row += 1
+        if self.max_retries is not None and self._timeouts_in_a_row > self.max_retries:
+            # give up: wake blocked senders so they raise TransferError
+            self.failed = True
+            if self._window_open is not None and not self._window_open.fired:
+                self._window_open.succeed()
+                self._window_open = None
+            return
+        rto = self._current_rto_ns * self.backoff
+        self._current_rto_ns = rto if rto < self.max_rto_ns else self.max_rto_ns
         self.sim.process(self._retransmit_window(), name="arq.rtx")
 
     def _retransmit_window(self):

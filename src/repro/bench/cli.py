@@ -18,6 +18,7 @@ from repro.bench.ablations import (
     run_ablation_threads,
     run_ablation_tsn,
 )
+from repro.bench.faults import run_faults
 
 EXPERIMENTS = {
     "table1": lambda args: runner.run_table1(),
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "ablation-rx-threads": lambda args: run_ablation_rx_threads(
         messages=args.messages, seed=args.seed
     ),
+    "faults": lambda args: run_faults(seed=args.seed, messages=args.messages),
 }
 
 

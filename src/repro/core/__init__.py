@@ -19,27 +19,47 @@ This package is the paper's primary contribution:
 """
 
 from repro.core.errors import (
+    BufferLifecycleError,
+    DatapathFailedError,
+    ERROR_CODES,
+    FailoverError,
+    FaultInjectionError,
     InsaneError,
     NoDatapathError,
     PoolExhaustedError,
+    QosValidationError,
     SessionError,
+    TransferError,
+    UtcpError,
 )
+from repro.core.outcomes import EmitOutcome
 from repro.core.qos import (
     Acceleration,
     DEFAULT_STRATEGY,
     MappingDecision,
     QosPolicy,
+    QosPolicyBuilder,
     ResourceBudget,
     TimeSensitivity,
 )
+from repro.core.control import FailoverEvent, HealthMonitor
 from repro.core.memory import Buffer, MemoryManager, SlotPool
-from repro.core.runtime import InsaneRuntime
+from repro.core.runtime import InsaneDeployment, InsaneRuntime
 from repro.core.session import Session
 
 __all__ = [
     "Acceleration",
     "Buffer",
+    "BufferLifecycleError",
     "DEFAULT_STRATEGY",
+    "DatapathFailedError",
+    "ERROR_CODES",
+    "EmitOutcome",
+    "FailoverError",
+    "FailoverEvent",
+    "FaultInjectionError",
+    "HealthMonitor",
+    "InsaneDeployment",
     "InsaneError",
     "InsaneRuntime",
     "MappingDecision",
@@ -47,9 +67,12 @@ __all__ = [
     "NoDatapathError",
     "PoolExhaustedError",
     "QosPolicy",
-    "ResourceBudget",
+    "QosPolicyBuilder",
+    "QosValidationError",
     "Session",
     "SessionError",
     "SlotPool",
     "TimeSensitivity",
+    "TransferError",
+    "UtcpError",
 ]

@@ -5,15 +5,33 @@ Python interface; these thin wrappers exist so code can be written with the
 exact vocabulary of the paper::
 
     session = init_session(runtime)
-    stream = create_stream(session, opts)
+    stream = create_stream(session, make_options(acceleration="fast"))
     source = create_source(session, stream, channel=4)
     buffer = get_buffer(session, source, 64)
     emit_id = yield from emit_data(session, source, buffer)
     ...
     close_session(session)
+
+Error handling is typed: every failure raises an
+:class:`~repro.core.errors.InsaneError` subclass carrying the paper-style
+integer ``code``, and :func:`check_emit_outcome` returns an
+:class:`~repro.core.outcomes.EmitOutcome` (string-compatible with the
+historical plain values).  The session object returned by
+:func:`init_session` is also a context manager — ``with init_session(rt)
+as session:`` — and every ``close_*`` call is idempotent.
 """
 
+from repro.core.qos import QosPolicy
 from repro.core.session import Session
+
+
+def make_options(**kwargs):
+    """``options_t`` — build validated stream QoS options.
+
+    Thin alias of :meth:`QosPolicy.from_kwargs`; contradictory
+    combinations raise :class:`~repro.core.errors.QosValidationError`.
+    """
+    return QosPolicy.from_kwargs(**kwargs)
 
 
 def init_session(runtime, name=None):

@@ -27,7 +27,11 @@ class ChannelKey(NamedTuple):
 
 
 class Stream:
-    """A client-side stream handle (``stream_t``)."""
+    """A client-side stream handle (``stream_t``).
+
+    Usable as a context manager: ``with session.create_stream(...) as s:``
+    closes the stream (and its endpoints) on exit; ``close`` is idempotent.
+    """
 
     def __init__(self, session, name, policy, decision, binding):
         self.session = session
@@ -38,6 +42,14 @@ class Stream:
         self.closed = False
         self.sources = []
         self.sinks = []
+        #: True once a runtime failover re-mapped this stream onto a
+        #: fallback datapath; emits then report DEGRADED outcomes.
+        self.degraded = False
+        #: True when the stream's datapath failed and *no* surviving
+        #: datapath satisfies its policy: emits raise DatapathFailedError.
+        self.failed = False
+        #: number of failover re-maps this stream has survived.
+        self.failovers = 0
         # resolved once: emit_data reads this per message
         self.time_sensitive = (
             policy.time_sensitivity is TimeSensitivity.TIME_SENSITIVE
@@ -48,11 +60,35 @@ class Stream:
         return self.decision.datapath
 
     def close(self):
+        if self.closed:
+            return
         for source in list(self.sources):
             source.close()
         for sink in list(self.sinks):
             sink.close()
         self.closed = True
+        streams = self.session.streams
+        if self in streams:
+            streams.remove(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def _rebind(self, decision, binding):
+        """Runtime-side failover re-map: move the stream (and the cached
+        fast paths of its endpoints) onto a surviving binding."""
+        self.decision = decision
+        self.binding = binding
+        self.degraded = True
+        self.failovers += 1
+        for source in self.sources:
+            source._ring = None       # next emit resolves the new binding
+        for sink in self.sinks:
+            sink._ipc_half = binding.ipc_half_cost
 
 
 class Source:
@@ -79,6 +115,13 @@ class Source:
             self.closed = True
             if self in self.stream.sources:
                 self.stream.sources.remove(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
 
 @dataclass
@@ -125,3 +168,10 @@ class Sink:
             self.session.runtime.unregister_sink(self.endpoint)
             if self in self.stream.sinks:
                 self.stream.sinks.remove(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -38,6 +38,10 @@ class RuntimeConfig:
     access_controller: object = None
     trace: bool = False                       # per-packet breakdown stamps
     warn: Optional[Callable[[str], None]] = None  # QoS fallback warnings
+    #: health-monitor sampling interval: ns between a datapath binding
+    #: failing and the runtime detecting it and re-mapping affected
+    #: streams onto the best surviving datapath (repro.faults)
+    failover_detect_ns: float = 50_000.0
 
     def __post_init__(self):
         if self.thread_mapping not in ("per-datapath", "shared"):
@@ -52,3 +56,5 @@ class RuntimeConfig:
                 "best_effort_scheduler must be fifo, drr, or priority; got %r"
                 % (self.best_effort_scheduler,)
             )
+        if self.failover_detect_ns < 0:
+            raise ValueError("failover_detect_ns must be >= 0")

@@ -8,6 +8,78 @@ datapath), and each runtime consults its cached view at emit time.
 """
 
 from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class FailoverEvent:
+    """Record of one detected datapath failure and the remap it triggered."""
+
+    host: str
+    datapath: str
+    reason: str
+    failed_at: float
+    detected_at: float
+    #: ``(app_id, stream, old_datapath, new_datapath)`` per re-mapped stream.
+    remapped: List[Tuple[str, str, str, str]] = field(default_factory=list)
+    #: ``(app_id, stream)`` per stream left with no surviving datapath.
+    stranded: List[Tuple[str, str]] = field(default_factory=list)
+    #: tokens moved from the dead binding's rings to the fallback's.
+    migrated: int = 0
+
+    @property
+    def detection_latency_ns(self):
+        return self.detected_at - self.failed_at
+
+
+class HealthMonitor:
+    """Detects failed datapath bindings and drives QoS-aware failover.
+
+    Detection is event-driven rather than a periodic polling process (a
+    forever-ticking process would keep the discrete-event simulation from
+    ever draining): a binding failure schedules one health-check callback
+    ``detect_ns`` later — modelling the monitor's sampling interval — and
+    that callback re-maps every affected stream *exactly once* per failure
+    epoch.  A restore before the callback fires turns it into a no-op, and
+    a later re-failure starts a fresh epoch with its own callback.
+    """
+
+    def __init__(self, runtime, detect_ns=50_000.0):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.detect_ns = detect_ns
+        self.events = []
+
+    def binding_failed(self, binding, reason=""):
+        """Schedule the detection callback for this failure epoch."""
+        self.sim.schedule(
+            self.detect_ns, self._detect, binding, reason, binding.failed_at
+        )
+
+    def binding_restored(self, binding):
+        """Nothing to cancel: the epoch guard in :meth:`_detect` makes any
+        pending detection for the restored epoch a no-op."""
+
+    def _detect(self, binding, reason, failed_at):
+        if not binding.failed or binding.failed_at != failed_at:
+            return  # restored meanwhile (a re-failure has its own callback)
+        if binding._failover_handled:
+            return
+        binding._failover_handled = True
+        remapped, stranded, migrated = self.runtime.failover_remap(binding)
+        self.events.append(
+            FailoverEvent(
+                host=self.runtime.host.name,
+                datapath=binding.name,
+                reason=reason,
+                failed_at=failed_at,
+                detected_at=self.sim.now,
+                remapped=remapped,
+                stranded=stranded,
+                migrated=migrated,
+            )
+        )
 
 
 class ControlPlane:

@@ -1,24 +1,120 @@
-"""Exceptions raised by the INSANE middleware."""
+"""Exceptions raised by the INSANE middleware.
+
+Every failure surfaced by the public API is a subclass of
+:class:`InsaneError` and carries a paper-style integer code (the values a C
+binding of Fig. 2 would return from ``init_session`` / ``emit_data`` /
+etc.).  Python callers catch the typed exception; bindings and logs use
+``exc.code``.  The full code space lives in :data:`ERROR_CODES`.
+"""
+
+#: success code of the paper's C-style API (never raised, by definition).
+INSANE_OK = 0
 
 
 class InsaneError(RuntimeError):
-    """Base class for middleware-level errors."""
+    """Base class for middleware-level errors.
+
+    :attr:`code` is the paper-style integer error code; subclasses override
+    the class default, and an instance-level override may be passed at
+    construction for call sites that need a more specific code.
+    """
+
+    code = 1  # generic middleware error
+
+    def __init__(self, *args, code=None):
+        super().__init__(*args)
+        if code is not None:
+            self.code = code
 
 
 class SessionError(InsaneError):
     """Raised on API misuse: closed sessions, foreign buffers, etc."""
+
+    code = 10
 
 
 class PoolExhaustedError(InsaneError):
     """Raised when a memory pool has no free slots and the caller asked
     for a non-blocking allocation."""
 
-
-class NoDatapathError(InsaneError):
-    """Raised when a QoS mapping strategy yields a datapath that is not
-    available on the host and no fallback is permitted."""
+    code = 20
 
 
 class BufferLifecycleError(InsaneError):
     """Raised on double-release, use-after-release, or emit of a foreign
     buffer."""
+
+    code = 21
+
+
+class NoDatapathError(InsaneError):
+    """Raised when a QoS mapping strategy yields a datapath that is not
+    available on the host and no fallback is permitted."""
+
+    code = 30
+
+
+class QosValidationError(InsaneError, ValueError):
+    """Raised by the :class:`~repro.core.qos.QosPolicy` builder on
+    contradictory or unknown option combinations.
+
+    Also a ``ValueError`` so call sites validating options generically
+    keep working.
+    """
+
+    code = 31
+
+
+class DatapathFailedError(InsaneError):
+    """Raised when an operation requires a datapath binding that has been
+    marked failed and not (yet) restored."""
+
+    code = 40
+
+
+class FailoverError(InsaneError):
+    """Raised when a failed binding's streams cannot be re-mapped because
+    no surviving datapath satisfies their policy."""
+
+    code = 41
+
+
+class FaultInjectionError(InsaneError):
+    """Raised by :mod:`repro.faults` on invalid fault schedules (negative
+    times, unknown targets, overlapping exclusive faults)."""
+
+    code = 42
+
+
+class TransferError(InsaneError):
+    """Raised by the application-level reliable transport
+    (:mod:`repro.apps.reliable`) on misuse or on exhausted retries."""
+
+    code = 50
+
+
+class UtcpError(InsaneError, ConnectionError):
+    """Raised by the uTCP userspace transport on connection failures.
+
+    Also a ``ConnectionError`` so pre-existing handlers written against
+    the stdlib hierarchy keep working.
+    """
+
+    code = 51
+
+
+#: name -> paper-style integer code, the full error-code space of the API.
+ERROR_CODES = {
+    "INSANE_OK": INSANE_OK,
+    "InsaneError": InsaneError.code,
+    "SessionError": SessionError.code,
+    "PoolExhaustedError": PoolExhaustedError.code,
+    "BufferLifecycleError": BufferLifecycleError.code,
+    "NoDatapathError": NoDatapathError.code,
+    "QosValidationError": QosValidationError.code,
+    "DatapathFailedError": DatapathFailedError.code,
+    "FailoverError": FailoverError.code,
+    "FaultInjectionError": FaultInjectionError.code,
+    "TransferError": TransferError.code,
+    "UtcpError": UtcpError.code,
+}

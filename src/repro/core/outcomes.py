@@ -1,0 +1,43 @@
+"""Emit outcomes: the result space of ``check_emit_outcome`` (paper Fig. 2).
+
+The C API returns an integer; this repro returns :class:`EmitOutcome`, a
+``str``-valued enum that compares equal to the historical plain-string
+values (``"sent"``, ``"pending"``, ...) so existing call sites keep
+working while new code gets an enumerated, exhaustive outcome space.
+"""
+
+import enum
+
+
+class EmitOutcome(str, enum.Enum):
+    """Outcome of one ``emit_data`` call, as reported by the runtime."""
+
+    #: not yet drained from the client's emit ring by a polling thread.
+    PENDING = "pending"
+    #: routed to at least one local or remote subscriber on the stream's
+    #: mapped datapath.
+    SENT = "sent"
+    #: routed, but over a *fallback* datapath after a runtime failover —
+    #: delivery happened, QoS may be degraded (paper §5.2's fallback rule).
+    DEGRADED = "degraded"
+    #: nobody subscribed to the channel; the buffer was reclaimed.
+    NO_SUBSCRIBERS = "no_subscribers"
+    #: the emit could not be routed at all (e.g. its binding failed and no
+    #: surviving datapath satisfies the stream's policy).
+    FAILED = "failed"
+
+    #: paper-style integer codes for a C binding of the API.
+    def as_int(self):
+        return _OUTCOME_CODES[self]
+
+    def __str__(self):
+        return self.value
+
+
+_OUTCOME_CODES = {
+    EmitOutcome.PENDING: -1,
+    EmitOutcome.SENT: 0,
+    EmitOutcome.DEGRADED: 1,
+    EmitOutcome.NO_SUBSCRIBERS: 2,
+    EmitOutcome.FAILED: 3,
+}

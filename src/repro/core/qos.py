@@ -65,6 +65,183 @@ class QosPolicy:
             ),
         )
 
+    @classmethod
+    def from_kwargs(cls, **kwargs):
+        """Build a validated policy from keyword options.
+
+        Accepts enum members, their string values, or the boolean aliases
+        used by :meth:`fast`/:meth:`slow`::
+
+            QosPolicy.from_kwargs(acceleration="fast", constrained=True)
+            QosPolicy.from_kwargs(acceleration=Acceleration.NONE,
+                                  time_sensitive=True)
+
+        Contradictory combinations (an alias disagreeing with its enum
+        option, or a resource budget on a non-accelerated policy) raise
+        :class:`~repro.core.errors.QosValidationError` — the typed
+        replacement for silently assembling raw enums.
+        """
+        from repro.core.errors import QosValidationError
+
+        known = {
+            "acceleration", "resources", "time_sensitivity",
+            "constrained", "time_sensitive",
+        }
+        unknown = set(kwargs) - known
+        if unknown:
+            raise QosValidationError(
+                "unknown QoS option(s) %s; valid options: %s"
+                % (sorted(unknown), sorted(known))
+            )
+
+        acceleration = _coerce(
+            Acceleration, kwargs.get("acceleration"), {
+                "fast": Acceleration.ACCELERATED,
+                "accelerated": Acceleration.ACCELERATED,
+                "slow": Acceleration.NONE,
+                "none": Acceleration.NONE,
+                True: Acceleration.ACCELERATED,
+                False: Acceleration.NONE,
+            },
+        )
+        resources = _coerce(
+            ResourceBudget, kwargs.get("resources"), {
+                "constrained": ResourceBudget.CONSTRAINED,
+                "unconstrained": ResourceBudget.UNCONSTRAINED,
+            },
+        )
+        time_sensitivity = _coerce(
+            TimeSensitivity, kwargs.get("time_sensitivity"), {
+                "time-sensitive": TimeSensitivity.TIME_SENSITIVE,
+                "best-effort": TimeSensitivity.BEST_EFFORT,
+            },
+        )
+
+        if "constrained" in kwargs:
+            alias = (
+                ResourceBudget.CONSTRAINED
+                if kwargs["constrained"]
+                else ResourceBudget.UNCONSTRAINED
+            )
+            if resources is not None and resources is not alias:
+                raise QosValidationError(
+                    "contradictory options: resources=%s but constrained=%r"
+                    % (resources.value, kwargs["constrained"])
+                )
+            resources = alias
+        if "time_sensitive" in kwargs:
+            alias = (
+                TimeSensitivity.TIME_SENSITIVE
+                if kwargs["time_sensitive"]
+                else TimeSensitivity.BEST_EFFORT
+            )
+            if time_sensitivity is not None and time_sensitivity is not alias:
+                raise QosValidationError(
+                    "contradictory options: time_sensitivity=%s but "
+                    "time_sensitive=%r"
+                    % (time_sensitivity.value, kwargs["time_sensitive"])
+                )
+            time_sensitivity = alias
+
+        if acceleration is None:
+            acceleration = Acceleration.NONE
+        if acceleration is Acceleration.NONE and resources is ResourceBudget.CONSTRAINED:
+            raise QosValidationError(
+                "contradictory options: a constrained resource budget only "
+                "applies to accelerated streams (the kernel path never spins "
+                "cores); request acceleration='fast' or drop constrained"
+            )
+        return cls(
+            acceleration=acceleration,
+            resources=resources or ResourceBudget.UNCONSTRAINED,
+            time_sensitivity=time_sensitivity or TimeSensitivity.BEST_EFFORT,
+        )
+
+    @classmethod
+    def build(cls):
+        """A fluent, validating builder: ``QosPolicy.build().accelerated()
+        .constrained().time_sensitive().done()``."""
+        return QosPolicyBuilder(cls)
+
+
+def _coerce(enum_cls, value, aliases):
+    """Normalize ``value`` to an ``enum_cls`` member, or raise typed."""
+    from repro.core.errors import QosValidationError
+
+    if value is None or isinstance(value, enum_cls):
+        return value
+    try:
+        hashable = value if isinstance(value, (str, bool)) else None
+        if hashable in aliases:
+            return aliases[hashable]
+        return enum_cls(value)
+    except (ValueError, TypeError):
+        raise QosValidationError(
+            "invalid %s value %r; expected one of %s"
+            % (
+                enum_cls.__name__,
+                value,
+                sorted({str(k) for k in aliases} | {m.value for m in enum_cls}),
+            )
+        ) from None
+
+
+class QosPolicyBuilder:
+    """Fluent builder for :class:`QosPolicy`.
+
+    Each setter fixes one option; setting the *same* option to two
+    different values, or assembling a contradictory combination, raises
+    :class:`~repro.core.errors.QosValidationError` at the call that
+    introduces the contradiction (not at :meth:`done`), so the offending
+    line is in the traceback.
+    """
+
+    def __init__(self, policy_cls):
+        self._policy_cls = policy_cls
+        self._options = {}
+
+    def _set(self, key, value):
+        from repro.core.errors import QosValidationError
+
+        current = self._options.get(key)
+        if current is not None and current is not value:
+            raise QosValidationError(
+                "contradictory builder calls: %s already set to %s, "
+                "refusing to override with %s" % (key, current.value, value.value)
+            )
+        self._options[key] = value
+        return self
+
+    def accelerated(self):
+        """Request a kernel-bypassing datapath (the paper's "fast")."""
+        return self._set("acceleration", Acceleration.ACCELERATED)
+
+    def kernel(self):
+        """Request the kernel stack (the paper's "slow")."""
+        return self._set("acceleration", Acceleration.NONE)
+
+    def constrained(self):
+        """Avoid spinning cores (prefer XDP among accelerated paths)."""
+        return self._set("resources", ResourceBudget.CONSTRAINED)
+
+    def unconstrained(self):
+        """Busy-polling cores are acceptable (prefer DPDK/RDMA)."""
+        return self._set("resources", ResourceBudget.UNCONSTRAINED)
+
+    def time_sensitive(self):
+        """Schedule packets through the 802.1Qbv time-aware scheduler."""
+        return self._set("time_sensitivity", TimeSensitivity.TIME_SENSITIVE)
+
+    def best_effort(self):
+        """FIFO packet scheduling (the default)."""
+        return self._set("time_sensitivity", TimeSensitivity.BEST_EFFORT)
+
+    def done(self):
+        """Validate the combination and return the frozen policy."""
+        return self._policy_cls.from_kwargs(**{
+            key: value for key, value in self._options.items()
+        })
+
 
 @dataclass(frozen=True)
 class MappingDecision:

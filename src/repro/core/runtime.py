@@ -9,8 +9,10 @@ over shared memory (sessions) and exchange slot-id tokens with it.
 
 from repro.core.channel import ChannelKey
 from repro.core.config import RuntimeConfig
-from repro.core.control import ControlPlane
+from repro.core.control import ControlPlane, HealthMonitor
+from repro.core.errors import NoDatapathError
 from repro.core.ipc import Token, TokenRing
+from repro.core.qos import resolve_mapping
 from repro.core.memory import MemoryManager
 from repro.core.polling import PollingThread
 from repro.core.scheduler import (
@@ -102,6 +104,14 @@ class DatapathBinding:
         self.pool_drops = Counter("%s.%s.pool_drops" % (self.host.name, name))
         self.no_sink_drops = Counter("%s.%s.no_sink_drops" % (self.host.name, name))
         self.unknown_drops = Counter("%s.%s.unknown_drops" % (self.host.name, name))
+        # fault state (repro.faults): a failed binding accepts emits (the
+        # client-side rings stay up — shared memory does not die with a
+        # NIC driver) but its polling passes stop until restore(); a
+        # stalled binding pauses until ``stalled_until``.
+        self.failed = False
+        self.failed_at = None
+        self.stalled_until = 0.0
+        self._failover_handled = False
         self._wire_datapath()
         self.rx_queue.on_item = self._kick
         if self._legacy:
@@ -160,6 +170,65 @@ class DatapathBinding:
         for thread in self.threads:
             thread.kick()
 
+    # -- fault injection / failover ------------------------------------------
+
+    def fail(self, reason=""):
+        """Mark this binding failed (fault injection or operator action).
+
+        In-flight frames on the dead path are lost (their TX buffers are
+        reclaimed); tokens already emitted by clients stay parked in the
+        shared-memory rings until the health monitor re-maps the affected
+        streams.  Idempotent while failed.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.failed_at = self.sim.now
+        self._failover_handled = False
+        self.datapath.fail()
+        self._drop_scheduled()
+        self.runtime._on_binding_failed(self, reason)
+
+    def restore(self):
+        """Bring a failed binding back; newly created streams may map to
+        it again (already re-mapped streams stay on their fallback)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.failed_at = None
+        self.datapath.restore()
+        self.runtime._on_binding_restored(self)
+        self._kick()
+
+    def stall(self, duration_ns):
+        """Pause this binding's polling passes for ``duration_ns`` —
+        models a wedged PMD/driver thread: queues back up, then drain."""
+        until = self.sim.now + duration_ns
+        if until > self.stalled_until:
+            self.stalled_until = until
+            self.sim.schedule(duration_ns, self._kick)
+
+    def _drop_scheduled(self):
+        """Release the TX buffers of packets stranded in the schedulers
+        (data already past the API is lost with the datapath)."""
+        dropped = 0
+        for scheduler in (self.fifo, self.tsn):
+            if scheduler is None:
+                continue
+            while len(scheduler):
+                ready = scheduler.next_ready_at(self.sim.now)
+                batch = scheduler.pop_ready(
+                    self.sim.now if ready is None else ready, 1024
+                )
+                if not batch:
+                    break
+                for packet in batch:
+                    buffer = packet.meta.pop("tx_buffer", None)
+                    if buffer is not None:
+                        buffer.pool.release(buffer)
+                    dropped += 1
+        return dropped
+
     # -- cost helpers -----------------------------------------------------------
 
     def _token_cost(self, burst):
@@ -211,6 +280,8 @@ class DatapathBinding:
         report a false negative, or the polling thread would park with
         work queued.
         """
+        if self.failed or self.stalled_until > self.sim.now:
+            return False
         for ring in self._ring_list:
             if ring.store._items:
                 return True
@@ -221,6 +292,8 @@ class DatapathBinding:
 
     def rx_pending(self):
         """Whether the datapath's receive queue holds anything."""
+        if self.failed or self.stalled_until > self.sim.now:
+            return False
         return len(self.rx_queue) > 0
 
     def tx_pass(self):
@@ -283,9 +356,13 @@ class DatapathBinding:
         remote = runtime.control.remote_subscribers(key, self.host.ip)
         refs_needed = len(local) + len(remote)
         if token.emit_id is not None:
-            runtime._outcomes[token.emit_id] = (
-                "sent" if refs_needed else "no_subscribers"
-            )
+            if refs_needed == 0:
+                outcome = "no_subscribers"
+            elif token.meta.get("degraded"):
+                outcome = "degraded"
+            else:
+                outcome = "sent"
+            runtime._outcomes[token.emit_id] = outcome
         if refs_needed == 0:
             buffer.pool.release(buffer)
             return
@@ -605,13 +682,19 @@ class InsaneRuntime:
         self._outcomes = {}
         self._sessions = {}
         self.version = 1
+        self._failed_datapaths = set()
+        self.health = HealthMonitor(self, detect_ns=self.config.failover_detect_ns)
+        self.failovers = Counter(host.name + ".failovers")
         if self.config.always_kernel_listener:
             self.ensure_binding("udp")
 
     # -- datapath management ------------------------------------------------
 
     def available_datapaths(self):
-        return set(available_datapaths(self.profile))
+        """Technologies usable for (re-)mapping streams right now: what the
+        host supports, minus currently-failed bindings — failover must
+        never re-pick a dead path."""
+        return set(available_datapaths(self.profile)) - self._failed_datapaths
 
     def ensure_binding(self, name):
         """Instantiate the datapath at most once per host (paper §4)."""
@@ -637,6 +720,143 @@ class InsaneRuntime:
                 self._shared_thread = PollingThread(self, self.host.name + ".poll")
                 self.threads.append(self._shared_thread)
             self._shared_thread.add_binding(binding)
+
+    # -- fault injection & failover ---------------------------------------------
+
+    def fail_datapath(self, name, reason=""):
+        """Fail a datapath binding (fault injection / operator action).
+
+        The health monitor detects the failure ``failover_detect_ns``
+        later and re-maps every affected stream onto the best surviving
+        datapath its policy allows (paper §5.2's fallback rule).
+        """
+        binding = self.bindings.get(name)
+        if binding is None:
+            raise NoDatapathError(
+                "no %r binding instantiated on %s" % (name, self.host.name)
+            )
+        binding.fail(reason)
+        return binding
+
+    def restore_datapath(self, name):
+        """Bring a failed binding back into service for *new* mappings
+        (already re-mapped streams stay on their fallback)."""
+        binding = self.bindings.get(name)
+        if binding is None:
+            raise NoDatapathError(
+                "no %r binding instantiated on %s" % (name, self.host.name)
+            )
+        binding.restore()
+        return binding
+
+    def _on_binding_failed(self, binding, reason):
+        self._failed_datapaths.add(binding.name)
+        self.warn(
+            "datapath %s failed on %s%s"
+            % (binding.name, self.host.name, (": " + reason) if reason else "")
+        )
+        self.health.binding_failed(binding, reason)
+
+    def _on_binding_restored(self, binding):
+        self._failed_datapaths.discard(binding.name)
+        self.health.binding_restored(binding)
+
+    def failover_remap(self, binding):
+        """Re-map every stream bound to ``binding`` onto the best surviving
+        datapath satisfying its policy; exactly-once per failure epoch is
+        the health monitor's job, this method just executes the re-map.
+
+        Returns ``(remapped, stranded, migrated)``: re-map records, streams
+        left with no usable datapath, and tokens migrated out of the dead
+        binding's shared-memory rings.
+        """
+        remapped, stranded = [], []
+        survivors = self.available_datapaths()
+        for session in list(self._sessions.values()):
+            for stream in list(session.streams):
+                if stream.binding is not binding or stream.closed:
+                    continue
+                try:
+                    decision = resolve_mapping(
+                        stream.policy,
+                        survivors,
+                        strategy=self.config.mapping_strategy,
+                    )
+                except NoDatapathError:
+                    stream.failed = True
+                    stranded.append((session.app_id, stream.name))
+                    self.warn(
+                        "stream %s/%s: datapath %s failed and no surviving "
+                        "datapath remains; emits on this stream now fail"
+                        % (session.app_id, stream.name, binding.name)
+                    )
+                    continue
+                if decision.warning:
+                    self.warn(decision.warning)
+                new_binding = self.ensure_binding(decision.datapath)
+                for sink in stream.sinks:
+                    self.remap_sink(sink.endpoint, decision.datapath)
+                stream._rebind(decision, new_binding)
+                self.failovers.increment()
+                remapped.append(
+                    (session.app_id, stream.name, binding.name, decision.datapath)
+                )
+                self.warn(
+                    "stream %s/%s re-mapped %s -> %s after datapath failure"
+                    % (session.app_id, stream.name, binding.name, decision.datapath)
+                )
+        migrated = self._migrate_tokens(binding)
+        return remapped, stranded, migrated
+
+    def remap_sink(self, endpoint, datapath):
+        """Move a sink's control-plane subscription to ``datapath``.
+
+        The shared-memory delivery ring itself is datapath-independent;
+        only the advertised technology (what remote publishers pick their
+        egress from) changes.
+        """
+        if endpoint.datapath == datapath:
+            return
+        self.control.unsubscribe(endpoint.key, self, datapath=endpoint.datapath)
+        endpoint.datapath = datapath
+        self.control.subscribe(endpoint.key, self, datapath=datapath)
+
+    def _migrate_tokens(self, binding):
+        """Move tokens parked in a failed binding's emit rings onto their
+        streams' new bindings; tokens with nowhere to go fail (and their
+        buffers return to the pool)."""
+        migrated = 0
+        for app_id, ring in list(binding.tx_rings.items()):
+            for token in ring.drain(len(ring)):
+                stream = self._stream_for(app_id, token.stream)
+                target = None
+                if (
+                    stream is not None
+                    and not stream.failed
+                    and stream.binding is not binding
+                    and not stream.binding.failed
+                ):
+                    target = stream.binding
+                if target is None:
+                    self.mark_outcome(token, "failed")
+                    token.buffer.pool.release(token.buffer)
+                    continue
+                token.meta["degraded"] = True
+                if target.ring_for(app_id).try_enqueue(token):
+                    migrated += 1
+                else:
+                    self.mark_outcome(token, "failed")
+                    token.buffer.pool.release(token.buffer)
+        return migrated
+
+    def _stream_for(self, app_id, stream_name):
+        session = self._sessions.get(app_id)
+        if session is None:
+            return None
+        for stream in session.streams:
+            if stream.name == stream_name:
+                return stream
+        return None
 
     # -- session management ----------------------------------------------------
 
@@ -736,6 +956,7 @@ class InsaneRuntime:
                 "tx_packets": binding.datapath.tx_packets.value,
                 "rx_packets": binding.datapath.rx_packets.value,
                 "polling_threads": len(binding.threads),
+                "failed": binding.failed,
             }
         return {
             "host": self.host.name,
@@ -751,6 +972,9 @@ class InsaneRuntime:
                 "exhaustions": self.memory.pool.exhaustions.value,
             },
             "bindings": bindings,
+            "failed_datapaths": sorted(self._failed_datapaths),
+            "failovers": self.failovers.value,
+            "failover_events": len(self.health.events),
             "warnings": list(self.warnings),
         }
 
@@ -778,15 +1002,30 @@ class InsaneRuntime:
         return self.sim.now - started
 
     def shutdown(self):
+        """Stop polling threads and close every binding.  Idempotent."""
+        if getattr(self, "_shut_down", False):
+            return
+        self._shut_down = True
         for thread in self.threads:
             thread.stop()
         for binding in self.bindings.values():
             binding.shutdown()
         self.control.unregister_runtime(self)
 
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+        return False
+
 
 class InsaneDeployment:
-    """Convenience: one runtime per testbed host plus a shared control plane."""
+    """Convenience: one runtime per testbed host plus a shared control plane.
+
+    Usable as a context manager; exit shuts every runtime down (idempotent,
+    like all close/shutdown calls in this API).
+    """
 
     def __init__(self, testbed, config=None, host_indices=None):
         self.testbed = testbed
@@ -803,3 +1042,10 @@ class InsaneDeployment:
     def shutdown(self):
         for runtime in self.runtimes.values():
             runtime.shutdown()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown()
+        return False

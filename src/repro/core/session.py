@@ -22,13 +22,27 @@ and sink-side::
     delivery = yield from session.consume_data(sink)          # blocking
     ... read delivery.payload() ...
     session.release_buffer(sink, delivery)
+
+Sessions, streams, sources, and sinks are context managers; the idiomatic
+lifecycle is ``with``-scoped (close is idempotent, so explicit ``close()``
+calls remain valid)::
+
+    with Session(runtime, "producer") as session:
+        with session.create_stream(QosPolicy.fast()) as stream:
+            source = session.create_source(stream, channel=4)
+            ...
 """
 
 import itertools
 
 from repro.core.channel import Delivery, Sink, Source, Stream
-from repro.core.errors import PoolExhaustedError, SessionError
+from repro.core.errors import (
+    DatapathFailedError,
+    PoolExhaustedError,
+    SessionError,
+)
 from repro.core.ipc import Token
+from repro.core.outcomes import EmitOutcome
 from repro.core.qos import QosPolicy, resolve_mapping
 from repro.core.runtime import INSANE_HEADER_BYTES
 from repro.simnet import Get, Signal, Wait
@@ -186,6 +200,12 @@ class Session:
             raise SessionError("session %s is closed" % self.app_id)
         if source.closed:
             raise SessionError("source is closed")
+        stream = source.stream
+        if stream.failed:
+            raise DatapathFailedError(
+                "stream %s: datapath failed and no surviving datapath "
+                "satisfies its policy" % stream.name
+            )
         if length is None:
             length = buffer.length
         if length > len(buffer.view):
@@ -195,10 +215,11 @@ class Session:
         runtime.memory.transfer_ownership(self.app_id, buffer)
         source._next_emit_id = next_id = source._next_emit_id + 1
         emit_id = (self.app_id, id(source), next_id)
-        stream = source.stream
         meta = {"app": self.app_id}
         if stream.time_sensitive:
             meta["time_sensitive"] = True
+        if stream.degraded:
+            meta["degraded"] = True
         if runtime.config.trace:
             meta["emit_ns"] = self.sim.now
         token = Token(
@@ -255,8 +276,14 @@ class Session:
         return emit_id
 
     def check_emit_outcome(self, source, emit_id):
-        """Outcome of a previous emit: pending / sent / no_subscribers."""
-        return self.runtime.emit_outcome(emit_id)
+        """Outcome of a previous emit, as an :class:`EmitOutcome`.
+
+        The enum's values compare equal to the historical plain strings
+        (``"sent"``, ``"pending"``, ...); failover re-maps report
+        :attr:`EmitOutcome.DEGRADED` for emits routed over a fallback
+        datapath.
+        """
+        return EmitOutcome(self.runtime.emit_outcome(emit_id))
 
     # -- sink data plane -----------------------------------------------------------------
 
@@ -305,13 +332,21 @@ class Session:
     # -- lifecycle ------------------------------------------------------------------------
 
     def close(self):
-        """Close the session, reclaiming every leaked slot."""
+        """Close the session, reclaiming every leaked slot.  Idempotent:
+        a second close returns 0 and touches nothing."""
         if self.closed:
             return 0
         for stream in list(self.streams):
             self.close_stream(stream)
         self.closed = True
         return self.runtime.detach_session(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     # -- internals -------------------------------------------------------------------------
 

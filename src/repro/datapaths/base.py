@@ -39,8 +39,31 @@ class Datapath:
         self._legacy = getattr(host.sim, "legacy_stack", False)
         self.tx_packets = Counter("%s.%s.tx" % (host.name, self.info.name))
         self.rx_packets = Counter("%s.%s.rx" % (host.name, self.info.name))
+        #: fault-injection state (repro.faults): a failed datapath drops
+        #: every frame handed to it instead of reaching the NIC.
+        self.failed = False
+        self.failed_drops = Counter("%s.%s.failed_drops" % (host.name, self.info.name))
         if self._legacy:
             self.transmit = self._transmit_legacy
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail(self):
+        """Mark the technology failed (driver crash, unbound NIC, ...)."""
+        self.failed = True
+
+    def restore(self):
+        """Clear the failed state; subsequent transmits reach the NIC."""
+        self.failed = False
+
+    def _drop_failed(self, packet):
+        """Swallow a frame handed to a failed datapath, reclaiming its TX
+        buffer so the pool does not leak with the dead driver."""
+        buffer = packet.meta.pop("tx_buffer", None)
+        if buffer is not None:
+            buffer.pool.release(buffer)
+        self.failed_drops.value += 1
+        return self.sim.now
 
     # -- availability ------------------------------------------------------
 
@@ -77,6 +100,8 @@ class Datapath:
     def transmit(self, packet):
         """Hand ``packet`` to the NIC and release its TX buffer when the
         frame has fully left the host (the DMA read is then complete)."""
+        if self.failed:
+            return self._drop_failed(packet)
         payload = packet.payload
         if isinstance(payload, memoryview):
             # The NIC's DMA engine reads the slot during serialization;

@@ -1,0 +1,36 @@
+"""Deterministic fault injection and QoS-aware failover scenarios.
+
+This package is the failure half of the reproduction: injectors model
+faults at every layer of the simulated stack (cable, NIC, datapath
+plugin, CPU), schedules compose them into seed-reproducible scenarios,
+and the runtime's :class:`~repro.core.control.HealthMonitor` answers with
+QoS-aware failover — re-mapping affected streams onto the best surviving
+datapath their policy allows (paper §5.2's fallback rule, extended to
+runtime failures).
+
+Everything runs on the simulation clock: same seed + same fault schedule
+⇒ bit-identical trace (see :meth:`FaultTrace.digest`).
+"""
+
+from repro.faults.injectors import (
+    CpuSlowdown,
+    DatapathFailure,
+    DatapathStall,
+    Injector,
+    LinkDown,
+    LossBurst,
+    NicQueueSqueeze,
+)
+from repro.faults.schedule import FaultSchedule, FaultTrace
+
+__all__ = [
+    "CpuSlowdown",
+    "DatapathFailure",
+    "DatapathStall",
+    "FaultSchedule",
+    "FaultTrace",
+    "Injector",
+    "LinkDown",
+    "LossBurst",
+    "NicQueueSqueeze",
+]

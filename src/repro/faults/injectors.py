@@ -1,0 +1,258 @@
+"""Fault injectors: deterministic, simulator-scheduled failures.
+
+Each injector is a frozen description of one fault — *what* fails, *when*,
+and for *how long*.  Arming an injector schedules its fire (and, for
+transient faults, its clear) callbacks on the simulation clock; nothing
+happens outside simulated time, so a schedule of injectors is exactly as
+reproducible as the rest of the simulation (same seed + same schedule ⇒
+bit-identical trace).
+
+Injector taxonomy, bottom-up through the stack:
+
+* :class:`LinkDown` / :class:`LossBurst` — the cable (``hw/link.py``);
+* :class:`NicQueueSqueeze` — NIC receive descriptors (``hw/nic.py``);
+* :class:`DatapathFailure` / :class:`DatapathStall` — a datapath plugin
+  (driver crash / wedged PMD thread; triggers the runtime's QoS-aware
+  failover, the tentpole of the fault model);
+* :class:`CpuSlowdown` — the host's cores (``hw/host.py``).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class Injector:
+    """Base class: one scheduled fault.
+
+    ``at_ns`` is when the fault fires; ``for_ns`` is how long it lasts
+    (``None`` = permanent — no clear callback is scheduled).
+    """
+
+    at_ns: float
+    for_ns: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at_ns < 0:
+            raise FaultInjectionError("fault time must be >= 0, got %r" % (self.at_ns,))
+        if self.for_ns is not None and self.for_ns <= 0:
+            raise FaultInjectionError(
+                "fault duration must be > 0 (or None for permanent), got %r"
+                % (self.for_ns,)
+            )
+
+    #: short type tag used in trace lines and digests.
+    kind = "fault"
+
+    def describe(self):
+        """Canonical, digest-stable description tuple."""
+        return (self.kind, self.at_ns, self.for_ns) + self._target()
+
+    def _target(self):
+        return ()
+
+    def arm(self, testbed, deployment, trace):
+        """Schedule the fire/clear callbacks.  Called once by the schedule."""
+        sim = testbed.sim
+
+        def fire():
+            self._fire(testbed, deployment)
+            trace.record(sim.now, self.kind, "fire", self._target())
+            if self.for_ns is not None:
+                sim.schedule(self.for_ns, clear)
+
+        def clear():
+            self._clear(testbed, deployment)
+            trace.record(sim.now, self.kind, "clear", self._target())
+
+        sim.schedule(self.at_ns, fire)
+
+    # subclasses implement the actual fault mechanics:
+
+    def _fire(self, testbed, deployment):
+        raise NotImplementedError
+
+    def _clear(self, testbed, deployment):
+        raise NotImplementedError
+
+
+def _link(testbed, index):
+    try:
+        return testbed.links[index]
+    except IndexError:
+        raise FaultInjectionError(
+            "no link %d on this testbed (%d links)" % (index, len(testbed.links))
+        ) from None
+
+
+def _host(testbed, index):
+    try:
+        return testbed.hosts[index]
+    except IndexError:
+        raise FaultInjectionError(
+            "no host %d on this testbed (%d hosts)" % (index, len(testbed.hosts))
+        ) from None
+
+
+def _runtime(deployment, host_index):
+    if deployment is None:
+        raise FaultInjectionError(
+            "this injector targets a runtime, but the schedule was applied "
+            "without a deployment"
+        )
+    host = _host(deployment.testbed, host_index)
+    runtime = deployment.runtimes.get(host.name)
+    if runtime is None:
+        raise FaultInjectionError("no runtime deployed on %s" % host.name)
+    return runtime
+
+
+@dataclass(frozen=True)
+class LinkDown(Injector):
+    """Cut a cable for ``for_ns`` (a link flap): every frame is lost."""
+
+    link: int = 0
+    kind = "link_down"
+
+    def _target(self):
+        return ("link%d" % self.link,)
+
+    def _fire(self, testbed, deployment):
+        _link(testbed, self.link).take_down()
+
+    def _clear(self, testbed, deployment):
+        _link(testbed, self.link).bring_up()
+
+
+@dataclass(frozen=True)
+class LossBurst(Injector):
+    """Raise a link's random loss rate to ``rate`` for ``for_ns``."""
+
+    link: int = 0
+    rate: float = 0.1
+    kind = "loss_burst"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 < self.rate <= 1.0:
+            raise FaultInjectionError("loss rate must be in (0, 1], got %r" % (self.rate,))
+
+    def _target(self):
+        return ("link%d" % self.link, self.rate)
+
+    def _fire(self, testbed, deployment):
+        _link(testbed, self.link).loss_rate = self.rate
+
+    def _clear(self, testbed, deployment):
+        _link(testbed, self.link).loss_rate = 0.0
+
+
+@dataclass(frozen=True)
+class NicQueueSqueeze(Injector):
+    """Shrink a host NIC's receive queues to ``capacity`` descriptors."""
+
+    host: int = 0
+    capacity: int = 4
+    kind = "nic_queue_squeeze"
+
+    # the saved capacities of the currently-armed squeeze, keyed by object
+    # id (the dataclass is frozen; state lives in this class-level map)
+    _saved = {}
+
+    def _target(self):
+        return ("host%d" % self.host, self.capacity)
+
+    def _fire(self, testbed, deployment):
+        nic = _host(testbed, self.host).nic
+        NicQueueSqueeze._saved[id(self)] = nic.squeeze_queues(self.capacity)
+
+    def _clear(self, testbed, deployment):
+        saved = NicQueueSqueeze._saved.pop(id(self), None)
+        if saved is not None:
+            _host(testbed, self.host).nic.restore_queues(saved)
+
+
+@dataclass(frozen=True)
+class DatapathFailure(Injector):
+    """Fail a datapath binding on one host's runtime.
+
+    This is the headline fault: the runtime's health monitor detects the
+    failure ``failover_detect_ns`` later and re-maps affected streams onto
+    the best surviving datapath per their QoS policy (fast → XDP → kernel
+    degradation order), emitting the paper's fallback warning.
+    """
+
+    host: int = 0
+    datapath: str = "dpdk"
+    reason: str = "injected"
+    kind = "datapath_failure"
+
+    def _target(self):
+        return ("host%d" % self.host, self.datapath, self.reason)
+
+    def _fire(self, testbed, deployment):
+        _runtime(deployment, self.host).fail_datapath(self.datapath, self.reason)
+
+    def _clear(self, testbed, deployment):
+        _runtime(deployment, self.host).restore_datapath(self.datapath)
+
+
+@dataclass(frozen=True)
+class DatapathStall(Injector):
+    """Wedge a datapath's polling passes for ``for_ns`` (queues back up,
+    then drain — no failover, just a stall)."""
+
+    host: int = 0
+    datapath: str = "dpdk"
+    kind = "datapath_stall"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.for_ns is None:
+            raise FaultInjectionError("a stall needs a duration (for_ns)")
+
+    def _target(self):
+        return ("host%d" % self.host, self.datapath)
+
+    def arm(self, testbed, deployment, trace):
+        # a stall has no separate clear callback: the binding un-wedges
+        # itself at stalled_until (it kicks its own polling threads)
+        sim = testbed.sim
+
+        def fire():
+            runtime = _runtime(deployment, self.host)
+            binding = runtime.bindings.get(self.datapath)
+            if binding is None:
+                raise FaultInjectionError(
+                    "no %r binding instantiated on host%d" % (self.datapath, self.host)
+                )
+            binding.stall(self.for_ns)
+            trace.record(sim.now, self.kind, "fire", self._target())
+
+        sim.schedule(self.at_ns, fire)
+
+
+@dataclass(frozen=True)
+class CpuSlowdown(Injector):
+    """Scale a host's software costs by ``factor`` (thermal throttling or
+    a noisy neighbour stealing cycles)."""
+
+    host: int = 0
+    factor: float = 2.0
+    kind = "cpu_slowdown"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.factor <= 0:
+            raise FaultInjectionError("slowdown factor must be > 0, got %r" % (self.factor,))
+
+    def _target(self):
+        return ("host%d" % self.host, self.factor)
+
+    def _fire(self, testbed, deployment):
+        _host(testbed, self.host).slow_down(self.factor)
+
+    def _clear(self, testbed, deployment):
+        _host(testbed, self.host).restore_speed()

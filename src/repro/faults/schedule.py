@@ -1,0 +1,173 @@
+"""Fault schedules: composable, seed-reproducible failure scenarios.
+
+A :class:`FaultSchedule` is an ordered set of injectors plus the fluent
+API to build one; :meth:`FaultSchedule.apply` arms every injector on a
+testbed/deployment and returns a :class:`FaultTrace` that accumulates the
+fired events in simulated-time order.  The trace's :meth:`~FaultTrace.digest`
+is a sha256 over the canonical event lines, so "same seed + same fault
+schedule ⇒ identical trace" is a one-line assertion.
+
+Randomized scenarios come from :meth:`FaultSchedule.random`, which draws
+from its *own* ``random.Random(seed)`` — never from the simulator's rng,
+so generating a schedule cannot perturb the simulation it is applied to.
+"""
+
+import hashlib
+import random
+
+from repro.core.errors import FaultInjectionError
+from repro.faults.injectors import (
+    CpuSlowdown,
+    DatapathFailure,
+    DatapathStall,
+    LinkDown,
+    LossBurst,
+    NicQueueSqueeze,
+)
+
+
+class FaultTrace:
+    """The events a fault schedule produced, in simulated-time order."""
+
+    def __init__(self, schedule):
+        self.schedule = schedule
+        self.events = []   # (time_ns, kind, phase, target-tuple)
+
+    def record(self, time_ns, kind, phase, target):
+        self.events.append((time_ns, kind, phase, target))
+
+    def lines(self):
+        """Canonical one-line-per-event rendering (digest input)."""
+        out = ["schedule %s" % (self.schedule.describe(),)]
+        for time_ns, kind, phase, target in self.events:
+            out.append("%.6f %s %s %s" % (time_ns, kind, phase, target))
+        return out
+
+    def digest(self):
+        """sha256 over the canonical trace — the reproducibility witness."""
+        h = hashlib.sha256()
+        for line in self.lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+class FaultSchedule:
+    """An ordered collection of fault injectors with a fluent builder.
+
+    ::
+
+        schedule = (FaultSchedule()
+                    .datapath_failure(host=0, datapath="dpdk", at=200_000)
+                    .loss_burst(link=0, at=1_000_000, for_ns=500_000, rate=0.2))
+        trace = schedule.apply(testbed, deployment)
+        sim.run()
+        assert trace.digest() == trace_from_identical_run.digest()
+    """
+
+    def __init__(self, injectors=()):
+        self.injectors = list(injectors)
+        self._applied = False
+
+    def __len__(self):
+        return len(self.injectors)
+
+    def __iter__(self):
+        return iter(self.injectors)
+
+    def add(self, injector):
+        self.injectors.append(injector)
+        return self
+
+    # -- fluent adders (keyword-first, times in simulated ns) ---------------
+
+    def link_down(self, at, for_ns, link=0):
+        return self.add(LinkDown(at, for_ns, link=link))
+
+    def loss_burst(self, at, for_ns, rate, link=0):
+        return self.add(LossBurst(at, for_ns, link=link, rate=rate))
+
+    def nic_queue_squeeze(self, at, for_ns, capacity, host=0):
+        return self.add(NicQueueSqueeze(at, for_ns, host=host, capacity=capacity))
+
+    def datapath_failure(self, at, host=0, datapath="dpdk", for_ns=None,
+                         reason="injected"):
+        return self.add(
+            DatapathFailure(at, for_ns, host=host, datapath=datapath, reason=reason)
+        )
+
+    def datapath_stall(self, at, for_ns, host=0, datapath="dpdk"):
+        return self.add(DatapathStall(at, for_ns, host=host, datapath=datapath))
+
+    def cpu_slowdown(self, at, for_ns, factor, host=0):
+        return self.add(CpuSlowdown(at, for_ns, host=host, factor=factor))
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, testbed, deployment=None):
+        """Arm every injector on the simulation clock; returns the trace.
+
+        A schedule arms once (re-applying the same instance would schedule
+        duplicate faults silently — a classic source of irreproducibility,
+        so it raises instead).
+        """
+        if self._applied:
+            raise FaultInjectionError(
+                "this schedule is already applied; build a new one "
+                "(schedules arm exactly once)"
+            )
+        self._applied = True
+        trace = FaultTrace(self)
+        for injector in self.injectors:
+            injector.arm(testbed, deployment, trace)
+        return trace
+
+    def describe(self):
+        """Canonical description of the armed faults (digest input)."""
+        return tuple(injector.describe() for injector in self.injectors)
+
+    # -- randomized scenarios -------------------------------------------------
+
+    @classmethod
+    def random(cls, seed, horizon_ns, faults=4, hosts=2, links=1,
+               datapaths=("dpdk", "xdp")):
+        """A reproducible random scenario: ``faults`` injectors drawn from
+        ``random.Random(seed)`` over ``[0, horizon_ns)``.
+
+        The generator rng is private to this call — the simulator's random
+        stream is untouched, so the same (seed, parameters) always yields
+        the same schedule regardless of what simulation it is applied to.
+        """
+        if horizon_ns <= 0:
+            raise FaultInjectionError("horizon_ns must be > 0")
+        rng = random.Random(seed)
+        schedule = cls()
+        kinds = ("link_down", "loss_burst", "nic_queue_squeeze",
+                 "datapath_stall", "cpu_slowdown")
+        for _ in range(faults):
+            kind = rng.choice(kinds)
+            at = rng.uniform(0.0, horizon_ns * 0.8)
+            for_ns = rng.uniform(horizon_ns * 0.05, horizon_ns * 0.2)
+            if kind == "link_down":
+                schedule.link_down(at, for_ns, link=rng.randrange(links))
+            elif kind == "loss_burst":
+                schedule.loss_burst(
+                    at, for_ns, rate=rng.uniform(0.05, 0.5),
+                    link=rng.randrange(links),
+                )
+            elif kind == "nic_queue_squeeze":
+                schedule.nic_queue_squeeze(
+                    at, for_ns, capacity=rng.randrange(2, 16),
+                    host=rng.randrange(hosts),
+                )
+            elif kind == "datapath_stall":
+                schedule.datapath_stall(
+                    at, for_ns, host=rng.randrange(hosts),
+                    datapath=rng.choice(datapaths),
+                )
+            else:
+                schedule.cpu_slowdown(
+                    at, for_ns, factor=rng.uniform(1.5, 4.0),
+                    host=rng.randrange(hosts),
+                )
+        return schedule

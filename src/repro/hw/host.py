@@ -32,6 +32,9 @@ class Host:
         # StageCost.cost is a pure function of (key, size, burst); memoize
         # the jitter-free value (jitter is applied on top per call)
         self._stage_cache = {}
+        #: fault-injection multiplier on every software cost (1.0 = nominal);
+        #: models a thermally-throttled or noisy-neighbour CPU
+        self._slowdown = 1.0
         #: pre-overhaul behaviour: recompute costs and re-read rng/sigma
         #: attributes per call, as the pre-change stack did (perf baseline)
         self._legacy = getattr(sim, "legacy_stack", False)
@@ -44,6 +47,8 @@ class Host:
                 return cost_ns
             factor = self.sim.rng.gauss(1.0, sigma)
             return cost_ns * (factor if factor >= 0.5 else 0.5)
+        if self._slowdown != 1.0:
+            cost_ns *= self._slowdown
         sigma = self._cpu_sigma
         if sigma <= 0:
             return cost_ns
@@ -83,6 +88,17 @@ class Host:
     def stage_cost_effect(self, key, size, burst=1):
         """A ``Timeout`` effect charging stage ``key`` to the caller."""
         return Timeout(self.stage_cost(key, size, burst=burst))
+
+    def slow_down(self, factor):
+        """Fault injection: scale every software cost by ``factor`` until
+        :meth:`restore_speed` (jitter is applied on top, so the rng stream
+        is unchanged — determinism contract)."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be > 0")
+        self._slowdown = float(factor)
+
+    def restore_speed(self):
+        self._slowdown = 1.0
 
     def pin_core(self):
         """Reserve one core for a pinned thread (polling threads, apps).

@@ -19,6 +19,9 @@ class Link:
         self.end_b = end_b
         self.propagation_ns = propagation_ns
         self.loss_rate = 0.0
+        #: False while the cable is administratively/physically down
+        #: (fault injection: link flap); every frame is then lost.
+        self.up = True
         self.lost_frames = Counter("link.lost_frames")
         #: attached :class:`repro.trace.WireTap` instances
         self.taps = []
@@ -33,10 +36,26 @@ class Link:
             receiver = self.end_a
         else:
             raise ValueError("frame sent on a link by a foreign endpoint")
-        dropped = self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate
+        dropped = (not self.up) or (
+            self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate
+        )
         for tap in self.taps:
             tap.record(frame, self.sim.now, dropped=dropped)
         if dropped:
             self.lost_frames.increment()
             return
         self.sim.schedule(self.propagation_ns, receiver.receive, frame)
+
+    # -- fault injection ---------------------------------------------------
+
+    def take_down(self):
+        """Cut the cable: every frame is lost until :meth:`bring_up`.
+
+        Note the ordering with :attr:`loss_rate`: a downed link consumes
+        no rng draws, so a flap does not shift the random stream of other
+        loss processes (determinism contract).
+        """
+        self.up = False
+
+    def bring_up(self):
+        self.up = True

@@ -127,6 +127,33 @@ class Nic:
         else:
             self.rx_dropped.increment()
 
+    # -- fault injection ----------------------------------------------------
+
+    def _all_queues(self):
+        queues = [self.rx_ring]
+        for queue in self._steering.values():
+            if queue not in queues:
+                queues.append(queue)
+        return queues
+
+    def squeeze_queues(self, capacity):
+        """Shrink every receive queue to ``capacity`` slots (fault
+        injection: models descriptor/memory pressure on the NIC — frames
+        beyond the squeezed capacity are dropped and counted).  Returns
+        the saved capacities for :meth:`restore_queues`."""
+        if capacity < 1:
+            raise ValueError("squeezed capacity must be >= 1")
+        saved = []
+        for queue in self._all_queues():
+            saved.append((queue, queue.capacity))
+            queue.capacity = capacity
+        return saved
+
+    def restore_queues(self, saved):
+        """Undo a :meth:`squeeze_queues`."""
+        for queue, capacity in saved:
+            queue.capacity = capacity
+
     # -- receive flow steering ----------------------------------------------
 
     def create_queue(self, ports, capacity=None):

@@ -19,6 +19,7 @@ initial RTO, no TIME_WAIT, one connection per (stack, peer ip).
 
 import struct
 
+from repro.core.errors import UtcpError
 from repro.simnet import Counter, Get, Signal, Store, Timeout, Wait
 
 #: seq, ack, advertised window (bytes), payload length, flags
@@ -34,6 +35,9 @@ DEFAULT_RECV_BUFFER = 64 * 1024
 DEFAULT_RTO_NS = 200_000
 MAX_RTO_NS = 5_000_000
 PERSIST_NS = 400_000
+#: SYN retransmissions before a connect aborts with UtcpError (the
+#: backoff doubles per attempt, so the total wait is bounded too).
+DEFAULT_MAX_SYN_RETRIES = 6
 
 # connection states
 CLOSED = "closed"
@@ -91,13 +95,15 @@ class Segment:
 class UtcpStack:
     """One uTCP endpoint bound to a datapath port on one host."""
 
-    def __init__(self, datapath, port, recv_buffer=DEFAULT_RECV_BUFFER, rto_ns=DEFAULT_RTO_NS):
+    def __init__(self, datapath, port, recv_buffer=DEFAULT_RECV_BUFFER, rto_ns=DEFAULT_RTO_NS,
+                 max_syn_retries=DEFAULT_MAX_SYN_RETRIES):
         self.datapath = datapath
         self.host = datapath.host
         self.sim = datapath.sim
         self.port = port
         self.recv_buffer = recv_buffer
         self.rto_ns = rto_ns
+        self.max_syn_retries = max_syn_retries
         self.queue = datapath.open_port(port)
         self.connections = {}          # peer ip -> UtcpConnection
         self._accept_queue = Store(self.sim, name="utcp.accept")
@@ -185,6 +191,7 @@ class UtcpConnection:
         self._rto_handle = None
         self._persist_handle = None
         self._backoff = 1
+        self._syn_retries = 0
         # receive side
         self.rcv_nxt = 0
         self._recv_buffer = bytearray()
@@ -202,7 +209,10 @@ class UtcpConnection:
         self._arm_rto()
         yield Wait(self._connected)
         if self.state is not ESTABLISHED:
-            raise ConnectionError("uTCP connect to %s failed" % self.peer_ip)
+            raise UtcpError(
+                "uTCP connect to %s failed after %d SYN retransmissions"
+                % (self.peer_ip, self._syn_retries)
+            )
 
     # -- public byte-stream API ------------------------------------------------------
 
@@ -235,7 +245,7 @@ class UtcpConnection:
         while remaining:
             chunk = yield from self.recv(remaining)
             if not chunk:
-                raise ConnectionError("EOF after %d/%d bytes" % (nbytes - remaining, nbytes))
+                raise UtcpError("EOF after %d/%d bytes" % (nbytes - remaining, nbytes))
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
@@ -325,6 +335,15 @@ class UtcpConnection:
     def _on_rto(self):
         self._rto_handle = None
         if self.state is SYN_SENT:
+            self._syn_retries += 1
+            if self._syn_retries > self.stack.max_syn_retries:
+                # connect abort: unblock the waiter; _do_connect raises
+                # the typed error (the peer is gone or the path is dead)
+                self.state = CLOSED
+                self.stack.connections.pop(self.peer_ip, None)
+                if not self._connected.fired:
+                    self._connected.succeed(False)
+                return
             self.stack.retransmits.increment()
             self._send_control(FLAG_SYN, seq=self.snd_una)
             self.snd_nxt = self.snd_una + 1

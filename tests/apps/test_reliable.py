@@ -8,7 +8,8 @@ from repro.core.runtime import InsaneDeployment
 from repro.hw import Testbed
 
 
-def make_pair(loss_rate=0.0, seed=0, window=32, rto_ns=150_000, ack_every=1):
+def make_pair(loss_rate=0.0, seed=0, window=32, rto_ns=150_000, ack_every=1,
+              **sender_kwargs):
     testbed = Testbed.local(seed=seed)
     for link in testbed.links:
         link.loss_rate = loss_rate
@@ -18,7 +19,8 @@ def make_pair(loss_rate=0.0, seed=0, window=32, rto_ns=150_000, ack_every=1):
     tx_stream = tx.create_stream(QosPolicy.fast(), name="rel")
     rx_stream = rx.create_stream(QosPolicy.fast(), name="rel")
     delivered = []
-    sender = ReliableSender(tx, tx_stream, channel=10, window=window, rto_ns=rto_ns)
+    sender = ReliableSender(tx, tx_stream, channel=10, window=window,
+                            rto_ns=rto_ns, **sender_kwargs)
     receiver = ReliableReceiver(
         rx, rx_stream, channel=10,
         deliver=lambda payload: delivered.append(payload),
@@ -116,3 +118,93 @@ def test_invalid_window_rejected():
     stream = session.create_stream(QosPolicy.fast(), name="w")
     with pytest.raises(ValueError):
         ReliableSender(session, stream, channel=1, window=0)
+
+
+def test_invalid_backoff_rejected():
+    testbed = Testbed.local(seed=8)
+    deployment = InsaneDeployment(testbed)
+    session = Session(deployment.runtime(0), "b")
+    stream = session.create_stream(QosPolicy.fast(), name="b")
+    with pytest.raises(ValueError):
+        ReliableSender(session, stream, channel=1, backoff=0.5)
+
+
+def test_backoff_reduces_retry_pressure():
+    """With a dead path, exponential backoff must retransmit far less than
+    a fixed-RTO sender over the same horizon."""
+    counts = {}
+    for backoff in (1.0, 2.0):
+        testbed, sender, _receiver, _delivered = make_pair(
+            loss_rate=1.0, seed=12, window=4, rto_ns=100_000,
+            backoff=backoff, max_rto_ns=1_600_000,
+        )
+
+        def producer(sender=sender):
+            yield from sender.send(b"x")
+
+        testbed.sim.process(producer())
+        testbed.sim.run(until=5_000_000)
+        counts[backoff] = sender.retransmissions.value
+        sender.close()
+    assert counts[2.0] < counts[1.0]
+
+
+def test_backoff_caps_at_max_rto():
+    testbed, sender, _receiver, _delivered = make_pair(
+        loss_rate=1.0, seed=13, window=4, rto_ns=100_000,
+        backoff=2.0, max_rto_ns=400_000,
+    )
+
+    def producer():
+        yield from sender.send(b"x")
+
+    testbed.sim.process(producer())
+    testbed.sim.run(until=5_000_000)
+    assert sender._current_rto_ns == 400_000
+    sender.close()
+
+
+def test_backoff_resets_on_ack_progress():
+    """A lossy but working path: every timeout-driven backoff is undone by
+    the next ACK, so the sender ends at its base RTO."""
+    testbed, sender, _receiver, delivered = make_pair(
+        loss_rate=0.2, seed=3, backoff=2.0,
+    )
+    run_transfer(testbed, sender, 80)
+    assert delivered == [b"message-%05d" % i for i in range(80)]
+    assert sender._current_rto_ns == sender.rto_ns
+    assert sender._timeouts_in_a_row == 0
+
+
+def test_max_retries_gives_up_with_transfer_error():
+    from repro.core.errors import TransferError
+
+    testbed, sender, _receiver, _delivered = make_pair(
+        loss_rate=1.0, seed=11, window=4, rto_ns=50_000, max_retries=3,
+    )
+    sim = testbed.sim
+    errors = []
+
+    def producer():
+        yield from sender.send(b"doomed")
+        try:
+            yield from sender.drain()
+        except TransferError as exc:
+            errors.append(exc)
+
+    sim.process(producer())
+    sim.run()
+    assert sender.failed
+    assert len(errors) == 1
+    assert errors[0].code == 50
+
+    # once failed, further sends raise immediately
+    def second():
+        try:
+            yield from sender.send(b"more")
+        except TransferError as exc:
+            errors.append(exc)
+
+    sim.process(second())
+    sim.run()
+    assert len(errors) == 2

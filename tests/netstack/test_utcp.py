@@ -202,6 +202,57 @@ class TestTeardown:
         assert len(errors) == 1
 
 
+class TestConnectFailure:
+    def test_unreachable_peer_aborts_with_utcp_error(self):
+        """All frames lost: the SYN is retransmitted ``max_syn_retries``
+        times, then connect() gives up with a typed error instead of
+        retrying forever."""
+        from repro.core.errors import UtcpError
+
+        bed = Testbed.local(seed=11)
+        for link in bed.links:
+            link.loss_rate = 1.0
+        client = UtcpStack(DpdkDatapath(bed.hosts[0]), PORT, max_syn_retries=2)
+        errors = []
+
+        def client_proc():
+            try:
+                yield from client.connect(bed.hosts[1].ip)
+            except UtcpError as exc:
+                errors.append(exc)
+
+        bed.sim.process(client_proc())
+        bed.sim.run()
+        assert len(errors) == 1
+        assert errors[0].code == 51
+        assert isinstance(errors[0], ConnectionError)  # stdlib-compat
+        assert "SYN" in str(errors[0])
+        assert client.connections == {}  # aborted connection reaped
+
+    def test_recv_exactly_eof_raises_utcp_error(self):
+        from repro.core.errors import UtcpError
+
+        bed, client, server = make_pair(seed=12)
+        errors = []
+
+        def client_proc():
+            connection = yield from client.connect(bed.hosts[1].ip)
+            yield from connection.send(b"x")
+            yield from connection.close()
+
+        def server_proc():
+            connection = yield from server.accept()
+            try:
+                yield from connection.recv_exactly(10)
+            except UtcpError as exc:
+                errors.append(exc)
+
+        bed.sim.process(server_proc())
+        bed.sim.process(client_proc())
+        bed.sim.run()
+        assert len(errors) == 1
+
+
 @settings(max_examples=12, deadline=None)
 @given(
     sizes=st.lists(st.integers(min_value=1, max_value=3 * MSS), min_size=1, max_size=6),
