@@ -46,7 +46,35 @@ EXPERIMENTS = {
         messages=args.messages, seed=args.seed
     ),
     "faults": lambda args: run_faults(seed=args.seed, messages=args.messages),
+    "validate": lambda args: run_validate(seed=args.seed, quick=args.quick),
 }
+
+
+def run_validate(seed=0, quick=True):
+    """Differential oracle + golden-corpus check, bench-style.
+
+    The full ``insane-validate`` CLI has more knobs; this entry point runs
+    the two headline checks so ``insane-bench all`` also exercises the
+    validation subsystem.
+    """
+    from repro.validate import check_corpus, run_differential
+
+    n = 10 if quick else 50
+    checked, divergences = run_differential(seed=seed, n=n)
+    print("validate: differential oracle %d/%d workload(s), %d divergence(s)"
+          % (checked, n, len(divergences)))
+    for divergence in divergences:
+        print(divergence.report())
+    problems = check_corpus()
+    print("validate: golden corpus %s"
+          % ("holds" if not problems else "FAILED"))
+    for problem in problems:
+        print("  - %s" % problem)
+    return {
+        "differential_checked": checked,
+        "divergences": [divergence.report() for divergence in divergences],
+        "golden_problems": list(problems),
+    }
 
 
 def _chart_fig7(results, args):

@@ -104,6 +104,7 @@ class DatapathBinding:
         self.pool_drops = Counter("%s.%s.pool_drops" % (self.host.name, name))
         self.no_sink_drops = Counter("%s.%s.no_sink_drops" % (self.host.name, name))
         self.unknown_drops = Counter("%s.%s.unknown_drops" % (self.host.name, name))
+        self.sched_drops = Counter("%s.%s.sched_drops" % (self.host.name, name))
         # fault state (repro.faults): a failed binding accepts emits (the
         # client-side rings stay up — shared memory does not die with a
         # NIC driver) but its polling passes stop until restore(); a
@@ -186,7 +187,7 @@ class DatapathBinding:
         self.failed_at = self.sim.now
         self._failover_handled = False
         self.datapath.fail()
-        self._drop_scheduled()
+        self.sched_drops.value += self._drop_scheduled()
         self.runtime._on_binding_failed(self, reason)
 
     def restore(self):
@@ -953,6 +954,7 @@ class InsaneRuntime:
                 "pool_drops": binding.pool_drops.value,
                 "no_sink_drops": binding.no_sink_drops.value,
                 "unknown_drops": binding.unknown_drops.value,
+                "sched_drops": binding.sched_drops.value,
                 "tx_packets": binding.datapath.tx_packets.value,
                 "rx_packets": binding.datapath.rx_packets.value,
                 "polling_threads": len(binding.threads),

@@ -54,11 +54,19 @@ class Injector:
         return ()
 
     def arm(self, testbed, deployment, trace):
-        """Schedule the fire/clear callbacks.  Called once by the schedule."""
+        """Schedule the fire/clear callbacks.  Called once by the schedule.
+
+        A ``_fire`` returning the string ``"skip"`` means the fault could
+        not apply to the live system (e.g. the targeted datapath binding
+        was never instantiated); the trace records a ``skip`` phase and no
+        clear is scheduled, instead of an exception unwinding ``sim.run``.
+        """
         sim = testbed.sim
 
         def fire():
-            self._fire(testbed, deployment)
+            if self._fire(testbed, deployment) == "skip":
+                trace.record(sim.now, self.kind, "skip", self._target())
+                return
             trace.record(sim.now, self.kind, "fire", self._target())
             if self.for_ns is not None:
                 sim.schedule(self.for_ns, clear)
@@ -193,7 +201,10 @@ class DatapathFailure(Injector):
         return ("host%d" % self.host, self.datapath, self.reason)
 
     def _fire(self, testbed, deployment):
-        _runtime(deployment, self.host).fail_datapath(self.datapath, self.reason)
+        runtime = _runtime(deployment, self.host)
+        if runtime.bindings.get(self.datapath) is None:
+            return "skip"
+        runtime.fail_datapath(self.datapath, self.reason)
 
     def _clear(self, testbed, deployment):
         _runtime(deployment, self.host).restore_datapath(self.datapath)
@@ -225,9 +236,8 @@ class DatapathStall(Injector):
             runtime = _runtime(deployment, self.host)
             binding = runtime.bindings.get(self.datapath)
             if binding is None:
-                raise FaultInjectionError(
-                    "no %r binding instantiated on host%d" % (self.datapath, self.host)
-                )
+                trace.record(sim.now, self.kind, "skip", self._target())
+                return
             binding.stall(self.for_ns)
             trace.record(sim.now, self.kind, "fire", self._target())
 

@@ -1,0 +1,8 @@
+"""``python -m repro.validate`` — see :mod:`repro.validate.cli`."""
+
+import sys
+
+from repro.validate.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

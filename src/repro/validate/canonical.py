@@ -1,0 +1,202 @@
+"""Canonical event-stream capture for differential validation.
+
+A :class:`TraceProbe` attaches to a testbed (and optionally a deployment)
+and records, in execution order, every observable interaction the
+simulation produces:
+
+``wire``
+    every frame crossing every link, including frames dropped by injected
+    loss or a downed cable (via the link-tap hook that
+    :class:`repro.trace.WireTap` also uses);
+``charge``
+    every software cost charged through :meth:`repro.hw.host.Host.jitter`
+    — the datapath/resource charge stream, both the calibrated input cost
+    and the jittered output (so a cost-model perturbation *or* an rng
+    divergence is caught at the first affected charge);
+``spawn``
+    every process started on the simulator;
+``emit`` / ``deliver``
+    application-level send/receive events, recorded by the workload
+    driver through :meth:`TraceProbe.emit` / :meth:`TraceProbe.deliver`.
+
+At quiesce, :meth:`TraceProbe.finish` seals the stream into a
+:class:`CanonicalTrace` together with a summary section: final simulated
+time, executed event count, process failures, the rng state digest, fault
+trace lines, failover events, and emit-outcome tallies.  Two runs are
+behaviourally identical iff their canonical traces compare equal — which
+is exactly the differential oracle's check.
+
+The probe is engine-agnostic: it hooks the *stack* (hosts, links, the
+``process`` constructor), never the event loop, so the same probe works
+identically on :class:`repro.simnet.Simulator` and
+:class:`repro.simnet.legacy.LegacySimulator`.  Probing draws nothing from
+any rng and schedules nothing, so an instrumented run is bit-identical to
+an uninstrumented one.
+"""
+
+import hashlib
+
+
+class CanonicalTrace:
+    """A sealed canonical event stream plus its quiesce summary."""
+
+    def __init__(self, events, summary):
+        self.events = events      # list of tuples, first element = kind
+        self.summary = summary    # dict of quiesce facts
+
+    def lines(self):
+        """One canonical line per event, then the sorted summary lines."""
+        out = []
+        for event in self.events:
+            out.append(" ".join(_canon(field) for field in event))
+        for key in sorted(self.summary):
+            out.append("summary %s=%s" % (key, _canon(self.summary[key])))
+        return out
+
+    def digest(self):
+        """sha256 over the canonical lines — the trace's identity."""
+        h = hashlib.sha256()
+        for line in self.lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def __len__(self):
+        return len(self.events)
+
+    def __eq__(self, other):
+        if not isinstance(other, CanonicalTrace):
+            return NotImplemented
+        return self.events == other.events and self.summary == other.summary
+
+    def __ne__(self, other):
+        equal = self.__eq__(other)
+        return equal if equal is NotImplemented else not equal
+
+
+def _canon(value):
+    """Canonical string form of one trace field (digest-stable)."""
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canon(v) for v in value) + ")"
+    if isinstance(value, dict):
+        return "{" + ",".join(
+            "%s:%s" % (_canon(k), _canon(value[k])) for k in sorted(value)
+        ) + "}"
+    return str(value)
+
+
+class _LinkProbe:
+    """A link tap recording canonical wire events (WireTap protocol)."""
+
+    def __init__(self, probe, index):
+        self.probe = probe
+        self.index = index
+
+    def record(self, frame, now, dropped=False):
+        packet = frame.packet
+        self.probe.events.append((
+            "wire", now, self.index,
+            packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port,
+            packet.payload_len, packet.wire_size, 1 if dropped else 0,
+        ))
+
+
+class TraceProbe:
+    """Attach canonical-event recording to a live testbed."""
+
+    def __init__(self, testbed, charges=True, spawns=True):
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.events = []
+        self._finished = False
+        for index, link in enumerate(testbed.links):
+            link.taps.append(_LinkProbe(self, index))
+        if charges:
+            for host in testbed.hosts:
+                self._hook_jitter(host)
+        if spawns:
+            self._hook_process(self.sim)
+
+    # -- stack hooks --------------------------------------------------------
+
+    def _hook_jitter(self, host):
+        inner = host.jitter
+        events = self.events
+        sim = self.sim
+
+        def probed_jitter(cost_ns, _name=host.name):
+            jittered = inner(cost_ns)
+            events.append(("charge", sim.now, _name, cost_ns, jittered))
+            return jittered
+
+        host.jitter = probed_jitter
+
+    def _hook_process(self, sim):
+        inner = sim.process
+        events = self.events
+
+        def probed_process(generator, name=None):
+            process = inner(generator, name=name)
+            events.append(("spawn", sim.now, process.name))
+            return process
+
+        sim.process = probed_process
+
+    # -- driver-level events ------------------------------------------------
+
+    def emit(self, stream, channel, seq):
+        """Record one completed ``emit_data`` call (driver-side hook)."""
+        self.events.append(("emit", self.sim.now, stream, channel, seq))
+
+    def deliver(self, sink_label, stream, channel, seq, length):
+        """Record one consumed delivery (driver-side hook)."""
+        self.events.append(
+            ("deliver", self.sim.now, sink_label, stream, channel, seq, length)
+        )
+
+    def note(self, kind, *fields):
+        """Record an arbitrary driver-defined canonical event."""
+        self.events.append((kind,) + fields)
+
+    # -- sealing ------------------------------------------------------------
+
+    def finish(self, fault_trace=None, deployment=None, extra=None):
+        """Seal the stream into a :class:`CanonicalTrace` at quiesce."""
+        if self._finished:
+            raise RuntimeError("probe already finished")
+        self._finished = True
+        sim = self.sim
+        summary = {
+            "sim_ns": sim.now,
+            "events_executed": sim.stats()["events_executed"],
+            "failures": [
+                (name, "%s: %s" % (type(exc).__name__, exc))
+                for name, exc in sim.failures
+            ],
+            "rng_digest": hashlib.sha256(
+                repr(sim.rng.getstate()).encode()
+            ).hexdigest(),
+        }
+        if fault_trace is not None:
+            summary["fault_trace"] = fault_trace.lines()
+            summary["fault_digest"] = fault_trace.digest()
+        if deployment is not None:
+            summary["failover_events"] = [
+                (
+                    event.host, event.datapath, event.failed_at,
+                    event.detected_at, tuple(event.remapped),
+                    tuple(event.stranded), event.migrated,
+                )
+                for runtime in deployment.runtimes.values()
+                for event in runtime.health.events
+            ]
+            summary["warnings"] = [
+                warning
+                for runtime in deployment.runtimes.values()
+                for warning in runtime.warnings
+            ]
+        if extra:
+            summary.update(extra)
+        return CanonicalTrace(self.events, summary)

@@ -1,0 +1,189 @@
+"""``insane-validate``: the validation subsystem's command line.
+
+Subcommands::
+
+    insane-validate differential --seed 0 --n 50 [--perturb insane_ipc=1.01]
+    insane-validate properties   --seed 0 --n 25
+    insane-validate fuzz         --seed 0 --n 25 [--differential]
+    insane-validate golden       [--regen [--force]] [--path FILE]
+    insane-validate repro        --seed 17 [--json SPEC_JSON]
+
+Also reachable as ``python -m repro.validate`` and as the ``validate``
+experiment of ``insane-bench``.  Exit status is 0 iff every check passed.
+"""
+
+import argparse
+import sys
+
+
+def _cmd_differential(args):
+    from repro.validate.differential import run_differential
+
+    checked, divergences = run_differential(
+        seed=args.seed, n=args.n, perturb=args.perturb,
+        stop_on_first=not args.keep_going,
+        progress=print if args.verbose else None,
+    )
+    for divergence in divergences:
+        print(divergence.report())
+    print(
+        "differential: %d/%d workload(s) checked, %d divergence(s)"
+        % (checked, args.n, len(divergences))
+    )
+    return 1 if divergences else 0
+
+
+def _cmd_properties(args):
+    from repro.validate.properties import property_report
+    from repro.validate.workloads import random_spec, run_spec
+
+    bad = 0
+    for index in range(args.n):
+        spec = random_spec(args.seed + index)
+        report = property_report(run_spec(spec, engine=args.engine))
+        if args.verbose or not report["ok"]:
+            print(
+                "seed=%d %s: %s"
+                % (spec.seed, spec.kind, "ok" if report["ok"] else "FAILED")
+            )
+        for violation in report["violations"]:
+            print("  - %s" % violation)
+        bad += 0 if report["ok"] else 1
+    print("properties: %d/%d run(s) clean" % (args.n - bad, args.n))
+    return 1 if bad else 0
+
+
+def _cmd_fuzz(args):
+    from repro.validate.fuzz import fuzz
+
+    checked, failures = fuzz(
+        seed=args.seed, n=args.n, differential=args.differential,
+        do_shrink=not args.no_shrink,
+        progress=print if args.verbose else None,
+    )
+    for failure in failures:
+        print(failure.report())
+    print(
+        "fuzz: %d spec(s) checked, %d failure(s)" % (checked, len(failures))
+    )
+    return 1 if failures else 0
+
+
+def _cmd_golden(args):
+    from repro.validate.golden import check_corpus, regenerate_corpus
+
+    if args.regen:
+        try:
+            path = regenerate_corpus(path=args.path, force=args.force)
+        except FileExistsError as exc:
+            print(exc)
+            return 1
+        print("golden corpus written to %s" % path)
+        return 0
+    problems = check_corpus(path=args.path)
+    for problem in problems:
+        print("  - %s" % problem)
+    print("golden: %s" % ("corpus holds" if not problems
+                          else "%d mismatch(es)" % len(problems)))
+    return 1 if problems else 0
+
+
+def _cmd_repro(args):
+    from repro.validate.differential import compare_spec
+    from repro.validate.properties import property_report
+    from repro.validate.workloads import WorkloadSpec, random_spec, run_spec
+
+    if args.json:
+        spec = WorkloadSpec.from_json(args.json)
+    else:
+        spec = random_spec(args.seed)
+    print("spec: %s" % spec.describe())
+    print("json: %s" % spec.to_json())
+    divergence, fast, _legacy = compare_spec(spec)
+    report = property_report(fast)
+    print(
+        "fast run: %d canonical events, %d emitted, %d delivered, digest %s"
+        % (len(fast.trace), report["emitted"], report["delivered"],
+           fast.trace.digest())
+    )
+    failed = False
+    if divergence is not None:
+        print(divergence.report())
+        failed = True
+    if not report["ok"]:
+        for violation in report["violations"]:
+            print("  - %s" % violation)
+        failed = True
+    if not failed:
+        print("repro: engines agree and every invariant holds")
+    return 1 if failed else 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="insane-validate",
+        description="Differential validation and property testing for the "
+                    "INSANE reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    differential = sub.add_parser(
+        "differential", help="fast vs legacy engine, bit for bit"
+    )
+    differential.add_argument("--seed", type=int, default=0)
+    differential.add_argument("--n", type=int, default=50)
+    differential.add_argument(
+        "--perturb", default=None, metavar="STAGE=FACTOR",
+        help="scale one cost-model stage on the fast side only "
+             "(self-test: the oracle must report a divergence)",
+    )
+    differential.add_argument("--keep-going", action="store_true")
+    differential.add_argument("-v", "--verbose", action="store_true")
+    differential.set_defaults(func=_cmd_differential)
+
+    properties = sub.add_parser(
+        "properties", help="invariant checks over random workloads"
+    )
+    properties.add_argument("--seed", type=int, default=0)
+    properties.add_argument("--n", type=int, default=25)
+    properties.add_argument("--engine", choices=("fast", "legacy"),
+                            default="fast")
+    properties.add_argument("-v", "--verbose", action="store_true")
+    properties.set_defaults(func=_cmd_properties)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="property fuzzing with failure shrinking"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--n", type=int, default=25)
+    fuzz.add_argument("--differential", action="store_true",
+                      help="also cross-check both engines per spec")
+    fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument("-v", "--verbose", action="store_true")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    golden = sub.add_parser(
+        "golden", help="check or regenerate the pinned golden corpus"
+    )
+    golden.add_argument("--regen", action="store_true")
+    golden.add_argument("--force", action="store_true")
+    golden.add_argument("--path", default=None)
+    golden.set_defaults(func=_cmd_golden)
+
+    repro = sub.add_parser(
+        "repro", help="re-run one workload spec and report everything"
+    )
+    repro.add_argument("--seed", type=int, default=0)
+    repro.add_argument("--json", default=None,
+                       help="a WorkloadSpec JSON (from a shrunken failure)")
+    repro.set_defaults(func=_cmd_repro)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

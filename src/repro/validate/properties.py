@@ -1,0 +1,328 @@
+"""Invariant checkers over one executed workload's ledger and trace.
+
+Each checker returns a list of human-readable violation strings (empty =
+invariant holds).  :func:`check_run` runs them all; :func:`property_report`
+wraps the result for the CLI/pytest suites.
+
+The invariants (ISSUE 3 tentpole):
+
+* **time monotonicity** — canonical event timestamps never decrease and
+  are never negative (the simulator clock only moves forward);
+* **outcome totals** — every successful emit has exactly one outcome, and
+  ``pending`` outcomes correspond one-to-one to tokens still parked in
+  shared-memory emit rings at quiesce;
+* **packet conservation** — emitted = delivered + dropped + in-flight at
+  quiesce, checked as an exact identity chain across every hop:
+  emit rings -> packet schedulers -> datapaths -> NICs -> wire (loss,
+  switch) -> receive queues -> kernel demux -> dispatch -> sink rings;
+* **per-stream FIFO** — each sink observes its producer's sequence
+  numbers in strictly increasing order on fault-free runs; under faults a
+  failover re-map may legitimately reorder across datapath queues, so the
+  check relaxes to duplicate-freedom (each seq delivered at most once per
+  sink) plus emitted-subset membership;
+* **QoS-mapping monotonicity** — a stream never lands on a datapath its
+  policy excludes, including post-failover re-maps; an accelerated stream
+  on the kernel path requires the paper's fallback warning on record;
+* **fault-epoch exactly-once** — each datapath failure epoch produces
+  exactly one failover event, and a restore *before* the detection delay
+  produces none.
+"""
+
+#: event kinds whose canonical tuple carries ``time`` at index 1.
+_TIMED_KINDS = {
+    "wire", "charge", "spawn", "emit", "deliver", "map", "emit_refused",
+}
+
+#: which producer's sequence stream each sink label consumes.
+_ACCELERATED_PATHS = ("rdma", "dpdk", "xdp")
+
+
+def check_run(result):
+    """Run every invariant checker; returns the list of violations."""
+    problems = []
+    problems += check_time_monotone(result)
+    problems += check_outcome_totals(result)
+    problems += check_conservation(result)
+    problems += check_fifo(result)
+    problems += check_qos_mapping(result)
+    problems += check_exactly_once(result)
+    problems += check_no_failures(result)
+    return problems
+
+
+def property_report(result):
+    """A CLI/pytest-friendly summary of one run's invariant status."""
+    violations = check_run(result)
+    return {
+        "spec": result.spec.describe(),
+        "engine": result.engine,
+        "events": len(result.trace),
+        "emitted": result.ledger["emitted"],
+        "delivered": result.ledger["counters"]["consumed"],
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+# -- individual checkers ------------------------------------------------------
+
+
+def check_no_failures(result):
+    """No application process may die with an unhandled exception."""
+    failures = result.ledger["failures"]
+    return [
+        "process %s failed: %s" % (name, message) for name, message in failures
+    ]
+
+
+def check_time_monotone(result):
+    problems = []
+    last = 0.0
+    for index, event in enumerate(result.trace.events):
+        if event[0] not in _TIMED_KINDS:
+            continue
+        time_ns = event[1]
+        if time_ns < 0:
+            problems.append(
+                "negative timestamp at event %d: %r" % (index, event)
+            )
+        if time_ns < last:
+            problems.append(
+                "time went backwards at event %d: %r after t=%r"
+                % (index, event, last)
+            )
+        last = time_ns
+    return problems
+
+
+def check_outcome_totals(result):
+    ledger = result.ledger
+    problems = []
+    total = sum(ledger["outcomes"].values())
+    if total != ledger["emitted"]:
+        problems.append(
+            "outcome total %d != emitted %d (outcomes: %r)"
+            % (total, ledger["emitted"], ledger["outcomes"])
+        )
+    pending = ledger["outcomes"].get("pending", 0)
+    parked = ledger["residuals"]["tx_rings"]
+    if pending != parked:
+        problems.append(
+            "pending outcomes %d != tokens parked in emit rings %d"
+            % (pending, parked)
+        )
+    return problems
+
+
+def check_conservation(result):
+    """The exact per-hop identity chain from emit rings to sink rings."""
+    ledger = result.ledger
+    c = ledger["counters"]
+    r = ledger["residuals"]
+    outcomes = ledger["outcomes"]
+    problems = []
+
+    def expect(name, lhs, rhs):
+        if lhs != rhs:
+            problems.append(
+                "conservation: %s: %d != %d (counters=%r residuals=%r "
+                "outcomes=%r)" % (name, lhs, rhs, c, r, outcomes)
+            )
+
+    # every routed emit becomes exactly one scheduled packet (two-host
+    # deployments: one remote subscriber host per frame)
+    routed = outcomes.get("sent", 0) + outcomes.get("degraded", 0)
+    expect(
+        "routed emits == scheduler backlog + scheduler drops + "
+        "failed-datapath drops + datapath tx",
+        routed,
+        r["sched"] + c["sched_drops"] + c["failed_drops"] + c["tx_datapath"],
+    )
+    # every frame a datapath accepts reaches its NIC
+    expect("datapath tx == nic tx", c["tx_datapath"], c["nic_tx"])
+    # wire conservation: transmitted frames are lost on a link, dropped in
+    # the switch, dropped at the receiving NIC, or received
+    expect(
+        "nic tx == link lost + switch dropped + nic rx + nic rx dropped",
+        c["nic_tx"],
+        c["link_lost"] + c["switch_dropped"] + c["nic_rx"]
+        + c["nic_rx_dropped"],
+    )
+    # receive-side demux: frames the NICs accepted either sit in the
+    # kernel's default ring, were dropped by kernel demux, or were placed
+    # in a binding's receive queue (steering for accelerated paths, socket
+    # buffers for the kernel path)
+    kernel_processed = (
+        c["udp_no_socket_drops"] + c["udp_sockbuf_drops"] + c["udp_rx_packets"]
+    )
+    rx_enqueued = (
+        c["nic_rx"] - r["nic_rx_ring"] - kernel_processed
+        + c["udp_rx_packets"]
+    )
+    dispatched = (
+        rx_enqueued - r["rx_queues"] - c["pool_drops"] - c["no_sink_drops"]
+        - c["unknown_drops"]
+    )
+    if dispatched < 0:
+        problems.append(
+            "conservation: negative dispatched frame count %d" % dispatched
+        )
+    # fan-out: each dispatched frame attempts delivery to every local sink
+    attempts = c["consumed"] + c["endpoint_dropped"] + r["sink_rings"]
+    expect(
+        "sink delivery attempts == dispatched frames * fan-out",
+        attempts,
+        dispatched * ledger["sinks_per_frame"],
+    )
+    return problems
+
+
+def _sink_producers(ledger):
+    """Map each sink label to the producer label whose seqs it consumes."""
+    kind = ledger["spec"]["kind"]
+    if kind == "pingpong":
+        return {"server": "client", "client": "server"}
+    return {label: "pub" for label in ledger["deliveries"]}
+
+
+def check_fifo(result):
+    ledger = result.ledger
+    faulted = bool(ledger["spec"]["fault_plan"])
+    producers = _sink_producers(ledger)
+    problems = []
+    for label, seqs in sorted(ledger["deliveries"].items()):
+        emitted = set(ledger["emit_seqs"].get(producers[label], ()))
+        unknown = [seq for seq in seqs if seq not in emitted]
+        if unknown:
+            problems.append(
+                "sink %s delivered never-emitted seq(s) %r" % (label, unknown)
+            )
+        if len(set(seqs)) != len(seqs):
+            problems.append(
+                "sink %s saw duplicate deliveries (len %d, unique %d)"
+                % (label, len(seqs), len(set(seqs)))
+            )
+        if not faulted:
+            out_of_order = [
+                (a, b) for a, b in zip(seqs, seqs[1:]) if b <= a
+            ]
+            if out_of_order:
+                problems.append(
+                    "sink %s out-of-order deliveries on a fault-free run: "
+                    "%r" % (label, out_of_order[:5])
+                )
+    return problems
+
+
+def check_qos_mapping(result):
+    ledger = result.ledger
+    warnings = ledger["warnings"]
+    fallback_warned = any("falling back to kernel UDP" in w for w in warnings)
+    problems = []
+    for record in ledger["streams"]:
+        label = record["label"]
+        for which in ("initial", "final"):
+            datapath = record[which]
+            if not record["accelerated"]:
+                if datapath != "udp":
+                    problems.append(
+                        "stream %s (slow policy) mapped to %s (%s)"
+                        % (label, datapath, which)
+                    )
+            else:
+                if datapath == "udp" and not fallback_warned:
+                    problems.append(
+                        "stream %s (fast policy) on kernel UDP (%s) with no "
+                        "fallback warning on record" % (label, which)
+                    )
+                elif datapath not in _ACCELERATED_PATHS + ("udp",):
+                    problems.append(
+                        "stream %s on unknown datapath %s" % (label, datapath)
+                    )
+        if record["failovers"] and not (record["degraded"] or record["failed"]):
+            problems.append(
+                "stream %s re-mapped %d times but neither degraded nor "
+                "failed" % (label, record["failovers"])
+            )
+    # remap targets recorded by failover events obey the same exclusions
+    by_label = {record["label"]: record for record in ledger["streams"]}
+    for event in ledger["failover_events"]:
+        for app_id, stream_name, old, new in event["remapped"]:
+            record = by_label.get("%s/%s" % (app_id, stream_name))
+            if record is None:
+                continue
+            if not record["accelerated"] and new != "udp":
+                problems.append(
+                    "failover re-mapped slow stream %s/%s onto %s"
+                    % (app_id, stream_name, new)
+                )
+            if new == old:
+                problems.append(
+                    "failover re-mapped %s/%s onto the failed datapath %s"
+                    % (app_id, stream_name, new)
+                )
+    # stranded streams and failed stream flags must agree
+    stranded = {
+        "%s/%s" % (app_id, stream_name)
+        for event in ledger["failover_events"]
+        for app_id, stream_name in event["stranded"]
+    }
+    flagged = {
+        record["label"] for record in ledger["streams"] if record["failed"]
+    }
+    if stranded != flagged:
+        problems.append(
+            "stranded streams %r != failed-flagged streams %r"
+            % (sorted(stranded), sorted(flagged))
+        )
+    return problems
+
+
+def check_exactly_once(result):
+    ledger = result.ledger
+    detect_ns = ledger["detect_ns"]
+    events = ledger["failover_events"]
+    problems = []
+    fires = [
+        (time_ns, tuple(target))
+        for time_ns, kind, phase, target in ledger["fault_events"]
+        if kind == "datapath_failure" and phase == "fire"
+    ]
+    clears = [
+        (time_ns, tuple(target))
+        for time_ns, kind, phase, target in ledger["fault_events"]
+        if kind == "datapath_failure" and phase == "clear"
+    ]
+    for fired_at, target in fires:
+        host, datapath = target[0], target[1]
+        restore_delay = None
+        for cleared_at, clear_target in clears:
+            if clear_target[:2] == target[:2] and cleared_at >= fired_at:
+                delay = cleared_at - fired_at
+                if restore_delay is None or delay < restore_delay:
+                    restore_delay = delay
+        if restore_delay is not None and restore_delay == detect_ns:
+            continue  # detect/restore tie: ordering is ambiguous by design
+        expected = 0 if (
+            restore_delay is not None and restore_delay < detect_ns
+        ) else 1
+        matching = [
+            event for event in events
+            if event["host"] == host and event["datapath"] == datapath
+            and event["failed_at"] == fired_at
+        ]
+        if len(matching) != expected:
+            problems.append(
+                "failure epoch (%s, %s, t=%r): expected %d failover "
+                "event(s), saw %d (restore delay %r, detect %r)"
+                % (host, datapath, fired_at, expected, len(matching),
+                   restore_delay, detect_ns)
+            )
+    # global exactly-once: no two events may share a failure epoch
+    seen = set()
+    for event in events:
+        epoch = (event["host"], event["datapath"], event["failed_at"])
+        if epoch in seen:
+            problems.append("duplicate failover event for epoch %r" % (epoch,))
+        seen.add(epoch)
+    return problems

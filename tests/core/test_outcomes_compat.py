@@ -1,0 +1,68 @@
+"""EmitOutcome's string-compatibility contract.
+
+The enum replaced plain string returns; every historical call pattern —
+``== "sent"``, membership in string sets, JSON serialization — must keep
+working bit-for-bit.
+"""
+
+import json
+
+import pytest
+
+from repro.core.outcomes import EmitOutcome
+
+ALL_OUTCOMES = list(EmitOutcome)
+
+
+class TestStringEquality:
+    @pytest.mark.parametrize("outcome", ALL_OUTCOMES)
+    def test_compares_equal_to_its_plain_string(self, outcome):
+        assert outcome == outcome.value
+        assert outcome.value == outcome
+        assert not (outcome != outcome.value)
+
+    def test_distinct_outcomes_stay_distinct(self):
+        assert EmitOutcome.SENT != "failed"
+        assert EmitOutcome.SENT != EmitOutcome.FAILED
+
+    @pytest.mark.parametrize("outcome", ALL_OUTCOMES)
+    def test_str_is_the_plain_value(self, outcome):
+        assert str(outcome) == outcome.value
+        assert "%s" % outcome == outcome.value
+
+
+class TestSetMembership:
+    def test_enum_found_in_string_sets(self):
+        # historical call sites: `if outcome in {"sent", "degraded"}`
+        assert EmitOutcome.SENT in {"sent", "degraded"}
+        assert EmitOutcome.PENDING not in {"sent", "degraded"}
+
+    def test_string_found_in_enum_sets(self):
+        delivered = {EmitOutcome.SENT, EmitOutcome.DEGRADED}
+        assert "sent" in delivered
+        assert "failed" not in delivered
+
+    def test_usable_as_dict_key_interchangeably(self):
+        tally = {EmitOutcome.SENT: 3}
+        tally["sent"] = tally.get("sent", 0) + 1
+        assert tally == {EmitOutcome.SENT: 4}
+
+
+class TestJsonRoundTrip:
+    def test_serializes_as_its_plain_string(self):
+        payload = json.dumps({"outcome": EmitOutcome.DEGRADED})
+        assert payload == '{"outcome": "degraded"}'
+
+    @pytest.mark.parametrize("outcome", ALL_OUTCOMES)
+    def test_round_trips_through_json(self, outcome):
+        loaded = json.loads(json.dumps({"o": outcome}))["o"]
+        assert loaded == outcome
+        assert EmitOutcome(loaded) is outcome
+
+
+class TestIntCodes:
+    def test_codes_are_stable_and_exhaustive(self):
+        codes = {outcome: outcome.as_int() for outcome in ALL_OUTCOMES}
+        assert codes[EmitOutcome.PENDING] == -1
+        assert codes[EmitOutcome.SENT] == 0
+        assert len(set(codes.values())) == len(ALL_OUTCOMES)

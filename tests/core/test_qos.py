@@ -13,6 +13,12 @@ from repro.core.qos import (
     resolve_mapping,
 )
 
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:   # hypothesis is an optional test extra
+    st = None
+
 ALL = frozenset({"udp", "xdp", "dpdk", "rdma"})
 NO_HW = frozenset({"udp", "xdp", "dpdk"})   # typical cloud: no RDMA NIC
 KERNEL_ONLY = frozenset({"udp"})
@@ -90,3 +96,70 @@ class TestQosPolicy:
         assert hash(policy) == hash(QosPolicy.fast())
         with pytest.raises(Exception):
             policy.acceleration = Acceleration.NONE
+
+
+if st is not None:
+
+    def _any_policy(accelerated, constrained, time_sensitive):
+        if not accelerated:
+            return QosPolicy.slow()
+        return QosPolicy.fast(
+            constrained=constrained, time_sensitive=time_sensitive
+        )
+
+    policies = st.builds(
+        _any_policy, st.booleans(), st.booleans(), st.booleans()
+    )
+    # every availability set a testbed can produce: kernel UDP always exists
+    availability = st.sets(st.sampled_from(sorted(ALL - KERNEL_ONLY))).map(
+        lambda extras: frozenset(extras) | KERNEL_ONLY
+    )
+
+    class TestMappingProperties:
+        """Property versions of the mapping contract (paper §5.2)."""
+
+        @settings(max_examples=100, deadline=None)
+        @given(policy=policies, available=availability)
+        def test_decision_respects_policy_and_availability(
+            self, policy, available
+        ):
+            decision = default_strategy(policy, available)
+            assert decision.datapath in available
+            if policy.acceleration is Acceleration.NONE:
+                # a slow policy never lands on an accelerated datapath
+                assert decision.datapath == "udp"
+                assert not decision.fallback
+            else:
+                # an accelerated policy hits the kernel path only as an
+                # explicit, warned fallback
+                assert decision.fallback == (decision.datapath == "udp")
+                if decision.fallback:
+                    assert "falling back" in decision.warning
+
+        @settings(max_examples=100, deadline=None)
+        @given(policy=policies, available=availability)
+        def test_adding_datapaths_never_forces_a_fallback(
+            self, policy, available
+        ):
+            smaller = default_strategy(policy, available)
+            fuller = default_strategy(policy, ALL)
+            if not smaller.fallback:
+                assert not fuller.fallback
+
+        @settings(max_examples=50, deadline=None)
+        @given(policy=policies, available=availability)
+        def test_strategy_is_deterministic(self, policy, available):
+            first = default_strategy(policy, available)
+            second = default_strategy(policy, available)
+            assert first.datapath == second.datapath
+            assert first.fallback == second.fallback
+
+        @settings(max_examples=50, deadline=None)
+        @given(policy=policies, available=availability)
+        def test_resolve_mapping_agrees_with_default_strategy(
+            self, policy, available
+        ):
+            assert (
+                resolve_mapping(policy, available).datapath
+                == default_strategy(policy, available).datapath
+            )

@@ -13,6 +13,12 @@ from repro.netstack import (
 )
 from repro.netstack.ethernet import ETHERTYPE_IPV4
 
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:   # hypothesis is an optional test extra
+    st = None
+
 
 def test_ip_conversion_round_trip():
     for address in ("0.0.0.0", "10.0.0.1", "192.168.1.254", "255.255.255.255"):
@@ -103,3 +109,81 @@ def test_internet_checksum_known_vector():
 
 def test_internet_checksum_odd_length_padding():
     assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+
+if st is not None:
+
+    ip_ints = st.integers(min_value=0, max_value=2**32 - 1)
+    ports = st.integers(min_value=0, max_value=65535)
+
+    class TestCodecProperties:
+        """Hypothesis round-trips over the full header value spaces."""
+
+        @settings(max_examples=200, deadline=None)
+        @given(ip_ints)
+        def test_ip_conversion_round_trips_every_address(self, value):
+            assert ip_to_int(int_to_ip(value)) == value
+
+        @settings(max_examples=100, deadline=None)
+        @given(st.integers(min_value=0, max_value=2**48 - 1))
+        def test_mac_bytes_round_trip(self, value):
+            raw = value.to_bytes(6, "big")
+            assert MacAddress.from_bytes(raw).to_bytes() == raw
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            st.integers(min_value=0, max_value=2**48 - 1),
+            st.integers(min_value=0, max_value=2**48 - 1),
+        )
+        def test_ethernet_round_trip(self, dst, src):
+            header = EthernetHeader(
+                MacAddress.from_bytes(dst.to_bytes(6, "big")),
+                MacAddress.from_bytes(src.to_bytes(6, "big")),
+            )
+            assert EthernetHeader.from_bytes(header.to_bytes()) == header
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            src=ip_ints, dst=ip_ints,
+            total_length=st.integers(min_value=28, max_value=65535),
+            identification=st.integers(min_value=0, max_value=65535),
+        )
+        def test_ipv4_round_trip_and_checksum(
+            self, src, dst, total_length, identification
+        ):
+            header = Ipv4Header(
+                int_to_ip(src), int_to_ip(dst),
+                total_length=total_length, identification=identification,
+            )
+            data = header.to_bytes()
+            assert internet_checksum(data) == 0
+            parsed = Ipv4Header.from_bytes(data)
+            assert parsed.src == int_to_ip(src)
+            assert parsed.dst == int_to_ip(dst)
+            assert parsed.total_length == total_length
+            assert parsed.identification == identification
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            src=ports, dst=ports,
+            payload=st.integers(min_value=0, max_value=65507),
+        )
+        def test_udp_round_trip(self, src, dst, payload):
+            header = UdpHeader(src, dst, payload_length=payload)
+            parsed = UdpHeader.from_bytes(header.to_bytes())
+            assert (parsed.src_port, parsed.dst_port) == (src, dst)
+            assert parsed.payload_length == payload
+
+        @settings(max_examples=100, deadline=None)
+        @given(st.binary(max_size=128))
+        def test_checksum_padding_and_verification(self, data):
+            # odd-length data checksums as if zero-padded ...
+            assert internet_checksum(data) == internet_checksum(
+                data if len(data) % 2 == 0 else data + b"\x00"
+            )
+            # ... and (on even alignment) appending the checksum folds to 0
+            padded = data if len(data) % 2 == 0 else data + b"\x00"
+            total = internet_checksum(padded)
+            assert internet_checksum(
+                padded + bytes([total >> 8, total & 0xFF])
+            ) == 0

@@ -1,0 +1,68 @@
+"""Simulator.stats() must stay well-formed after a faulted run.
+
+Fault injection exercises the cancellation paths (cleared injectors,
+failover timers), so this is where stats bookkeeping historically skews.
+"""
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.faults import FaultSchedule
+from repro.hw import Testbed
+from repro.simnet import Timeout
+
+EXPECTED_KEYS = {
+    "engine", "events_executed", "heap_size", "lane_size", "peak_heap",
+    "cancelled_pending", "cancelled_purged",
+}
+
+
+def run_faulted_workload():
+    testbed = Testbed.local(seed=3)
+    deployment = InsaneDeployment(testbed)
+    pub = Session(deployment.runtime(0), "pub")
+    sub = Session(deployment.runtime(1), "sub")
+    stream = pub.create_stream(QosPolicy.fast(), name="s")
+    sub.create_sink(sub.create_stream(QosPolicy.fast(), name="s"), channel=1)
+
+    def producer():
+        source = pub.create_source(stream, channel=1)
+        for index in range(30):
+            buffer = pub.get_buffer(source, 64)
+            buffer.write(index.to_bytes(8, "big"))
+            try:
+                yield from pub.emit_data(source, buffer, length=64)
+            except Exception:
+                pub.release_buffer(source, buffer)
+            yield Timeout(10_000.0)
+
+    testbed.sim.process(producer(), name="producer")
+    (FaultSchedule()
+        .link_down(at=50_000.0, for_ns=40_000.0)
+        .datapath_failure(at=120_000.0, host=0, datapath=stream.datapath)
+        .apply(testbed, deployment))
+    testbed.sim.run()
+    return testbed.sim
+
+
+class TestStatsAfterFaultedRun:
+    def test_all_documented_keys_present_and_sane(self):
+        sim = run_faulted_workload()
+        stats = sim.stats()
+        assert EXPECTED_KEYS <= set(stats)
+        assert stats["events_executed"] > 0
+        assert isinstance(stats["engine"], str) and stats["engine"]
+        for key in EXPECTED_KEYS - {"engine"}:
+            assert isinstance(stats[key], int), key
+            assert stats[key] >= 0, key
+        assert stats["peak_heap"] >= stats["heap_size"]
+
+    def test_quiesced_heap_is_empty(self):
+        sim = run_faulted_workload()
+        stats = sim.stats()
+        assert stats["heap_size"] == 0
+        assert stats["lane_size"] == 0
+
+    def test_stats_are_deterministic_across_runs(self):
+        first = run_faulted_workload().stats()
+        second = run_faulted_workload().stats()
+        assert first == second

@@ -1,0 +1,68 @@
+"""WireTap must capture frames lost to a link that goes down mid-flight.
+
+The tap hook sits on the link's carry path *before* the drop decision, so
+an outage window shows up as DROPPED records — exactly what a tcpdump on
+a flapping cable would show.
+"""
+
+from repro.core import QosPolicy, Session
+from repro.core.runtime import InsaneDeployment
+from repro.faults import FaultSchedule
+from repro.hw import Testbed
+from repro.simnet import Timeout
+from repro.trace import WireTap
+
+DOWN_AT = 100_000.0
+DOWN_FOR = 120_000.0
+
+
+def run_capture():
+    testbed = Testbed.local(seed=0)
+    deployment = InsaneDeployment(testbed)
+    pub = Session(deployment.runtime(0), "pub")
+    sub = Session(deployment.runtime(1), "sub")
+    stream = pub.create_stream(QosPolicy.slow(), name="s")
+    sub.create_sink(sub.create_stream(QosPolicy.slow(), name="s"), channel=1)
+    tap = WireTap().attach_all(testbed)
+
+    def producer():
+        source = pub.create_source(stream, channel=1)
+        for index in range(40):
+            buffer = pub.get_buffer(source, 64)
+            buffer.write(index.to_bytes(8, "big"))
+            yield from pub.emit_data(source, buffer, length=64)
+            yield Timeout(10_000.0)
+
+    testbed.sim.process(producer(), name="producer")
+    FaultSchedule().link_down(at=DOWN_AT, for_ns=DOWN_FOR).apply(
+        testbed, deployment
+    )
+    testbed.sim.run()
+    return testbed, tap
+
+
+class TestCaptureAcrossLinkOutage:
+    def test_frames_in_the_window_are_captured_as_dropped(self):
+        testbed, tap = run_capture()
+        dropped = tap.filter(dropped=True)
+        assert dropped, "the outage window must swallow some frames"
+        for record in dropped:
+            assert DOWN_AT <= record.ns <= DOWN_AT + DOWN_FOR
+
+    def test_dropped_records_match_link_loss_counter(self):
+        testbed, tap = run_capture()
+        lost = sum(link.lost_frames.value for link in testbed.links)
+        assert len(tap.filter(dropped=True)) == lost
+
+    def test_traffic_flows_before_and_after_the_window(self):
+        _testbed, tap = run_capture()
+        passed = tap.filter(dropped=False)
+        assert any(record.ns < DOWN_AT for record in passed)
+        assert any(record.ns > DOWN_AT + DOWN_FOR for record in passed)
+        assert tap.bytes_on_wire() == sum(
+            record.wire_size for record in passed
+        )
+
+    def test_capture_text_flags_the_outage(self):
+        _testbed, tap = run_capture()
+        assert "DROPPED" in tap.to_text()

@@ -1,0 +1,145 @@
+"""Invariant checkers: clean runs pass, corrupted ledgers are caught.
+
+The "teeth" tests matter as much as the clean sweeps: each checker is fed
+a deliberately corrupted copy of a real run and must flag exactly the
+planted defect — otherwise a green property suite proves nothing.
+"""
+
+import copy
+
+import pytest
+
+from repro.validate.properties import (
+    check_conservation,
+    check_exactly_once,
+    check_fifo,
+    check_outcome_totals,
+    check_qos_mapping,
+    check_run,
+    check_time_monotone,
+    property_report,
+)
+from repro.validate.workloads import random_spec, run_spec
+
+
+@pytest.fixture(scope="module")
+def clean_runs():
+    """A few representative runs, shared across this module (read-only)."""
+    return {seed: run_spec(random_spec(seed)) for seed in (0, 2, 5)}
+
+
+def corrupted(result):
+    """A deep, independently mutable copy of a run result."""
+    return copy.deepcopy(result)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_invariant_holds(self, seed):
+        result = run_spec(random_spec(seed))
+        violations = check_run(result)
+        assert violations == [], "\n".join(violations)
+
+    def test_report_shape(self, clean_runs):
+        report = property_report(clean_runs[0])
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["events"] > 0
+        assert report["emitted"] > 0
+
+    def test_faulted_specs_also_clean(self):
+        # seed 0 strands every datapath; seed 5 runs a real failover
+        for seed in (0, 5):
+            spec = random_spec(seed)
+            assert spec.fault_plan, "fixture seeds must carry fault plans"
+            violations = check_run(run_spec(spec))
+            assert violations == [], "\n".join(violations)
+
+
+class TestCheckerTeeth:
+    def test_time_monotone_catches_backwards_clock(self, clean_runs):
+        result = corrupted(clean_runs[0])
+        result.trace.events.append(("charge", -5.0, "host0", 1.0, 1.0))
+        problems = check_time_monotone(result)
+        assert any("negative timestamp" in p for p in problems)
+        assert any("went backwards" in p for p in problems)
+
+    def test_outcome_totals_catch_phantom_outcome(self, clean_runs):
+        result = corrupted(clean_runs[0])
+        result.ledger["outcomes"]["sent"] = (
+            result.ledger["outcomes"].get("sent", 0) + 1
+        )
+        problems = check_outcome_totals(result)
+        assert any("outcome total" in p for p in problems)
+
+    def test_conservation_catches_invented_delivery(self, clean_runs):
+        result = corrupted(clean_runs[2])
+        result.ledger["counters"]["consumed"] += 1
+        problems = check_conservation(result)
+        assert any("sink delivery attempts" in p for p in problems)
+
+    def test_conservation_catches_lost_datapath_frame(self, clean_runs):
+        result = corrupted(clean_runs[2])
+        result.ledger["counters"]["tx_datapath"] += 1
+        problems = check_conservation(result)
+        assert problems, "a frame leak must break at least one identity"
+
+    def test_fifo_catches_duplicate_delivery(self, clean_runs):
+        result = corrupted(clean_runs[2])  # fault-free streaming run
+        label, seqs = next(iter(sorted(result.ledger["deliveries"].items())))
+        assert seqs, "fixture must deliver something"
+        seqs.append(seqs[-1])
+        problems = check_fifo(result)
+        assert any("duplicate" in p for p in problems)
+
+    def test_fifo_catches_reordering_on_fault_free_run(self, clean_runs):
+        result = corrupted(clean_runs[2])
+        label, seqs = next(iter(sorted(result.ledger["deliveries"].items())))
+        assert len(seqs) >= 2
+        seqs[0], seqs[1] = seqs[1], seqs[0]
+        problems = check_fifo(result)
+        assert any("out-of-order" in p for p in problems)
+
+    def test_fifo_catches_never_emitted_seq(self, clean_runs):
+        result = corrupted(clean_runs[2])
+        label, seqs = next(iter(sorted(result.ledger["deliveries"].items())))
+        seqs.append(10_000_000)
+        problems = check_fifo(result)
+        assert any("never-emitted" in p for p in problems)
+
+    def test_qos_catches_policy_excluded_datapath(self, clean_runs):
+        result = corrupted(clean_runs[0])  # seed 0 is a slow-policy spec
+        record = result.ledger["streams"][0]
+        assert not record["accelerated"]
+        record["initial"] = "dpdk"
+        problems = check_qos_mapping(result)
+        assert any("slow policy" in p and "dpdk" in p for p in problems)
+
+    def test_qos_catches_unwarned_fallback(self, clean_runs):
+        result = corrupted(clean_runs[2])  # accelerated streaming run
+        record = result.ledger["streams"][0]
+        assert record["accelerated"]
+        record["final"] = "udp"
+        result.ledger["warnings"] = []
+        problems = check_qos_mapping(result)
+        assert any("no fallback warning" in p for p in problems)
+
+    def test_exactly_once_catches_duplicate_event(self, clean_runs):
+        result = corrupted(clean_runs[5])  # seed 5: one real failover
+        events = result.ledger["failover_events"]
+        assert len(events) == 1
+        events.append(copy.deepcopy(events[0]))
+        problems = check_exactly_once(result)
+        assert any("duplicate failover event" in p for p in problems)
+
+    def test_exactly_once_catches_missed_detection(self, clean_runs):
+        result = corrupted(clean_runs[5])
+        fires = [
+            entry for entry in result.ledger["fault_events"]
+            if entry[1] == "datapath_failure" and entry[2] == "fire"
+        ]
+        assert fires, "seed 5 must fire a datapath failure"
+        result.ledger["failover_events"] = []
+        problems = check_exactly_once(result)
+        assert any("expected 1 failover event(s), saw 0" in p
+                   for p in problems)

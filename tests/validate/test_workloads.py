@@ -1,0 +1,64 @@
+"""Workload specs: generation, serialization, and the seeded driver."""
+
+import json
+
+from repro.validate.workloads import WorkloadSpec, random_spec, run_spec
+
+
+class TestSpecs:
+    def test_random_spec_is_deterministic(self):
+        assert random_spec(17) == random_spec(17)
+        assert random_spec(17) != random_spec(18)
+
+    def test_json_round_trip_every_plan_shape(self):
+        seen_plans = set()
+        for seed in range(30):
+            spec = random_spec(seed)
+            again = WorkloadSpec.from_json(spec.to_json())
+            assert again == spec
+            seen_plans.add(spec.fault_plan[0] if spec.fault_plan else None)
+        # the generator must exercise every fault-plan shape in 30 draws
+        assert seen_plans >= {None, "failover", "strand", "random"}
+
+    def test_to_json_is_plain_sorted_json(self):
+        payload = json.loads(random_spec(0).to_json())
+        assert payload["seed"] == 0
+        assert sorted(payload) == list(payload)
+
+    def test_bias_toward_fault_scenarios(self):
+        plans = [random_spec(seed).fault_plan for seed in range(200)]
+        faulted = [plan for plan in plans if plan]
+        restores = [
+            plan for plan in faulted
+            if plan[0] == "failover" and plan[2] is not None
+        ]
+        assert len(faulted) >= 60          # ~half the corpus carries faults
+        assert len(restores) >= 10         # restore-before-detect is covered
+        assert any(plan[0] == "strand" for plan in faulted)
+
+
+class TestDriver:
+    def test_run_is_reproducible(self):
+        spec = random_spec(4)
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert first.trace.digest() == second.trace.digest()
+        assert first.ledger["emitted"] == second.ledger["emitted"]
+
+    def test_ledger_emit_bookkeeping_is_consistent(self):
+        result = run_spec(random_spec(6))
+        ledger = result.ledger
+        assert ledger["emitted"] == sum(
+            len(seqs) for seqs in ledger["emit_seqs"].values()
+        )
+        assert ledger["counters"]["consumed"] == sum(
+            len(seqs) for seqs in ledger["deliveries"].values()
+        )
+        assert not ledger["failures"]
+
+    def test_pingpong_alternates_both_directions(self):
+        spec = random_spec(4)
+        assert spec.kind == "pingpong"
+        result = run_spec(spec)
+        deliveries = result.ledger["deliveries"]
+        assert deliveries.get("server") and deliveries.get("client")
