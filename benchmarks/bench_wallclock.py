@@ -16,7 +16,12 @@ Run directly (not collected by the tier-1 suite)::
 import argparse
 import sys
 
-from repro.bench.perfbench import run_suite, summary_lines, write_report
+from repro.bench.perfbench import (
+    check_trajectory,
+    run_suite,
+    summary_lines,
+    write_report,
+)
 
 
 def main(argv=None):
@@ -38,7 +43,19 @@ def main(argv=None):
                              "speedup falls below this")
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions per measurement (best wall kept)")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="no-op-hook check only: rerun fig8a tracing-off "
+                             "and compare against the committed report")
+    parser.add_argument("--wall-factor", type=float, default=3.0,
+                        help="allowed wall-clock factor for --trajectory")
     args = parser.parse_args(argv)
+
+    if args.trajectory:
+        ok, lines = check_trajectory(path=args.json, reps=args.reps,
+                                     wall_factor=args.wall_factor)
+        for line in lines:
+            print(line)
+        return 0 if ok else 1
 
     record = run_suite(full=args.full, seed=args.seed,
                        compare_legacy=not args.no_legacy, reps=args.reps)

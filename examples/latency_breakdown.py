@@ -1,0 +1,50 @@
+"""Message-lifecycle tracing and latency breakdown (``repro.obs``).
+
+Attaches a :class:`~repro.obs.LifecycleTracer` to a deployment via
+``RuntimeConfig(tracer=...)`` and runs one paced flow per datapath, with
+the QoS mapping pinned so each run exercises exactly one stack.  Every
+message is followed from ``emit_data`` through the scheduler, the
+datapath TX stack, the NIC queue, the wire, and the receive pipeline to
+the application's ``consume_data`` returning; the spans decompose into
+the per-stage critical path (paper §6) and export as a Chrome-trace JSON
+loadable in Perfetto or ``chrome://tracing``.
+
+Run with::
+
+    python examples/latency_breakdown.py [--messages 100] [--out trace.json]
+"""
+
+import argparse
+
+from repro.bench.breakdown import run_traced_breakdown
+from repro.obs import breakdown_report, format_breakdown, write_chrome_trace
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--messages", type=int, default=100)
+    parser.add_argument("--profile", choices=("local", "cloud"), default="local")
+    parser.add_argument("--out", default=None,
+                        help="write a Chrome-trace JSON to this path")
+    args = parser.parse_args()
+
+    tracers = run_traced_breakdown(
+        profile=args.profile, messages=args.messages, seed=0
+    )
+    report = breakdown_report(tracers)
+    print(format_breakdown(report))
+    print()
+    for name, tracer in tracers.items():
+        summary = tracer.summary()
+        print("%-5s traced %d message(s), %d packet(s), states: %s"
+              % (name, summary["messages"], summary["packets"],
+                 dict(sorted(summary["states"].items()))))
+    stage_order = report["stage_order"]
+    print("\ncritical-path stages: %s" % " -> ".join(stage_order))
+    if args.out:
+        write_chrome_trace(args.out, tracers)
+        print("Chrome trace written to %s (load in Perfetto)" % args.out)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,9 +20,14 @@ from repro.bench.harness import make_testbed
 from repro.core import QosPolicy, Session
 from repro.core.config import RuntimeConfig
 from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.hw.profiles import PROFILES
 from repro.simnet import Tally, Timeout
 
 COMPONENTS = ("send", "network", "receive", "data_processing")
+
+#: datapaths compared by the traced breakdown (paper Fig. 7 columns)
+TRACED_DATAPATHS = ("udp", "xdp", "dpdk", "rdma")
 
 
 def run_breakdown(profile="local", messages=300, size=64, seed=0, gap_ns=30_000):
@@ -61,3 +66,65 @@ def run_breakdown(profile="local", messages=300, size=64, seed=0, gap_ns=30_000)
     sim.run()
     # one-way components doubled: the echo path is symmetric
     return {component: 2 * tallies[component].mean / 1000.0 for component in COMPONENTS}
+
+
+def run_traced_breakdown(profile="local", messages=200, size=64, seed=0,
+                         gap_ns=30_000, datapaths=TRACED_DATAPATHS):
+    """Per-datapath critical-path breakdown via lifecycle tracing.
+
+    Runs one paced one-way flow per datapath — the mapping strategy is
+    pinned so the QoS layer cannot pick a different one, and RDMA runs
+    on a profile copy with the RNIC enabled — each with a fresh
+    :class:`~repro.obs.LifecycleTracer` attached through
+    ``RuntimeConfig(tracer=...)``.  Returns ``{datapath: tracer}``,
+    ready for :func:`repro.obs.breakdown_report` /
+    :func:`repro.obs.chrome_trace`.
+    """
+    from repro.obs import LifecycleTracer
+
+    tracers = {}
+    for name in datapaths:
+        prof = PROFILES[profile]
+        if name == "rdma" and not prof.rdma_nic:
+            prof = prof.replace(rdma_nic=True)
+        testbed = Testbed(prof, hosts=2, seed=seed)
+        sim = testbed.sim
+        tracer = LifecycleTracer()
+        tracer.attach_engine(sim, label=name)
+        config = RuntimeConfig(
+            tracer=tracer,
+            mapping_strategy=lambda policy, available, _name=name: _name,
+        )
+        deployment = InsaneDeployment(testbed, config=config)
+        tx = Session(deployment.runtime(0), "tbd-tx")
+        rx = Session(deployment.runtime(1), "tbd-rx")
+        tx_stream = tx.create_stream(QosPolicy.fast(), name="traced")
+        rx_stream = rx.create_stream(QosPolicy.fast(), name="traced")
+        source = tx.create_source(tx_stream, channel=1)
+        sink = rx.create_sink(rx_stream, channel=1)
+
+        def producer(tx=tx, source=source):
+            for _ in range(messages):
+                buffer = yield from tx.get_buffer_wait(source, size)
+                yield from tx.emit_data(source, buffer, length=size)
+                yield Timeout(gap_ns)
+
+        def consumer(rx=rx, sink=sink):
+            for _ in range(messages):
+                delivery = yield from rx.consume_data(sink)
+                rx.release_buffer(sink, delivery)
+
+        sim.process(consumer(), name="tbd.consumer")
+        sim.process(producer(), name="tbd.producer")
+        sim.run()
+        tracers[name] = tracer
+    return tracers
+
+
+def print_traced_breakdown(tracers):
+    """Render the per-datapath stage table; returns the report dict."""
+    from repro.obs import breakdown_report, format_breakdown
+
+    report = breakdown_report(tracers)
+    print(format_breakdown(report))
+    return report

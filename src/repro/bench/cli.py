@@ -47,7 +47,43 @@ EXPERIMENTS = {
     ),
     "faults": lambda args: run_faults(seed=args.seed, messages=args.messages),
     "validate": lambda args: run_validate(seed=args.seed, quick=args.quick),
+    "breakdown": lambda args: run_breakdown_cmd(args),
 }
+
+
+def run_breakdown_cmd(args):
+    """Latency breakdown; with ``--trace``, per-datapath lifecycle spans.
+
+    The plain form reproduces the Fig. 6 component split for the default
+    mapping.  ``--trace`` instead pins each datapath in turn, collects
+    span-based lifecycle traces, prints the per-stage critical-path table,
+    and (with ``--trace-out``) writes a Chrome-trace JSON loadable in
+    ``chrome://tracing`` or Perfetto.
+    """
+    from repro.bench.breakdown import (
+        print_traced_breakdown,
+        run_breakdown,
+        run_traced_breakdown,
+    )
+
+    rounds = min(args.rounds, 500) if args.rounds else 300
+    if not args.trace:
+        breakdown = run_breakdown(profile=args.profile, messages=rounds, seed=args.seed)
+        for component, mean_us in breakdown.items():
+            print("  %-16s %8.2f us" % (component, mean_us))
+        print("  %-16s %8.2f us" % ("total", sum(breakdown.values())))
+        return breakdown
+    tracers = run_traced_breakdown(
+        profile=args.profile, messages=rounds, seed=args.seed
+    )
+    report = print_traced_breakdown(tracers)
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, tracers)
+        print("Chrome trace written to %s (load in Perfetto / chrome://tracing)"
+              % args.trace_out)
+    return report
 
 
 def run_validate(seed=0, quick=True):
@@ -183,6 +219,10 @@ def main(argv=None):
                        help="larger sample counts (slower, tighter stats)")
     parser.add_argument("--chart", action="store_true",
                         help="also render terminal bar charts where available")
+    parser.add_argument("--trace", action="store_true",
+                        help="breakdown only: collect lifecycle spans per datapath")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="breakdown --trace: write a Chrome-trace JSON here")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="append machine-readable results to a JSON file")
     args = parser.parse_args(argv)

@@ -269,6 +269,74 @@ def run_suite(full=False, seed=0, compare_legacy=True, reps=SUITE_REPS):
     }
 
 
+def check_trajectory(path="BENCH_wallclock.json", workload="fig8a_streaming",
+                     wall_factor=3.0, reps=SUITE_REPS):
+    """The no-op-hook check: a tracing-off run vs the committed trajectory.
+
+    Re-runs ``workload`` with the same parameters as the newest committed
+    record and compares against its ``fast`` entry: the simulated outcome
+    (event count, final sim time) must match **exactly** — the lifecycle
+    hooks added for ``repro.obs`` are inert when no tracer is configured —
+    and wall clock must stay within ``wall_factor`` (loose, so the check
+    holds across machines; the trend lives in the appended history).
+
+    Returns ``(ok, lines)``.
+    """
+    lines = []
+    if not os.path.exists(path):
+        return False, ["trajectory: no committed report at %s" % path]
+    with open(path) as handle:
+        runs = json.load(handle)
+    if not isinstance(runs, list):
+        runs = [runs]
+    baseline_run = next(
+        (run for run in reversed(runs) if workload in run.get("suite", {})),
+        None,
+    )
+    if baseline_run is None:
+        return False, ["trajectory: no committed %s record" % workload]
+    baseline = baseline_run["suite"][workload]["fast"]
+    current = run_workload(
+        workload, "fast",
+        rounds=baseline_run.get("rounds", QUICK_ROUNDS),
+        messages=baseline_run.get("messages", QUICK_MESSAGES),
+        seed=baseline_run.get("seed", 0),
+        reps=reps,
+    )
+    ok = True
+    if current["events"] != baseline["events"]:
+        ok = False
+        lines.append(
+            "trajectory: %s executed %d events, committed record has %d "
+            "(tracing-off hooks must not change the simulation)"
+            % (workload, current["events"], baseline["events"])
+        )
+    if current["sim_ns"] != baseline["sim_ns"]:
+        ok = False
+        lines.append(
+            "trajectory: %s ended at sim_ns=%r, committed record has %r"
+            % (workload, current["sim_ns"], baseline["sim_ns"])
+        )
+    ratio = (current["wall_s"] / baseline["wall_s"]
+             if baseline["wall_s"] > 0 else float("inf"))
+    if ratio > wall_factor:
+        ok = False
+        lines.append(
+            "trajectory: %s wall %.3fs is %.2fx the committed %.3fs "
+            "(allowed factor %.1f)"
+            % (workload, current["wall_s"], ratio, baseline["wall_s"],
+               wall_factor)
+        )
+    lines.append(
+        "trajectory: %s events=%d (committed %d), wall %.3fs vs %.3fs "
+        "(%.2fx) -> %s"
+        % (workload, current["events"], baseline["events"],
+           current["wall_s"], baseline["wall_s"], ratio,
+           "OK" if ok else "FAIL")
+    )
+    return ok, lines
+
+
 def write_report(record, path="BENCH_wallclock.json"):
     """Append ``record`` to the perf-trajectory report, atomically.
 

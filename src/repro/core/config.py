@@ -37,6 +37,10 @@ class RuntimeConfig:
     #: rights at endpoint creation (paper §8, Security)
     access_controller: object = None
     trace: bool = False                       # per-packet breakdown stamps
+    #: optional repro.obs.LifecycleTracer collecting span-based lifecycle
+    #: traces; implies per-message records even where ``trace`` is off.
+    #: Shared by every runtime of a deployment (the timeline is global).
+    tracer: object = None
     warn: Optional[Callable[[str], None]] = None  # QoS fallback warnings
     #: health-monitor sampling interval: ns between a datapath binding
     #: failing and the runtime detecting it and re-mapping affected

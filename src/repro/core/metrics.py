@@ -2,12 +2,47 @@
 
 Edge operators scrape text metrics; this renders a runtime's (or a whole
 deployment's) :meth:`~repro.core.runtime.InsaneRuntime.stats` snapshot in
-the Prometheus exposition format, one gauge family per counter.
+the Prometheus text exposition format: samples grouped by family, each
+family preceded by its ``# HELP``/``# TYPE`` header, label values escaped
+per the spec (backslash, double quote, and newline).
+
+When a :class:`repro.obs.LifecycleTracer` is passed along, the scrape
+body additionally carries histogram families with the tracer's per-stage
+latency distributions (see :mod:`repro.obs.prometheus`).
 """
+
+#: Family metadata: help text, plus the type inferred from the name
+#: (``*_total`` families are counters, everything else a gauge).
+_HELP = {
+    "runtime_version": "Runtime software version (bumped on restart).",
+    "sessions": "Open client sessions.",
+    "sink_rings": "Allocated sink delivery rings.",
+    "warnings_total": "Runtime warnings emitted.",
+    "pool_slots": "Memory-pool slots configured.",
+    "pool_in_use": "Memory-pool slots currently in use.",
+    "pool_allocations_total": "Memory-pool allocations served.",
+    "pool_exhaustions_total": "Memory-pool exhaustion events.",
+    "binding_tx_packets_total": "Packets transmitted by the datapath binding.",
+    "binding_rx_packets_total": "Packets received by the datapath binding.",
+    "binding_pool_drops_total": "Packets dropped for lack of pool buffers.",
+    "binding_no_sink_drops_total": "Packets dropped with no registered sink.",
+    "binding_unknown_drops_total": "Packets dropped for unknown reasons.",
+    "binding_scheduler_backlog": "Packets queued in the QoS scheduler.",
+    "binding_rx_queue_depth": "Packets waiting in the binding rx queue.",
+    "binding_polling_threads": "Active polling threads for the binding.",
+    "tx_ring_depth": "Entries in the per-app tx ring.",
+    "tx_ring_enqueued_total": "Tokens enqueued to the per-app tx ring.",
+    "tx_ring_rejected_total": "Tokens rejected by the per-app tx ring.",
+}
 
 
 def _escape(value):
-    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _line(name, labels, value):
@@ -15,41 +50,79 @@ def _line(name, labels, value):
     return "insane_%s{%s} %s" % (name, rendered, value)
 
 
-def export_runtime(runtime):
-    """Metric lines for one runtime."""
+def family_type(name):
+    """Prometheus metric type for a family, inferred from its name."""
+    return "counter" if name.endswith("_total") else "gauge"
+
+
+def family_header(name):
+    """The ``# HELP``/``# TYPE`` preamble lines for one family."""
+    return [
+        "# HELP insane_%s %s" % (name, _escape(_HELP.get(name, name.replace("_", " ")))),
+        "# TYPE insane_%s %s" % (name, family_type(name)),
+    ]
+
+
+def runtime_samples(runtime):
+    """``(family, labels, value)`` samples for one runtime."""
     stats = runtime.stats()
     host = {"host": stats["host"], "ip": stats["ip"]}
-    lines = [
-        _line("runtime_version", host, runtime.version),
-        _line("sessions", host, len(stats["sessions"])),
-        _line("sink_rings", host, stats["sink_rings"]),
-        _line("warnings_total", host, len(stats["warnings"])),
-        _line("pool_slots", host, stats["memory"]["slots"]),
-        _line("pool_in_use", host, stats["memory"]["in_use"]),
-        _line("pool_allocations_total", host, stats["memory"]["allocations"]),
-        _line("pool_exhaustions_total", host, stats["memory"]["exhaustions"]),
+    samples = [
+        ("runtime_version", host, runtime.version),
+        ("sessions", host, len(stats["sessions"])),
+        ("sink_rings", host, stats["sink_rings"]),
+        ("warnings_total", host, len(stats["warnings"])),
+        ("pool_slots", host, stats["memory"]["slots"]),
+        ("pool_in_use", host, stats["memory"]["in_use"]),
+        ("pool_allocations_total", host, stats["memory"]["allocations"]),
+        ("pool_exhaustions_total", host, stats["memory"]["exhaustions"]),
     ]
     for name, binding in sorted(stats["bindings"].items()):
         labels = dict(host, datapath=name)
-        lines.append(_line("binding_tx_packets_total", labels, binding["tx_packets"]))
-        lines.append(_line("binding_rx_packets_total", labels, binding["rx_packets"]))
-        lines.append(_line("binding_pool_drops_total", labels, binding["pool_drops"]))
-        lines.append(_line("binding_no_sink_drops_total", labels, binding["no_sink_drops"]))
-        lines.append(_line("binding_unknown_drops_total", labels, binding["unknown_drops"]))
-        lines.append(_line("binding_scheduler_backlog", labels, binding["scheduler_backlog"]))
-        lines.append(_line("binding_rx_queue_depth", labels, binding["rx_queue_depth"]))
-        lines.append(_line("binding_polling_threads", labels, binding["polling_threads"]))
+        samples.append(("binding_tx_packets_total", labels, binding["tx_packets"]))
+        samples.append(("binding_rx_packets_total", labels, binding["rx_packets"]))
+        samples.append(("binding_pool_drops_total", labels, binding["pool_drops"]))
+        samples.append(("binding_no_sink_drops_total", labels, binding["no_sink_drops"]))
+        samples.append(("binding_unknown_drops_total", labels, binding["unknown_drops"]))
+        samples.append(("binding_scheduler_backlog", labels, binding["scheduler_backlog"]))
+        samples.append(("binding_rx_queue_depth", labels, binding["rx_queue_depth"]))
+        samples.append(("binding_polling_threads", labels, binding["polling_threads"]))
         for app_id, ring in sorted(binding["tx_rings"].items()):
             ring_labels = dict(labels, app=app_id)
-            lines.append(_line("tx_ring_depth", ring_labels, ring["depth"]))
-            lines.append(_line("tx_ring_enqueued_total", ring_labels, ring["enqueued"]))
-            lines.append(_line("tx_ring_rejected_total", ring_labels, ring["rejected"]))
-    return lines
+            samples.append(("tx_ring_depth", ring_labels, ring["depth"]))
+            samples.append(("tx_ring_enqueued_total", ring_labels, ring["enqueued"]))
+            samples.append(("tx_ring_rejected_total", ring_labels, ring["rejected"]))
+    return samples
 
 
-def export_deployment(deployment):
-    """The full scrape body for every runtime of a deployment."""
-    lines = []
+def export_runtime(runtime):
+    """Metric sample lines for one runtime (no family headers; use
+    :func:`export_deployment` for a compliant scrape body)."""
+    return [_line(name, labels, value) for name, labels, value in runtime_samples(runtime)]
+
+
+def export_deployment(deployment, tracer=None):
+    """The full scrape body for every runtime of a deployment.
+
+    Samples are grouped per family (the exposition format forbids
+    interleaving a family's samples), each group led by its ``# HELP`` and
+    ``# TYPE`` lines.  Pass ``tracer`` to append per-stage latency
+    histogram families.
+    """
+    families = {}
+    order = []
     for runtime in deployment.runtimes.values():
-        lines.extend(export_runtime(runtime))
+        for name, labels, value in runtime_samples(runtime):
+            if name not in families:
+                families[name] = []
+                order.append(name)
+            families[name].append(_line(name, labels, value))
+    lines = []
+    for name in order:
+        lines.extend(family_header(name))
+        lines.extend(families[name])
+    if tracer is not None:
+        from repro.obs.prometheus import tracer_lines
+
+        lines.extend(tracer_lines(tracer))
     return "\n".join(lines) + "\n"

@@ -44,6 +44,24 @@ INSANE_HEADER_BYTES = 24
 TECH_PREFERENCE = ("rdma", "dpdk", "xdp", "udp")
 
 
+def _trace_drop(trace, now, reason):
+    """Mark a traced packet dropped.  Duck-typed so the runtime never
+    imports :mod:`repro.obs`: plain-dict traces (``config.trace``) and
+    ``None`` both fall through for free."""
+    if trace is not None:
+        mark = getattr(trace, "mark_dropped", None)
+        if mark is not None:
+            mark(now, reason)
+
+
+def _trace_annotate(trace, now, kind, detail=""):
+    """Annotate a traced packet's timeline (duck-typed, see above)."""
+    if trace is not None:
+        annotate = getattr(trace, "annotate", None)
+        if annotate is not None:
+            annotate(now, kind, detail)
+
+
 class SinkEndpoint:
     """Runtime-side state for one registered sink."""
 
@@ -432,7 +450,15 @@ class DatapathBinding:
             written = token.length
         payload = buffer.view[:written] if written else None
         meta = token.meta
-        trace = {"emit_ns": meta["emit_ns"]} if "emit_ns" in meta else None
+        obs = meta.get("obs")
+        if obs is not None:
+            # one lifecycle child record per wire packet; a MessageTrace is
+            # a dict, so every stamp site downstream works unchanged
+            trace = obs.tracer.fork(obs, self.sim.now, self.name, dst_ip)
+        elif "emit_ns" in meta:
+            trace = {"emit_ns": meta["emit_ns"]}
+        else:
+            trace = None
         packet = Packet(
             self.host.ip,
             dst_ip,
@@ -568,18 +594,21 @@ class DatapathBinding:
         meta = packet.meta.get("insane")
         if meta is None:
             self.unknown_drops.value += 1
+            _trace_drop(trace, now, "unknown stream header")
             return
         stream, channel, length = meta
         if sinks is None:
             sinks = self.runtime._sinks.get((stream, channel))
         if not sinks:
             self.no_sink_drops.value += 1
+            _trace_drop(trace, now, "no local sink")
             return
         runtime = self.runtime
         memory = runtime.memory
         buffer = memory.pool.try_alloc()
         if buffer is None:
             self.pool_drops.value += 1
+            _trace_drop(trace, now, "rx pool exhausted")
             return
         payload = packet.payload
         if payload is not None:
@@ -605,6 +634,8 @@ class DatapathBinding:
             if not endpoint.ring.try_put(delivery):
                 endpoint.dropped.increment()
                 memory.release_for(endpoint.app_id, buffer)
+                _trace_annotate(trace, now, "drop",
+                                "sink ring full: %s" % endpoint.app_id)
 
     def _dispatch_legacy(self, packet):
         packet.stamp("runtime_rx", self.sim.now)
@@ -658,6 +689,8 @@ class InsaneRuntime:
         self.sim = host.sim
         self.profile = host.profile
         self.config = config or RuntimeConfig()
+        #: hoisted from config: read per emit/packet on the hook paths
+        self.tracer = self.config.tracer
         self.control = control or ControlPlane()
         self.control.register_runtime(self)
         self.ipc_ring_slots = self.config.ipc_ring_slots or int(
@@ -756,10 +789,16 @@ class InsaneRuntime:
             "datapath %s failed on %s%s"
             % (binding.name, self.host.name, (": " + reason) if reason else "")
         )
+        if self.tracer is not None:
+            self.tracer.datapath_failed(
+                self.sim.now, self.host.name, binding.name, reason
+            )
         self.health.binding_failed(binding, reason)
 
     def _on_binding_restored(self, binding):
         self._failed_datapaths.discard(binding.name)
+        if self.tracer is not None:
+            self.tracer.datapath_restored(self.sim.now, self.host.name, binding.name)
         self.health.binding_restored(binding)
 
     def failover_remap(self, binding):
@@ -807,6 +846,11 @@ class InsaneRuntime:
                     % (session.app_id, stream.name, binding.name, decision.datapath)
                 )
         migrated = self._migrate_tokens(binding)
+        if self.tracer is not None:
+            self.tracer.failover_remapped(
+                self.sim.now, self.host.name, binding.name,
+                remapped, stranded, migrated,
+            )
         return remapped, stranded, migrated
 
     def remap_sink(self, endpoint, datapath):
@@ -838,16 +882,23 @@ class InsaneRuntime:
                     and not stream.binding.failed
                 ):
                     target = stream.binding
+                obs = token.meta.get("obs")
                 if target is None:
                     self.mark_outcome(token, "failed")
                     token.buffer.pool.release(token.buffer)
+                    if obs is not None:
+                        obs.mark_dropped(self.sim.now, "failover: no surviving datapath")
                     continue
                 token.meta["degraded"] = True
+                if obs is not None:
+                    obs.annotate(self.sim.now, "migrated", target.name)
                 if target.ring_for(app_id).try_enqueue(token):
                     migrated += 1
                 else:
                     self.mark_outcome(token, "failed")
                     token.buffer.pool.release(token.buffer)
+                    if obs is not None:
+                        obs.mark_dropped(self.sim.now, "failover: fallback ring full")
         return migrated
 
     def _stream_for(self, app_id, stream_name):

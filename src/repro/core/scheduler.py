@@ -15,6 +15,29 @@ CLASS_BEST_EFFORT = 0
 CLASS_TIME_SENSITIVE = 6
 
 
+def _stamp(item, key, now):
+    """Record a lifecycle stamp on a traced packet.
+
+    Packets carry ``trace is None`` unless tracing is on, so the cost with
+    tracing off is one attribute load and a ``None`` check per item."""
+    trace = getattr(item, "trace", None)
+    if trace is not None:
+        trace[key] = now
+
+
+def _stamp_batch(batch, now):
+    """Stamp ``sched_dequeue`` on a popped batch.
+
+    Batches are homogeneous within a run (tracing is either on or off for
+    the whole simulation), so checking the head is enough to skip the
+    per-item loop entirely when tracing is off."""
+    if batch and getattr(batch[0], "trace", None) is not None:
+        for item in batch:
+            trace = getattr(item, "trace", None)
+            if trace is not None:
+                trace["sched_dequeue"] = now
+
+
 class FifoScheduler:
     """Send packets in emission order, immediately."""
 
@@ -27,6 +50,7 @@ class FifoScheduler:
         return len(self._queue)
 
     def push(self, item, traffic_class=CLASS_BEST_EFFORT, now=0, flow="default"):
+        _stamp(item, "sched_enqueue", now)
         self._queue.append(item)
 
     def pop_ready(self, now, max_items):
@@ -34,6 +58,7 @@ class FifoScheduler:
         batch = []
         while self._queue and len(batch) < max_items:
             batch.append(self._queue.popleft())
+        _stamp_batch(batch, now)
         return batch
 
     def next_ready_at(self, now):
@@ -115,6 +140,7 @@ class TsnScheduler:
         return sum(len(queue) for queue in self._queues.values())
 
     def push(self, item, traffic_class=CLASS_BEST_EFFORT, now=0, flow="default"):
+        _stamp(item, "sched_enqueue", now)
         self._queues.setdefault(traffic_class, deque()).append(item)
 
     def pop_ready(self, now, max_items):
@@ -127,6 +153,7 @@ class TsnScheduler:
                 batch.append(queue.popleft())
             if len(batch) >= max_items:
                 break
+        _stamp_batch(batch, now)
         return batch
 
     def next_ready_at(self, now):
@@ -157,6 +184,7 @@ class PriorityScheduler:
         return sum(len(queue) for queue in self._queues.values())
 
     def push(self, item, traffic_class=CLASS_BEST_EFFORT, now=0, flow="default"):
+        _stamp(item, "sched_enqueue", now)
         self._queues.setdefault(traffic_class, deque()).append(item)
 
     def pop_ready(self, now, max_items):
@@ -167,6 +195,7 @@ class PriorityScheduler:
                 batch.append(queue.popleft())
             if len(batch) >= max_items:
                 break
+        _stamp_batch(batch, now)
         return batch
 
     def next_ready_at(self, now):
@@ -197,6 +226,7 @@ class DrrScheduler:
         return sum(len(queue) for queue in self._queues.values())
 
     def push(self, item, traffic_class=CLASS_BEST_EFFORT, now=0, flow="default"):
+        _stamp(item, "sched_enqueue", now)
         queue = self._queues.get(flow)
         if queue is None:
             queue = deque()
@@ -237,6 +267,7 @@ class DrrScheduler:
                 rounds_without_progress += 1
                 if rounds_without_progress > len(self._active):
                     break  # every remaining head is larger than one quantum
+        _stamp_batch(batch, now)
         return batch
 
     def next_ready_at(self, now):

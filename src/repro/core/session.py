@@ -222,6 +222,19 @@ class Session:
             meta["degraded"] = True
         if runtime.config.trace:
             meta["emit_ns"] = self.sim.now
+        tracer = runtime.tracer
+        if tracer is not None:
+            # open the root lifecycle record; egress bindings fork one
+            # child per wire packet off it in _build_packet
+            meta["obs"] = tracer.begin(
+                self.sim.now,
+                stream=stream.name,
+                channel=source.channel,
+                size=length,
+                datapath=stream.binding.name,
+                host=runtime.host.name,
+                app=self.app_id,
+            )
         token = Token(
             buffer.slot_id,
             length,
@@ -305,7 +318,21 @@ class Session:
                 return None
         yield sink._ipc_half()
         sink.received.value += 1
+        if self.runtime.tracer is not None:
+            self._finish_trace(token, sink)
         return self._delivery_from(token)
+
+    def _finish_trace(self, token, sink):
+        """Close the lifecycle record delivered with ``token`` (network
+        deliveries carry the packet child as ``meta["trace"]``, local ones
+        the root as ``meta["obs"]``; plain-dict traces have no finish)."""
+        meta = token.meta
+        record = meta.get("trace")
+        if record is None:
+            record = meta.get("obs")
+        finish = getattr(record, "finish", None)
+        if finish is not None:
+            finish(self.sim.now, sink)
 
     def _consume_data_legacy(self, sink, blocking=True):
         """Pre-overhaul consume path, verbatim (perf baseline)."""
@@ -366,6 +393,8 @@ class Session:
             token = yield Get(sink.ring)
             yield sink.stream.binding.ipc_half_cost()
             sink.received.increment()
+            if self.runtime.tracer is not None:
+                self._finish_trace(token, sink)
             delivery = self._delivery_from(token)
             keep = sink.callback(delivery)
             if keep is not True:

@@ -29,6 +29,12 @@ class Datapath:
 
     info = None  # overridden by subclasses
 
+    #: lifecycle-trace stamp keys this technology records when a packet
+    #: finishes its TX (resp. RX) pipeline stage; used by repro.obs to
+    #: normalize per-datapath stage names in breakdown reports.
+    tx_done_key = None
+    rx_done_key = None
+
     def __init__(self, host):
         self.host = host
         self.sim = host.sim
@@ -63,6 +69,12 @@ class Datapath:
         if buffer is not None:
             buffer.pool.release(buffer)
         self.failed_drops.value += 1
+        trace = packet.trace
+        if trace is not None:
+            # duck-typed: lifecycle records close, plain dicts ignore
+            mark = getattr(trace, "mark_dropped", None)
+            if mark is not None:
+                mark(self.sim.now, "datapath %s failed" % self.info.name)
         return self.sim.now
 
     # -- availability ------------------------------------------------------

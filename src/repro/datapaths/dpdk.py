@@ -31,6 +31,9 @@ class DpdkDatapath(Datapath):
         dedicated_hardware=False,
     )
 
+    tx_done_key = "dpdk_tx_done"
+    rx_done_key = "dpdk_rx_done"
+
     def __init__(self, host, mempool=None):
         super().__init__(host)
         # imported here to keep repro.core <-> repro.datapaths acyclic

@@ -24,6 +24,9 @@ class KernelUdpDatapath(Datapath):
         dedicated_hardware=False,
     )
 
+    tx_done_key = "udp_tx_done"
+    rx_done_key = "kernel_rx_done"
+
     _instances = {}
 
     def __init__(self, host):

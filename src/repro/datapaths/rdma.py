@@ -21,6 +21,9 @@ class RdmaDatapath(Datapath):
         dedicated_hardware=True,
     )
 
+    tx_done_key = "rdma_post_done"
+    rx_done_key = "rdma_rx_done"
+
     def __init__(self, host):
         super().__init__(host)
         self.detect_ns = self.profile.scalar("rdma_poll_detect_ns")

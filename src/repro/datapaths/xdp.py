@@ -22,6 +22,9 @@ class XdpDatapath(Datapath):
         dedicated_hardware=False,
     )
 
+    tx_done_key = "xdp_tx_done"
+    rx_done_key = "xdp_rx_done"
+
     def __init__(self, host):
         super().__init__(host)
         self.detect_ns = self.profile.scalar("xdp_poll_detect_ns")

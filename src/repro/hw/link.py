@@ -41,6 +41,19 @@ class Link:
         )
         for tap in self.taps:
             tap.record(frame, self.sim.now, dropped=dropped)
+        # frames wrap packets on NIC links; switch tests may carry bare
+        # packets, so fall back to the frame itself
+        trace = getattr(getattr(frame, "packet", frame), "trace", None)
+        if trace is not None:
+            # first hop only: re-stamping on the switch-to-NIC hop would
+            # rewrite the value in its original insertion position and
+            # break the stage ordering derived from insertion order
+            trace.setdefault("link_carry", self.sim.now)
+            if dropped:
+                # duck-typed: lifecycle records close, plain dicts ignore
+                mark = getattr(trace, "mark_dropped", None)
+                if mark is not None:
+                    mark(self.sim.now, "link down" if not self.up else "link loss")
         if dropped:
             self.lost_frames.increment()
             return

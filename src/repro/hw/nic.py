@@ -109,13 +109,19 @@ class Nic:
 
     def _place_in_ring(self, frame):
         packet = frame.packet
-        if packet.trace is not None:
-            packet.trace["nic_rx_arrival"] = self.sim.now
+        trace = packet.trace
+        if trace is not None:
+            trace["nic_rx_arrival"] = self.sim.now
         queue = self._steering.get(packet.dst_port, self.rx_ring)
         if queue.try_put(packet):
             self.rx_frames.value += 1
         else:
             self.rx_dropped.value += 1
+            if trace is not None:
+                # duck-typed: lifecycle records close, plain dicts ignore
+                mark = getattr(trace, "mark_dropped", None)
+                if mark is not None:
+                    mark(self.sim.now, "nic rx ring overflow: %s" % self.name)
 
     def _place_in_ring_legacy(self, frame):
         """Pre-overhaul ring placement, verbatim (perf baseline)."""

@@ -28,10 +28,18 @@ class SwitchPort:
         start = max(sim.now, self._tx_free_at)
         departure = start + frame.wire_size * 8.0 / self.switch.bandwidth_gbps
         queued = departure - sim.now - frame.wire_size * 8.0 / self.switch.bandwidth_gbps
+        trace = getattr(getattr(frame, "packet", frame), "trace", None)
         if queued > self.switch.max_port_queue_ns:
             self.switch.dropped.increment()
+            if trace is not None:
+                mark = getattr(trace, "mark_dropped", None)
+                if mark is not None:
+                    mark(sim.now, "switch port %d queue overflow" % self.index)
             return
         self._tx_free_at = departure
+        if trace is not None:
+            # departure, not now: the stage covers port-queue residency
+            trace["switch_out"] = departure
         sim.schedule_at(departure, self.egress.carry, frame, self)
 
 
@@ -61,8 +69,15 @@ class Switch:
 
     def forward(self, frame, in_port):
         port = self.table.get(frame.dst_ip)
+        trace = getattr(getattr(frame, "packet", frame), "trace", None)
         if port is None or port is in_port:
             self.dropped.increment()
+            if trace is not None:
+                mark = getattr(trace, "mark_dropped", None)
+                if mark is not None:
+                    mark(self.sim.now, "switch: no route to %s" % frame.dst_ip)
             return
         self.forwarded.increment()
+        if trace is not None:
+            trace["switch_in"] = self.sim.now
         self.sim.schedule(self.forward_ns, port.emit, frame)

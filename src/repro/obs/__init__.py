@@ -1,0 +1,52 @@
+"""Message-lifecycle observability for the INSANE reproduction.
+
+The paper's headline results (Figs. 5-8) are per-stage *cost attributions*
+— syscalls, copies, wakeups, poll loops — so this package makes the cost
+structure directly inspectable instead of only visible as end-to-end
+latency:
+
+* :class:`LifecycleTracer` + :class:`MessageTrace` — span-based tracing
+  that follows each message through emit -> QoS mapping -> scheduler ->
+  tx ring -> datapath stack -> NIC queue -> link/switch -> rx -> sink
+  delivery.  The hook points across the stack are attribute-load +
+  ``None``-check only, so a run with tracing off executes the exact same
+  event stream as before (the no-op-hook guarantee; see DESIGN.md §9).
+* :class:`LogHistogram` — fixed-bucket log-scale latency histograms
+  (bounded memory, unlike the keep-all-samples ``Tally``).
+* :mod:`repro.obs.breakdown` — per-datapath critical-path reports
+  reproducing the paper's stage-cost decomposition.
+* :mod:`repro.obs.chrome` — Chrome-trace (``chrome://tracing`` /
+  Perfetto) JSON export.
+* :mod:`repro.obs.prometheus` — Prometheus histogram families on top of
+  :mod:`repro.core.metrics`.
+"""
+
+from repro.obs.breakdown import breakdown_report, critical_path, stage_costs
+from repro.obs.chrome import chrome_trace, write_chrome_trace
+from repro.obs.histogram import LogHistogram
+from repro.obs.breakdown import format_breakdown
+from repro.obs.prometheus import histogram_lines, tracer_lines
+from repro.obs.spans import (
+    EngineObserver,
+    LifecycleTracer,
+    MessageTrace,
+    Span,
+    spans_of,
+)
+
+__all__ = [
+    "EngineObserver",
+    "LifecycleTracer",
+    "LogHistogram",
+    "MessageTrace",
+    "Span",
+    "breakdown_report",
+    "chrome_trace",
+    "critical_path",
+    "format_breakdown",
+    "histogram_lines",
+    "spans_of",
+    "tracer_lines",
+    "stage_costs",
+    "write_chrome_trace",
+]

@@ -1,0 +1,157 @@
+"""Per-datapath critical-path breakdown (the paper's stage-cost decomposition).
+
+Where :mod:`repro.bench.breakdown` reproduces Fig. 6's four coarse RTT
+components from raw stamps, this module works on :class:`~repro.obs.spans.
+LifecycleTracer` records and splits the one-way path into the stages the
+paper's cost model actually charges (``hw/profiles.py`` stage tables):
+
+``runtime_tx``
+    emit -> runtime pickup (client IPC ring + runtime wakeup).
+``scheduler``
+    QoS scheduler residency (enqueue -> dequeue; TSN gate waits show up
+    here).
+``tx_stack``
+    datapath driver/stack TX — the syscall+copy cost for kernel UDP, the
+    userspace stack + PMD for DPDK, AF_XDP redirect, or the RDMA post.
+``nic_queue``
+    NIC ring residency + serialization until wire departure.
+``network``
+    wire departure -> receiver ring arrival (propagation, and the switch
+    on the cloud testbed).
+``rx_stack``
+    ring arrival -> runtime dispatch.  On INSANE flows the runtime's
+    rx-pass drains the ring directly (charging the poll cost itself), so
+    this is measured runtime-side rather than from per-datapath rx stamps.
+``delivery``
+    dispatch -> the application's consume (sink ring + client pickup).
+
+The per-datapath report reproduces DESIGN.md's cost-table orderings:
+kernel-UDP > XDP > DPDK > RDMA on the TX stack, kernel-UDP > DPDK > RDMA
+on the RX side.
+"""
+
+from repro.obs.histogram import LogHistogram
+
+#: Ordered critical-path stages: (name, start-key candidates, end-key
+#: candidates).  The first present key on each side wins; a stage whose
+#: keys are absent from a record is simply skipped (e.g. ``scheduler``
+#: on a datapath that transmits inline).
+STAGES = (
+    ("runtime_tx", ("emit_ns",), ("runtime_tx",)),
+    ("scheduler", ("sched_enqueue",), ("sched_dequeue",)),
+    ("tx_stack", ("datapath_tx",),
+     ("udp_tx_done", "dpdk_tx_done", "xdp_tx_done", "rdma_post_done")),
+    ("nic_queue", ("nic_handoff",), ("nic_tx_departure",)),
+    ("network", ("nic_tx_departure",), ("nic_rx_arrival",)),
+    ("rx_stack", ("nic_rx_arrival",), ("runtime_rx",)),
+    ("delivery", ("runtime_rx",), ("app_consume",)),
+)
+
+STAGE_NAMES = tuple(name for name, _starts, _ends in STAGES)
+
+
+def _first_present(record, keys):
+    for key in keys:
+        value = record.get(key)
+        if value is not None:
+            return value
+    return None
+
+
+def critical_path(record):
+    """Split one packet record into ``(stage, start_ns, end_ns, duration_ns)``.
+
+    Accepts a packet (child) record, or a root — in which case its first
+    packet child is used (the root itself carries only emit/consume).
+    Stages whose stamps are missing are omitted; durations are clamped at
+    zero so a defensive caller never sees negative stage costs.
+    """
+    children = getattr(record, "children", None)
+    if children:
+        record = children[0]
+    path = []
+    for name, start_keys, end_keys in STAGES:
+        start = _first_present(record, start_keys)
+        end = _first_present(record, end_keys)
+        if start is None or end is None:
+            continue
+        path.append((name, start, end, max(0.0, end - start)))
+    return path
+
+
+def stage_costs(tracer, datapath=None):
+    """``{stage: LogHistogram}`` over every packet record of ``tracer``.
+
+    ``datapath`` (a name like ``"dpdk"``) restricts the aggregation to
+    packets that travelled that datapath.
+    """
+    histograms = {}
+    for root in tracer.roots:
+        for child in root.children:
+            if datapath is not None and child.datapath != datapath:
+                continue
+            for name, _start, _end, duration in critical_path(child):
+                histogram = histograms.get(name)
+                if histogram is None:
+                    histogram = histograms[name] = LogHistogram()
+                histogram.record(duration)
+    return histograms
+
+
+def _stage_stats(histogram):
+    return {
+        "count": histogram.count,
+        "mean_ns": histogram.mean,
+        "p50_ns": histogram.percentile(50),
+        "p99_ns": histogram.percentile(99),
+    }
+
+
+def breakdown_report(tracers):
+    """Build the per-datapath critical-path report.
+
+    ``tracers`` maps a datapath label (``"kernel_udp"``, ``"dpdk"``, ...)
+    to the :class:`LifecycleTracer` of its run.  Returns a JSON-friendly
+    dict; render with :func:`format_breakdown`.
+    """
+    datapaths = {}
+    for label, tracer in tracers.items():
+        histograms = stage_costs(tracer)
+        datapaths[label] = {
+            "stages": {
+                name: _stage_stats(histograms[name])
+                for name in STAGE_NAMES
+                if name in histograms
+            },
+            "summary": tracer.summary(),
+        }
+    return {"stage_order": list(STAGE_NAMES), "datapaths": datapaths}
+
+
+def format_breakdown(report):
+    """Render a :func:`breakdown_report` dict as an aligned text table
+    (mean ns per stage, one column per datapath)."""
+    labels = list(report["datapaths"])
+    lines = []
+    header = "%-12s" % "stage" + "".join("%14s" % label for label in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in report["stage_order"]:
+        row = ["%-12s" % name]
+        present = False
+        for label in labels:
+            stats = report["datapaths"][label]["stages"].get(name)
+            if stats is None:
+                row.append("%14s" % "-")
+            else:
+                present = True
+                row.append("%14.0f" % stats["mean_ns"])
+        if present:
+            lines.append("".join(row))
+    totals = []
+    for label in labels:
+        stages = report["datapaths"][label]["stages"]
+        totals.append(sum(stats["mean_ns"] for stats in stages.values()))
+    lines.append("-" * len(header))
+    lines.append("%-12s" % "total" + "".join("%14.0f" % t for t in totals))
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) JSON export.
+
+Renders a :class:`~repro.obs.spans.LifecycleTracer` into the Trace Event
+Format: one *process* per host, one *thread* (track) per datapath on that
+host, complete (``"X"``) events for spans, instant (``"i"``) events for
+fault/failover timeline entries and span annotations, and counter
+(``"C"``) tracks for engine event density when an
+:class:`~repro.obs.spans.EngineObserver` was attached.
+
+Timestamps: the simulator clock is nanoseconds; the trace format wants
+microseconds, so every ``ts``/``dur`` is ``ns / 1000.0``.  Events are
+sorted by ``ts`` within each track so viewers (and the round-trip tests)
+see monotonically non-decreasing timestamps per track.
+"""
+
+import json
+
+_ANNOTATION_COLOURS = {
+    "failover": "terrible",
+    "drop": "bad",
+    "migrated": "yellow",
+}
+
+
+def _track_ids(spans, tracer):
+    """Assign stable pid/tid numbers: pid per host, tid per datapath."""
+    hosts = []
+    datapaths = {}
+    for span in spans:
+        host, datapath = span.track
+        if host not in hosts:
+            hosts.append(host)
+        datapaths.setdefault(host, [])
+        if datapath not in datapaths[host]:
+            datapaths[host].append(datapath)
+    for ns, kind, detail in tracer.events:
+        host = detail.get("host")
+        if host is not None and host not in hosts:
+            hosts.append(host)
+            datapaths.setdefault(host, [])
+    pids = {host: index + 1 for index, host in enumerate(hosts)}
+    tids = {
+        (host, datapath): index + 1
+        for host in hosts
+        for index, datapath in enumerate(datapaths.get(host, []))
+    }
+    return pids, tids
+
+
+def chrome_trace(tracer):
+    """Build the Trace Event Format dict for one tracer (or several).
+
+    ``tracer`` may be a single :class:`LifecycleTracer` or a mapping of
+    ``{label: tracer}`` (e.g. one per datapath run); labels prefix the
+    process names so the runs sit side by side in the viewer.
+    """
+    if isinstance(tracer, dict):
+        merged = []
+        offset = 0
+        for label, sub in tracer.items():
+            max_pid = 0
+            for event in chrome_trace(sub)["traceEvents"]:
+                pid = event.get("pid", 0)
+                if pid:
+                    # sub-traces number pids from 1 independently; offset
+                    # so the runs' processes don't collide in the viewer
+                    max_pid = max(max_pid, pid)
+                    event["pid"] = pid + offset
+                if event.get("ph") == "M" and event.get("name") == "process_name":
+                    event["args"]["name"] = "%s %s" % (label, event["args"]["name"])
+                merged.append(event)
+            offset += max_pid
+        return {"traceEvents": merged, "displayTimeUnit": "ns"}
+
+    spans = tracer.spans()
+    pids, tids = _track_ids(spans, tracer)
+    events = []
+
+    # metadata: name the tracks
+    for host, pid in pids.items():
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": "host %s" % (host,)},
+        })
+    for (host, datapath), tid in tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pids[host], "tid": tid,
+            "args": {"name": "datapath %s" % (datapath,)},
+        })
+
+    # spans -> complete events, annotations -> instants on the same track
+    track_events = {}
+    for span in spans:
+        host, datapath = span.track
+        pid = pids[host]
+        tid = tids.get((host, datapath), 0)
+        bucket = track_events.setdefault((pid, tid), [])
+        bucket.append({
+            "ph": "X", "name": span.name, "cat": "lifecycle",
+            "pid": pid, "tid": tid,
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "args": {"span_id": span.span_id, "parent_id": span.parent_id,
+                     "msg_id": span.msg_id},
+        })
+        for ns, kind, detail in span.annotations:
+            bucket.append({
+                "ph": "i", "name": kind, "cat": "annotation", "s": "t",
+                "pid": pid, "tid": tid, "ts": ns / 1000.0,
+                "cname": _ANNOTATION_COLOURS.get(kind, "grey"),
+                "args": {"detail": detail, "span_id": span.span_id},
+            })
+
+    # fault/failover timeline -> process-scoped instants
+    for ns, kind, detail in tracer.events:
+        host = detail.get("host")
+        pid = pids.get(host, 0)
+        bucket = track_events.setdefault((pid, 0), [])
+        bucket.append({
+            "ph": "i", "name": kind, "cat": "fault", "s": "p",
+            "pid": pid, "tid": 0, "ts": ns / 1000.0,
+            "cname": _ANNOTATION_COLOURS.get("failover", "grey"),
+            "args": dict(detail),
+        })
+
+    # engine observers -> counter tracks
+    for label, observer in tracer.engine_observers.items():
+        bucket = track_events.setdefault(("counter", label), [])
+        for start_ns, count in observer.density():
+            bucket.append({
+                "ph": "C", "name": "events/%s" % label, "pid": 0, "tid": 0,
+                "ts": start_ns / 1000.0, "args": {"events": count},
+            })
+
+    for bucket in track_events.values():
+        bucket.sort(key=lambda event: event["ts"])
+        events.extend(bucket)
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(path, tracer):
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    document = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=None, separators=(",", ":"))
+    return path

@@ -10,7 +10,11 @@ primitives (:class:`Signal`, :class:`Store`, :class:`Resource`).
 Time is measured in nanoseconds throughout the repository.
 """
 
-from repro.simnet.errors import SimulationError, StoreFullError
+from repro.simnet.errors import (
+    DegenerateWindowError,
+    SimulationError,
+    StoreFullError,
+)
 from repro.simnet.events import Signal
 from repro.simnet.engine import Simulator
 from repro.simnet.process import AnyOf, Get, Join, Process, Put, Timeout, Wait
@@ -20,6 +24,7 @@ from repro.simnet.monitor import Counter, RateMeter, Tally
 __all__ = [
     "AnyOf",
     "Counter",
+    "DegenerateWindowError",
     "Get",
     "Join",
     "Process",

@@ -89,6 +89,13 @@ class Simulator:
     #: pre-change stack; see :mod:`repro.simnet.legacy`.
     legacy_stack = False
 
+    #: Optional observer (see :class:`repro.obs.EngineObserver`) notified
+    #: once per executed event via ``on_event(now)``.  A class attribute
+    #: checked once per :meth:`run` call — with no observer installed the
+    #: hand-optimized loops below run untouched, so observability costs
+    #: nothing when off.
+    observer = None
+
     def __init__(self, seed=0):
         #: current virtual time in nanoseconds — a plain attribute, not a
         #: property: it is read on every schedule/cost call in the stack.
@@ -184,6 +191,8 @@ class Simulator:
 
         Returns the number of events executed.
         """
+        if self.observer is not None:
+            return self._run_observed(until)
         executed = 0
         heap = self._heap
         lane = self._lane
@@ -281,6 +290,31 @@ class Simulator:
         if until is not None and until > self.now:
             self.now = until
         self._executed += executed
+        return executed
+
+    def _run_observed(self, until):
+        """The observed drain loop: :meth:`step` plus an ``on_event``
+        callback per event.  Deliberately separate from :meth:`run` so the
+        unobserved fast paths stay branch-free; event *order* is identical
+        (``step`` shares the lane/heap arbitration logic)."""
+        on_event = self.observer.on_event
+        step = self.step
+        executed = 0
+        if until is None:
+            while step():
+                executed += 1
+                on_event(self.now)
+        else:
+            while True:
+                upcoming = self.peek()
+                if upcoming is None or upcoming > until:
+                    break
+                if not step():
+                    break
+                executed += 1
+                on_event(self.now)
+            if until > self.now:
+                self.now = until
         return executed
 
     def step(self):

@@ -9,6 +9,13 @@ class StoreFullError(SimulationError):
     """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
 
 
+class DegenerateWindowError(SimulationError):
+    """Raised by :class:`RateMeter` rate queries when samples exist but the
+    observed window has zero width (e.g. a single message recorded without
+    its serialization window) — returning ``0.0`` would silently zero the
+    goodput of short benchmark windows."""
+
+
 class ProcessFailed(SimulationError):
     """Raised when joining a process that terminated with an exception."""
 

@@ -7,6 +7,8 @@ place.
 
 import math
 
+from repro.simnet.errors import DegenerateWindowError
+
 
 class Counter:
     """A named monotonically increasing counter."""
@@ -35,9 +37,23 @@ class Tally:
     def __init__(self, name):
         self.name = name
         self.samples = []
+        self._sorted = None
 
     def record(self, value):
         self.samples.append(value)
+        self._sorted = None
+
+    def _ordered(self):
+        """The sorted view, cached between records.
+
+        ``summary()`` asks for several percentiles per call and report
+        generation walks many tallies, so re-sorting the full sample list
+        on every ``percentile`` call made reporting quadratic-ish.
+        """
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
+        return ordered
 
     @property
     def count(self):
@@ -73,7 +89,7 @@ class Tally:
         """Exact percentile by linear interpolation (0 <= p <= 100)."""
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._ordered()
         if len(ordered) == 1:
             return ordered[0]
         rank = (p / 100.0) * (len(ordered) - 1)
@@ -105,7 +121,16 @@ class Tally:
 
 
 class RateMeter:
-    """Measures goodput: bytes accumulated over a virtual-time window."""
+    """Measures goodput: bytes accumulated over a virtual-time window.
+
+    The window runs from the *start* of the first recorded sample to the
+    completion of the last one.  Callers that know the first sample's own
+    serialization window pass it as ``duration_ns`` so a single-message
+    window still has width; without it, a single-sample window is
+    *degenerate* (``first_ns == last_ns``) and the rate queries raise
+    :class:`DegenerateWindowError` rather than silently reporting a
+    goodput of ``0.0`` for short benchmark windows.
+    """
 
     def __init__(self, name):
         self.name = name
@@ -114,9 +139,14 @@ class RateMeter:
         self.first_ns = None
         self.last_ns = None
 
-    def record(self, now_ns, nbytes):
+    def record(self, now_ns, nbytes, duration_ns=None):
         if self.first_ns is None:
-            self.first_ns = now_ns
+            # open the window at the start of the first sample's
+            # serialization, not at its completion stamp
+            if duration_ns is not None and duration_ns > 0:
+                self.first_ns = now_ns - duration_ns
+            else:
+                self.first_ns = now_ns
         self.last_ns = now_ns
         self.bytes += nbytes
         self.messages += 1
@@ -127,16 +157,24 @@ class RateMeter:
             return 0
         return self.last_ns - self.first_ns
 
-    def gbps(self):
-        """Goodput in gigabits per second over the observed window."""
+    def _window(self):
         elapsed = self.elapsed_ns
         if elapsed <= 0:
+            raise DegenerateWindowError(
+                "rate meter %r observed %d message(s) over a zero-width "
+                "window; record the first sample's serialization window "
+                "via record(..., duration_ns=...)" % (self.name, self.messages)
+            )
+        return elapsed
+
+    def gbps(self):
+        """Goodput in gigabits per second over the observed window."""
+        if not self.messages:
             return 0.0
-        return (self.bytes * 8.0) / elapsed  # bits per ns == Gbps
+        return (self.bytes * 8.0) / self._window()  # bits per ns == Gbps
 
     def mpps(self):
         """Millions of messages per second over the observed window."""
-        elapsed = self.elapsed_ns
-        if elapsed <= 0:
+        if not self.messages:
             return 0.0
-        return self.messages * 1000.0 / elapsed
+        return self.messages * 1000.0 / self._window()

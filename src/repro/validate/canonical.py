@@ -96,11 +96,18 @@ class _LinkProbe:
 
     def record(self, frame, now, dropped=False):
         packet = frame.packet
-        self.probe.events.append((
+        event = (
             "wire", now, self.index,
             packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port,
             packet.payload_len, packet.wire_size, 1 if dropped else 0,
-        ))
+        )
+        msg_id = getattr(getattr(packet, "trace", None), "msg_id", None)
+        if msg_id is not None:
+            # traced runs cite the lifecycle span id so a divergence
+            # report cross-references the Chrome trace; untraced runs
+            # keep the historical tuple shape (digest-stable)
+            event = event + ("msg=%s" % msg_id,)
+        self.probe.events.append(event)
 
 
 class TraceProbe:

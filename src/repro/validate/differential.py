@@ -50,6 +50,9 @@ class Divergence:
                          % self.index)
             lines.append("    fast:   %s" % (self.fast_line,))
             lines.append("    legacy: %s" % (self.legacy_line,))
+            if "msg=" in (self.fast_line or "") or "msg=" in (self.legacy_line or ""):
+                lines.append("    (msg= cites a lifecycle span id: look the "
+                             "message up in the run's Chrome trace)")
         return "\n".join(lines)
 
 

@@ -31,7 +31,7 @@ class TestCli:
             "table1", "table3", "table4", "fig5", "fig6", "fig7",
             "fig8a", "fig8b", "fig9a", "fig9b", "fig11",
             "ablation-tsn", "ablation-threads", "ablation-batching", "ablation-qos",
-            "ablation-rx-threads", "faults", "validate",
+            "ablation-rx-threads", "faults", "validate", "breakdown",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -6,6 +6,7 @@ from repro.core import QosPolicy, Session
 from repro.core.metrics import export_deployment, export_runtime
 from repro.core.runtime import InsaneDeployment
 from repro.hw import Testbed
+from tests import promparse
 
 _METRIC_RE = re.compile(r'^insane_[a-z_]+\{[^}]*\} -?\d+(\.\d+)?$')
 
@@ -35,7 +36,36 @@ def test_every_line_is_well_formed():
     deployment = run_small_flow()
     body = export_deployment(deployment)
     for line in body.strip().splitlines():
+        if line.startswith("#"):
+            continue
         assert _METRIC_RE.match(line), "malformed metric line: %r" % line
+
+
+def test_scrape_body_parses_with_exposition_parser():
+    """The body must be compliant exposition format: a # HELP/# TYPE
+    header per family, TYPE before samples, parseable labels/values."""
+    deployment = run_small_flow(seed=4)
+    body = export_deployment(deployment)
+    families = promparse.parse(body)
+    assert "insane_binding_tx_packets_total" in families
+    for name, family in families.items():
+        assert family["type"] is not None, "family %s missing # TYPE" % name
+        assert family["help"] is not None, "family %s missing # HELP" % name
+        assert family["samples"], "family %s has no samples" % name
+        expected = "counter" if name.endswith("_total") else "gauge"
+        assert family["type"] == expected
+
+
+def test_counter_families_declared_before_samples():
+    deployment = run_small_flow(seed=5)
+    body = export_deployment(deployment)
+    seen_sample = set()
+    for line in body.splitlines():
+        if line.startswith("# TYPE "):
+            name = line.split(" ")[2]
+            assert name not in seen_sample, "TYPE after samples for %s" % name
+        elif line and not line.startswith("#"):
+            seen_sample.add(line.split("{", 1)[0])
 
 
 def test_counters_reflect_traffic():
@@ -66,3 +96,14 @@ def test_label_escaping():
 
     line = _line("x", {"weird": 'va"lue\\'}, 1)
     assert '\\"' in line and "\\\\" in line
+
+
+def test_label_newline_escaping_round_trips():
+    from repro.core.metrics import _line
+
+    line = _line("x", {"weird": 'multi\nline"v\\al'}, 1)
+    assert "\n" not in line  # the raw newline must not split the sample
+    families = promparse.parse("# TYPE insane_x gauge\n" + line + "\n")
+    ((_name, labels, value),) = families["insane_x"]["samples"]
+    assert labels["weird"] == 'multi\nline"v\\al'
+    assert value == 1.0

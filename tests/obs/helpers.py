@@ -1,0 +1,53 @@
+"""Shared flow builders for the observability tests."""
+
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.obs import LifecycleTracer
+from repro.simnet import Timeout
+
+
+def run_traced_flow(messages=10, seed=0, datapath=None, gap_ns=20_000.0,
+                    fault_schedule=None, observe_engine=False):
+    """One paced two-host flow with a tracer attached.
+
+    Returns ``(tracer, deployment, testbed, delivered)`` where
+    ``delivered`` is the list of consume times.  ``datapath`` pins the
+    QoS mapping; ``fault_schedule`` is applied before the run.
+    """
+    testbed = Testbed.local(seed=seed)
+    sim = testbed.sim
+    tracer = LifecycleTracer()
+    if observe_engine:
+        tracer.attach_engine(sim, label="test")
+    config = RuntimeConfig(tracer=tracer)
+    if datapath is not None:
+        config.mapping_strategy = lambda policy, available, _d=datapath: _d
+    deployment = InsaneDeployment(testbed, config=config)
+    tx = Session(deployment.runtime(0), "obs-tx")
+    rx = Session(deployment.runtime(1), "obs-rx")
+    tx_stream = tx.create_stream(QosPolicy.fast(), name="obs")
+    rx_stream = rx.create_stream(QosPolicy.fast(), name="obs")
+    source = tx.create_source(tx_stream, channel=1)
+    sink = rx.create_sink(rx_stream, channel=1)
+    delivered = []
+
+    def producer():
+        for _ in range(messages):
+            buffer = yield from tx.get_buffer_wait(source, 64)
+            yield from tx.emit_data(source, buffer, length=64)
+            yield Timeout(gap_ns)
+
+    def consumer():
+        while True:
+            delivery = yield from rx.consume_data(sink)
+            delivered.append(sim.now)
+            rx.release_buffer(sink, delivery)
+
+    sim.process(producer(), name="obs.producer")
+    sim.process(consumer(), name="obs.consumer")
+    if fault_schedule is not None:
+        fault_schedule.apply(testbed, deployment)
+    sim.run()
+    return tracer, deployment, testbed, delivered

@@ -1,0 +1,87 @@
+"""Per-datapath critical-path breakdown: stage ordering vs the cost model.
+
+DESIGN.md's stage-cost tables order the datapaths by TX-stack cost
+(kernel UDP > XDP > DPDK > RDMA) and RX cost (kernel UDP > DPDK > RDMA);
+the traced breakdown must reproduce those orderings from actual spans.
+"""
+
+from repro.bench.breakdown import run_traced_breakdown
+from repro.obs import breakdown_report, critical_path, format_breakdown
+from tests.obs.helpers import run_traced_flow
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def report():
+    tracers = run_traced_breakdown(messages=40, seed=0)
+    return breakdown_report(tracers)
+
+
+class TestStageOrdering:
+    def test_all_datapaths_present(self, report):
+        assert set(report["datapaths"]) == {"udp", "xdp", "dpdk", "rdma"}
+        for label, data in report["datapaths"].items():
+            assert data["summary"]["states"] == {"delivered": 40}, label
+
+    def test_tx_stack_ordering_matches_cost_tables(self, report):
+        tx = {
+            label: data["stages"]["tx_stack"]["mean_ns"]
+            for label, data in report["datapaths"].items()
+        }
+        assert tx["udp"] > tx["xdp"] > tx["dpdk"] > tx["rdma"]
+
+    def test_rx_ordering_matches_cost_tables(self, report):
+        rx = {
+            label: data["stages"]["rx_stack"]["mean_ns"]
+            for label, data in report["datapaths"].items()
+        }
+        assert rx["udp"] > rx["dpdk"] > rx["rdma"]
+
+    def test_network_stage_is_datapath_independent(self, report):
+        network = [
+            data["stages"]["network"]["mean_ns"]
+            for data in report["datapaths"].values()
+        ]
+        assert max(network) - min(network) < 1.0, (
+            "wire time must not depend on the datapath: %r" % network
+        )
+
+    def test_stage_order_is_the_pipeline_order(self, report):
+        assert report["stage_order"] == [
+            "runtime_tx", "scheduler", "tx_stack", "nic_queue",
+            "network", "rx_stack", "delivery",
+        ]
+
+
+class TestCriticalPath:
+    def test_stages_tile_the_pipeline(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=5)
+        for root in tracer.delivered():
+            path = critical_path(root)
+            names = [name for name, _s, _e, _d in path]
+            assert names[0] == "runtime_tx"
+            assert names[-1] == "delivery"
+            for (_n1, _s1, end1, _d1), (_n2, start2, _e2, _d2) in zip(path, path[1:]):
+                assert start2 >= end1 - 1e-9, "stages must not overlap backwards"
+
+    def test_durations_sum_close_to_e2e(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=5)
+        for root in tracer.delivered():
+            path = critical_path(root)
+            total = sum(duration for _n, _s, _e, duration in path)
+            e2e = root.end_ns - root["emit_ns"]
+            # stage gaps (e.g. between sched dequeue and datapath tx) are
+            # small but nonzero; the tiled stages must cover most of e2e
+            assert total <= e2e + 1e-6
+            assert total >= 0.9 * e2e
+
+
+class TestFormatting:
+    def test_format_breakdown_renders_all_stages(self, report):
+        text = format_breakdown(report)
+        for stage in ("runtime_tx", "tx_stack", "network", "delivery"):
+            assert stage in text
+        assert "total" in text
+        for label in report["datapaths"]:
+            assert label in text

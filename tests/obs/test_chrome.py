@@ -1,0 +1,112 @@
+"""Chrome-trace export: JSON round-trip and per-track time ordering."""
+
+import json
+
+from repro.faults import FaultSchedule
+from repro.obs import chrome_trace, write_chrome_trace
+from tests.obs.helpers import run_traced_flow
+
+
+def _round_trip(tracer):
+    return json.loads(json.dumps(chrome_trace(tracer)))
+
+
+def _tracks(events):
+    """Group span/instant events by their viewer track, in file order.
+
+    Counter (``C``) events form value tracks keyed by (pid, name) in the
+    Trace Event Format; span (``X``) and instant (``i``) events share the
+    (pid, tid) thread track.
+    """
+    tracks = {}
+    for event in events:
+        if event["ph"] in ("X", "i"):
+            tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+        elif event["ph"] == "C":
+            tracks.setdefault((event["pid"], event["name"]), []).append(event)
+    return tracks
+
+
+class TestRoundTrip:
+    def test_loads_and_has_required_fields(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=6)
+        document = _round_trip(tracer)
+        assert document["displayTimeUnit"] == "ns"
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert "ph" in event and "pid" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert "span_id" in event["args"]
+
+    def test_ts_non_decreasing_per_track(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(
+            messages=10, observe_engine=True
+        )
+        events = _round_trip(tracer)["traceEvents"]
+        tracks = _tracks(events)
+        assert tracks
+        for track, bucket in tracks.items():
+            stamps = [event["ts"] for event in bucket]
+            assert stamps == sorted(stamps), (
+                "track %r has decreasing ts: %s" % (track, stamps)
+            )
+
+    def test_metadata_names_hosts_and_datapaths(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=3)
+        events = _round_trip(tracer)["traceEvents"]
+        processes = [
+            event["args"]["name"] for event in events
+            if event["ph"] == "M" and event["name"] == "process_name"
+        ]
+        threads = [
+            event["args"]["name"] for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        ]
+        assert any("host0" in name for name in processes)
+        assert any("dpdk" in name for name in threads)
+
+    def test_write_round_trips_through_file(self, tmp_path):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=4)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer)
+        with open(str(path), encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["traceEvents"]
+
+
+class TestFaultInstants:
+    def test_failover_appears_as_instants(self):
+        schedule = FaultSchedule().datapath_failure(
+            at=100_000.0, host=0, datapath="dpdk"
+        )
+        tracer, _dep, _bed, _delivered = run_traced_flow(
+            messages=60, seed=2, gap_ns=2_000.0, fault_schedule=schedule
+        )
+        events = _round_trip(tracer)["traceEvents"]
+        instants = [event for event in events if event["ph"] == "i"]
+        names = {event["name"] for event in instants}
+        assert "datapath_failed" in names
+        assert "failover_remap" in names
+
+
+class TestMergedRuns:
+    def test_merged_tracers_get_disjoint_pids(self):
+        first, _dep, _bed, _delivered = run_traced_flow(messages=3, seed=0)
+        second, _dep2, _bed2, _delivered2 = run_traced_flow(messages=3, seed=1)
+        document = _round_trip({"a": first, "b": second})
+        by_label = {"a": set(), "b": set()}
+        for event in document["traceEvents"]:
+            if event["ph"] == "M" and event["name"] == "process_name":
+                label = event["args"]["name"].split(" ", 1)[0]
+                by_label[label].add(event["pid"])
+        assert by_label["a"] and by_label["b"]
+        assert not (by_label["a"] & by_label["b"]), (
+            "merged runs must not share pids: %r" % (by_label,)
+        )
+        # per-track ordering must survive the merge too
+        tracks = _tracks(document["traceEvents"])
+        for track, bucket in tracks.items():
+            stamps = [event["ts"] for event in bucket]
+            assert stamps == sorted(stamps)

@@ -1,0 +1,72 @@
+"""The observed engine loop must be behaviourally identical to the fast one."""
+
+from repro.obs import EngineObserver
+from repro.simnet import Simulator, Timeout
+from tests.obs.helpers import run_traced_flow
+
+
+def _workload(sim, log):
+    def ticker(name, period):
+        for _ in range(20):
+            yield Timeout(period)
+            log.append((sim.now, name))
+
+    sim.process(ticker("a", 70.0))
+    sim.process(ticker("b", 130.0))
+
+
+class TestEquivalence:
+    def test_same_events_and_clock_as_unobserved_run(self):
+        plain_log, observed_log = [], []
+        plain = Simulator(seed=1)
+        _workload(plain, plain_log)
+        plain_executed = plain.run()
+
+        observed = Simulator(seed=1)
+        observed.observer = EngineObserver(bucket_ns=100.0)
+        _workload(observed, observed_log)
+        observed_executed = observed.run()
+
+        assert observed_log == plain_log
+        assert observed.now == plain.now
+        assert observed_executed == plain_executed
+        assert observed.observer.events == plain_executed
+
+    def test_run_until_matches(self):
+        plain_log, observed_log = [], []
+        plain = Simulator(seed=1)
+        _workload(plain, plain_log)
+        plain.run(until=500.0)
+
+        observed = Simulator(seed=1)
+        observed.observer = EngineObserver(bucket_ns=100.0)
+        _workload(observed, observed_log)
+        observed.run(until=500.0)
+
+        assert observed_log == plain_log
+        assert observed.now == plain.now == 500.0
+
+    def test_full_stack_run_is_unperturbed(self):
+        _tracer, _dep, _bed, plain_delivered = run_traced_flow(
+            messages=8, seed=5
+        )
+        _tracer2, _dep2, bed2, observed_delivered = run_traced_flow(
+            messages=8, seed=5, observe_engine=True
+        )
+        assert observed_delivered == plain_delivered
+        observer = _tracer2.engine_observers["test"]
+        assert observer.events == bed2.sim.stats()["events_executed"]
+
+
+class TestDensity:
+    def test_density_buckets_cover_all_events(self):
+        sim = Simulator(seed=0)
+        observer = EngineObserver(bucket_ns=50.0)
+        sim.observer = observer
+        log = []
+        _workload(sim, log)
+        executed = sim.run()
+        density = observer.density()
+        assert sum(count for _start, count in density) == executed
+        starts = [start for start, _count in density]
+        assert starts == sorted(starts)

@@ -1,0 +1,101 @@
+"""LogHistogram unit tests."""
+
+import math
+
+import pytest
+
+from repro.obs import LogHistogram
+
+
+class TestRecording:
+    def test_empty(self):
+        histogram = LogHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.minimum is None
+
+    def test_counts_and_extremes(self):
+        histogram = LogHistogram(lo=10, hi=1000)
+        for value in (5, 50, 500, 5000):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 5555
+        assert histogram.minimum == 5
+        assert histogram.maximum == 5000
+        # underflow and overflow are counted, never lost
+        assert histogram.counts[0] >= 1
+        assert histogram.counts[-1] >= 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lo=0, hi=10)
+        with pytest.raises(ValueError):
+            LogHistogram(lo=10, hi=10)
+        with pytest.raises(ValueError):
+            LogHistogram(buckets_per_decade=0)
+
+
+class TestPercentiles:
+    def test_clamped_to_observed_range(self):
+        histogram = LogHistogram()
+        for value in (100, 200, 400):
+            histogram.record(value)
+        assert histogram.percentile(0) == 100
+        assert histogram.percentile(100) == 400
+        assert 100 <= histogram.percentile(50) <= 400
+
+    def test_monotone(self):
+        histogram = LogHistogram()
+        for value in range(1, 2000, 7):
+            histogram.record(float(value))
+        quantiles = [histogram.percentile(p) for p in (1, 25, 50, 75, 99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_accuracy_within_bucket_width(self):
+        histogram = LogHistogram(lo=10, hi=1e6, buckets_per_decade=8)
+        samples = [float(v) for v in range(100, 10000, 13)]
+        for value in samples:
+            histogram.record(value)
+        exact = sorted(samples)[len(samples) // 2]
+        approx = histogram.percentile(50)
+        # one bucket's relative width: 10^(1/8) ~ 1.33
+        assert exact / 1.34 <= approx <= exact * 1.34
+
+
+class TestMergeAndExport:
+    def test_merge_matches_combined(self):
+        a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        for value in (15, 150, 1500):
+            a.record(value)
+            combined.record(value)
+        for value in (30, 3000):
+            b.record(value)
+            combined.record(value)
+        a.merge(b)
+        assert a.counts == combined.counts
+        assert a.count == combined.count
+        assert a.total == combined.total
+        assert a.minimum == combined.minimum
+        assert a.maximum == combined.maximum
+
+    def test_merge_rejects_different_layout(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lo=10, hi=100).merge(LogHistogram(lo=10, hi=1000))
+
+    def test_cumulative_buckets_end_at_inf_with_total(self):
+        histogram = LogHistogram(lo=10, hi=1000)
+        for value in (1, 20, 20000):
+            histogram.record(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count for _edge, count in pairs]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        assert pairs[-1] == (math.inf, 3)
+
+    def test_to_dict_total_matches_count(self):
+        histogram = LogHistogram()
+        for value in (11, 22, 33):
+            histogram.record(value)
+        snapshot = histogram.to_dict()
+        assert snapshot["count"] == 3
+        assert sum(count for _edge, count in snapshot["buckets"]) == 3

@@ -1,0 +1,63 @@
+"""Prometheus histogram export: must parse with the exposition parser."""
+
+from repro.core.metrics import export_deployment
+from repro.obs import LogHistogram, histogram_lines, tracer_lines
+from tests import promparse
+from tests.obs.helpers import run_traced_flow
+
+
+class TestHistogramLines:
+    def _family(self, histogram, labels=None):
+        lines = histogram_lines("stage_ns", histogram, labels=labels)
+        return promparse.parse("\n".join(lines) + "\n")["insane_stage_ns"]
+
+    def test_parses_and_satisfies_histogram_invariants(self):
+        histogram = LogHistogram(lo=10, hi=10_000)
+        for value in (5, 20, 200, 2000, 50_000):
+            histogram.record(value)
+        family = self._family(histogram)
+        assert family["type"] == "histogram"
+        promparse.check_histogram(family)
+
+    def test_sum_and_count_match_recordings(self):
+        histogram = LogHistogram()
+        for value in (100, 300, 600):
+            histogram.record(value)
+        family = self._family(histogram, labels={"stage": "tx_stack"})
+        samples = {name: value for name, labels, value in family["samples"]
+                   if labels.get("stage") == "tx_stack" or "le" in labels}
+        assert samples["insane_stage_ns_count"] == 3
+        assert samples["insane_stage_ns_sum"] == 1000
+
+    def test_empty_histogram_still_valid(self):
+        family = self._family(LogHistogram())
+        promparse.check_histogram(family)
+
+
+class TestTracerLines:
+    def test_tracer_family_parses_with_per_stage_labels(self):
+        tracer, _dep, _bed, _delivered = run_traced_flow(messages=6)
+        body = "\n".join(tracer_lines(tracer)) + "\n"
+        families = promparse.parse(body)
+        family = families["insane_stage_latency_ns"]
+        assert family["type"] == "histogram"
+        promparse.check_histogram(family)
+        stages = {
+            labels["stage"] for _name, labels, _value in family["samples"]
+        }
+        assert {"e2e", "nic_handoff", "runtime_rx"} <= stages
+
+    def test_tracer_without_records_exports_nothing(self):
+        from repro.obs import LifecycleTracer
+
+        assert tracer_lines(LifecycleTracer()) == []
+
+
+class TestDeploymentScrape:
+    def test_scrape_with_tracer_parses_end_to_end(self):
+        tracer, deployment, _bed, _delivered = run_traced_flow(messages=5)
+        body = export_deployment(deployment, tracer=tracer)
+        families = promparse.parse(body)
+        assert "insane_stage_latency_ns" in families
+        assert "insane_binding_tx_packets_total" in families
+        promparse.check_histogram(families["insane_stage_latency_ns"])

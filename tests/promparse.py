@@ -1,0 +1,132 @@
+"""A minimal Prometheus text-exposition parser built on the stdlib.
+
+Used by tests to validate that scrape bodies are actually parseable —
+family headers present, ``# TYPE`` before samples, label syntax and
+escaping correct, values numeric — rather than merely regex-shaped.
+"""
+
+import math
+import re
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(r"^(?P<name>%s)(?:\{(?P<labels>.*)\})? (?P<value>\S+)$" % _NAME)
+_LABEL_RE = re.compile(r'(?P<key>%s)="(?P<value>(?:[^"\\\n]|\\\\|\\"|\\n)*)"' % _NAME)
+
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises ValueError on garbage
+
+
+def _unescape(text):
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            following = text[index + 1]
+            if following == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if following in ('"', "\\"):
+                out.append(following)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _parse_labels(text, lineno):
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ValueError("line %d: malformed label at %r" % (lineno, text[pos:]))
+        labels[match.group("key")] = _unescape(match.group("value"))
+        pos = match.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ValueError("line %d: expected ',' at %r" % (lineno, text[pos:]))
+            pos += 1
+    return labels
+
+
+def parse(body):
+    """Parse a scrape body into ``{family: info}`` dicts.
+
+    ``info`` carries ``type``, ``help``, and ``samples`` — a list of
+    ``(sample_name, labels_dict, value)``.  Raises ``ValueError`` on any
+    spec violation this mini-parser understands.
+    """
+    families = {}
+    for lineno, line in enumerate(body.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError("line %d: malformed HELP" % lineno)
+            family = families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )
+            family["help"] = parts[3] if len(parts) > 3 else ""
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in _VALID_TYPES:
+                raise ValueError("line %d: malformed TYPE: %r" % (lineno, line))
+            family = families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []}
+            )
+            if family["samples"]:
+                raise ValueError(
+                    "line %d: TYPE for %s after its samples" % (lineno, parts[2])
+                )
+            family["type"] = parts[3]
+        elif line.startswith("#"):
+            continue  # comment
+        else:
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                raise ValueError("line %d: malformed sample: %r" % (lineno, line))
+            name = match.group("name")
+            value = _parse_value(match.group("value"))
+            labels = _parse_labels(match.group("labels") or "", lineno)
+            base = name
+            for suffix in _SUFFIXES:
+                stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+                if stripped and stripped in families:
+                    base = stripped
+                    break
+            family = families.setdefault(
+                base, {"type": None, "help": None, "samples": []}
+            )
+            family["samples"].append((name, labels, value))
+    return families
+
+
+def check_histogram(family):
+    """Assert histogram invariants: cumulative ``le`` buckets per label
+    set ending at ``+Inf``, matching ``_count``."""
+    buckets = {}
+    counts = {}
+    for name, labels, value in family["samples"]:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if name.endswith("_bucket"):
+            buckets.setdefault(key, []).append((labels["le"], value))
+        elif name.endswith("_count"):
+            counts[key] = value
+    assert buckets, "histogram family has no buckets"
+    for key, series in buckets.items():
+        values = [value for _le, value in series]
+        assert values == sorted(values), "buckets not cumulative: %r" % (series,)
+        assert series[-1][0] == "+Inf", "bucket series must end at +Inf"
+        assert series[-1][1] == counts.get(key), "+Inf bucket != _count"

@@ -21,6 +21,7 @@ CASES = [
     ("time_sensitive.py", []),
     ("reliable_transfer.py", ["--chunks", "30", "--loss", "0.1"]),
     ("failover.py", ["--messages", "20"]),
+    ("latency_breakdown.py", ["--messages", "20"]),
     ("edge_orchestration.py", []),
     ("utcp_file_transfer.py", ["--kb", "32", "--loss", "0.05"]),
     (os.path.join("loc_apps", "app_insane.py"), ["--rounds", "50", "--messages", "300"]),
