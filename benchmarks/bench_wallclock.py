@@ -43,6 +43,10 @@ def main(argv=None):
                              "speedup falls below this")
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions per measurement (best wall kept)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard the (workload, engine) measurements "
+                             "across N worker processes; keep N at or below "
+                             "the free core count so wall clocks stay clean")
     parser.add_argument("--trajectory", action="store_true",
                         help="no-op-hook check only: rerun fig8a tracing-off "
                              "and compare against the committed report")
@@ -58,7 +62,8 @@ def main(argv=None):
         return 0 if ok else 1
 
     record = run_suite(full=args.full, seed=args.seed,
-                       compare_legacy=not args.no_legacy, reps=args.reps)
+                       compare_legacy=not args.no_legacy, reps=args.reps,
+                       workers=args.workers)
     for line in summary_lines(record):
         print(line)
     write_report(record, path=args.json)

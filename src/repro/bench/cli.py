@@ -25,14 +25,22 @@ EXPERIMENTS = {
     "table3": lambda args: runner.run_table3(),
     "table4": lambda args: runner.run_table4(),
     "fig5": lambda args: runner.run_fig5(
-        profile=args.profile, rounds=args.rounds, seed=args.seed
+        profile=args.profile, rounds=args.rounds, seed=args.seed,
+        workers=args.workers, cache=args.cache,
     ),
     "fig6": lambda args: runner.run_fig6(rounds=args.rounds, seed=args.seed),
     "fig7": lambda args: runner.run_fig7(
-        profile=args.profile, rounds=args.rounds, seed=args.seed
+        profile=args.profile, rounds=args.rounds, seed=args.seed,
+        workers=args.workers, cache=args.cache,
     ),
-    "fig8a": lambda args: runner.run_fig8a(messages=args.messages, seed=args.seed),
-    "fig8b": lambda args: runner.run_fig8b(messages=args.messages, seed=args.seed),
+    "fig8a": lambda args: runner.run_fig8a(
+        messages=args.messages, seed=args.seed,
+        workers=args.workers, cache=args.cache,
+    ),
+    "fig8b": lambda args: runner.run_fig8b(
+        messages=args.messages, seed=args.seed,
+        workers=args.workers, cache=args.cache,
+    ),
     "fig9a": lambda args: runner.run_fig9a(rounds=args.rounds, seed=args.seed),
     "fig9b": lambda args: runner.run_fig9b(messages=args.messages, seed=args.seed),
     "fig11": lambda args: runner.run_fig11(quick=args.quick, seed=args.seed),
@@ -45,7 +53,10 @@ EXPERIMENTS = {
     "ablation-rx-threads": lambda args: run_ablation_rx_threads(
         messages=args.messages, seed=args.seed
     ),
-    "faults": lambda args: run_faults(seed=args.seed, messages=args.messages),
+    "faults": lambda args: run_faults(
+        seed=args.seed, messages=args.messages,
+        workers=args.workers, cache=args.cache,
+    ),
     "validate": lambda args: run_validate(seed=args.seed, quick=args.quick),
     "breakdown": lambda args: run_breakdown_cmd(args),
 }
@@ -225,8 +236,21 @@ def main(argv=None):
                         help="breakdown --trace: write a Chrome-trace JSON here")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="append machine-readable results to a JSON file")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard sweep cells across N worker processes "
+                             "(fig5/fig7/fig8a/fig8b/faults; results are "
+                             "bit-identical at any worker count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every sweep cell instead of reusing "
+                             "the digest-keyed result cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result-cache directory (default: "
+                             "./.insane-cache or $INSANE_CACHE_DIR)")
     args = parser.parse_args(argv)
 
+    from repro.parallel import ResultCache
+
+    args.cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     args.quick = not args.full
     if args.rounds is None:
         args.rounds = 2000 if args.full else 500

@@ -146,53 +146,73 @@ def run_failover(seed=0, messages=200, interval_ns=25_000.0,
 
 # -- scenario 2: goodput under loss bursts ------------------------------------
 
+def run_loss_cell(rate, seed=0, messages=2000, size=1024,
+                  interval_ns=1_000.0):
+    """One loss-sweep point (a ``bench.loss`` sweep cell).
+
+    Builds an isolated testbed for the given loss rate and returns the
+    plain-JSON delivery record the loss table is assembled from.
+    """
+    testbed = Testbed.local(seed=seed)
+    sim = testbed.sim
+    deployment = InsaneDeployment(testbed)
+    with Session(deployment.runtime(0), "pub") as pub, \
+            Session(deployment.runtime(1), "sub") as sub:
+        pub_stream = pub.create_stream(QosPolicy.fast(), name="loss")
+        sub_stream = sub.create_stream(QosPolicy.fast(), name="loss")
+        source = pub.create_source(pub_stream, channel=1)
+        received = [0, 0.0]
+
+        def on_delivery(delivery, received=received):
+            received[0] += 1
+            received[1] = sim.now
+            return False
+
+        sub.create_sink(sub_stream, channel=1, callback=on_delivery)
+        if rate > 0.0:
+            FaultSchedule().loss_burst(
+                at=0.0, for_ns=None, rate=rate, link=0
+            ).apply(testbed, deployment)
+
+        def producer():
+            for _ in range(messages):
+                buffer = yield from pub.get_buffer_wait(source, size)
+                yield from pub.emit_data(source, buffer, length=size)
+                yield Timeout(interval_ns)
+
+        sim.process(producer(), name="loss.pub")
+        sim.run()
+        delivered, last_ns = received
+        goodput_gbps = (
+            delivered * size * 8.0 / last_ns if last_ns > 0 else 0.0
+        )
+        return {
+            "delivered": delivered,
+            "ratio": delivered / messages,
+            "goodput_gbps": goodput_gbps,
+        }
+
+
 def run_loss_goodput(seed=0, messages=2000, size=1024, interval_ns=1_000.0,
-                     rates=(0.0, 0.05, 0.1, 0.2), quiet=False):
+                     rates=(0.0, 0.05, 0.1, 0.2), quiet=False, workers=1,
+                     cache=None):
     """Best-effort goodput and delivery ratio vs link loss rate.
 
     The producer is paced (``interval_ns``) to keep the offered load below
     the path capacity, so the delivery ratio isolates *loss* rather than
-    receiver overload."""
-    results = {}
-    for rate in rates:
-        testbed = Testbed.local(seed=seed)
-        sim = testbed.sim
-        deployment = InsaneDeployment(testbed)
-        with Session(deployment.runtime(0), "pub") as pub, \
-                Session(deployment.runtime(1), "sub") as sub:
-            pub_stream = pub.create_stream(QosPolicy.fast(), name="loss")
-            sub_stream = sub.create_stream(QosPolicy.fast(), name="loss")
-            source = pub.create_source(pub_stream, channel=1)
-            received = [0, 0.0]
+    receiver overload.  Each rate is an independent sweep cell; ``workers``
+    shards them across processes."""
+    from repro.bench.sweep import grid_payloads, sweep_cells
+    from repro.parallel.cells import make_cell
 
-            def on_delivery(delivery, received=received):
-                received[0] += 1
-                received[1] = sim.now
-                return False
-
-            sub.create_sink(sub_stream, channel=1, callback=on_delivery)
-            if rate > 0.0:
-                FaultSchedule().loss_burst(
-                    at=0.0, for_ns=None, rate=rate, link=0
-                ).apply(testbed, deployment)
-
-            def producer():
-                for _ in range(messages):
-                    buffer = yield from pub.get_buffer_wait(source, size)
-                    yield from pub.emit_data(source, buffer, length=size)
-                    yield Timeout(interval_ns)
-
-            sim.process(producer(), name="loss.pub")
-            sim.run()
-            delivered, last_ns = received
-            goodput_gbps = (
-                delivered * size * 8.0 / last_ns if last_ns > 0 else 0.0
-            )
-            results[rate] = {
-                "delivered": delivered,
-                "ratio": delivered / messages,
-                "goodput_gbps": goodput_gbps,
-            }
+    cells = [
+        make_cell("bench.loss", rate=rate, seed=seed, messages=messages,
+                  size=size, interval_ns=interval_ns)
+        for rate in rates
+    ]
+    sweep = sweep_cells(cells, workers=workers, cache=cache)
+    payloads = grid_payloads(sweep, "rate")
+    results = {rate: payloads[rate] for rate in rates}
     if not quiet:
         rows = [
             ("%.0f%%" % (rate * 100.0),
@@ -263,14 +283,21 @@ def run_flap_reliable(seed=0, messages=60, flap_at_ns=500_000.0,
 
 # -- entry point ---------------------------------------------------------------
 
-def run_faults(seed=0, messages=None, quiet=False):
-    """The full fault-scenario sweep (the ``faults`` CLI experiment)."""
+def run_faults(seed=0, messages=None, quiet=False, workers=1, cache=None):
+    """The full fault-scenario sweep (the ``faults`` CLI experiment).
+
+    ``workers``/``cache`` apply to the loss sweep (its rates are
+    independent cells); failover and flap are single scenarios and always
+    run inline.
+    """
     messages = messages or 2000
     report = {}
     report["failover"] = run_failover(seed=seed, quiet=quiet)
     if not quiet:
         print()
-    report["loss"] = run_loss_goodput(seed=seed, messages=messages, quiet=quiet)
+    report["loss"] = run_loss_goodput(seed=seed, messages=messages,
+                                      quiet=quiet, workers=workers,
+                                      cache=cache)
     if not quiet:
         print()
     report["flap"] = run_flap_reliable(seed=seed, quiet=quiet)

@@ -34,8 +34,10 @@ Usage::
     python benchmarks/bench_wallclock.py --full     # paper-scale counts
 """
 
+import hashlib
 import json
 import os
+import platform
 import time
 
 from repro.bench.harness import InsaneBenchApp
@@ -227,18 +229,45 @@ def _speedups(entry, fast, legacy):
     )
 
 
-def run_suite(full=False, seed=0, compare_legacy=True, reps=SUITE_REPS):
-    """Run the whole suite; returns the record written to the report."""
+def run_suite(full=False, seed=0, compare_legacy=True, reps=SUITE_REPS,
+              workers=1):
+    """Run the whole suite; returns the record written to the report.
+
+    ``workers`` shards the (workload, engine) measurements across
+    processes via ``bench.perf`` sweep cells — each worker owns whole
+    cores, so per-measurement wall clocks stay meaningful.  Perf cells
+    are never cached: wall time is the measurement.
+    """
     rounds = FULL_ROUNDS if full else QUICK_ROUNDS
     messages = FULL_MESSAGES if full else QUICK_MESSAGES
+    engines = ("fast", "legacy") if compare_legacy else ("fast",)
+    measured = {}
+    if workers > 1:
+        from repro.parallel.cells import make_cell
+        from repro.parallel.executor import SweepExecutor
+
+        cells = [
+            make_cell("bench.perf", workload=name, engine=engine,
+                      rounds=rounds, messages=messages, seed=seed, reps=reps)
+            for name in SUITE for engine in engines
+        ]
+        sweep = SweepExecutor(workers=workers).run(cells)
+        for result in sweep.results:
+            params = result.cell["params"]
+            measured[(params["workload"], params["engine"])] = result.payload
+    else:
+        for name in SUITE:
+            for engine in engines:
+                measured[(name, engine)] = run_workload(
+                    name, engine, rounds=rounds, messages=messages,
+                    seed=seed, reps=reps,
+                )
     suite = {}
     for name in SUITE:
-        fast = run_workload(name, "fast", rounds=rounds, messages=messages,
-                            seed=seed, reps=reps)
+        fast = measured[(name, "fast")]
         entry = {"fast": fast}
         if compare_legacy:
-            legacy = run_workload(name, "legacy", rounds=rounds,
-                                  messages=messages, seed=seed, reps=reps)
+            legacy = measured[(name, "legacy")]
             entry["legacy"] = legacy
             _speedups(entry, fast, legacy)
             # sanity cross-check: the two stacks model the same system, so
@@ -265,6 +294,7 @@ def run_suite(full=False, seed=0, compare_legacy=True, reps=SUITE_REPS):
         "rounds": rounds,
         "messages": messages,
         "reps": reps,
+        "workers": workers,
         "suite": suite,
     }
 
@@ -337,6 +367,20 @@ def check_trajectory(path="BENCH_wallclock.json", workload="fig8a_streaming",
     return ok, lines
 
 
+def record_digest(record):
+    """sha256 over the *measurement* fields of one run record.
+
+    The ``meta`` block (wall-clock timestamp, host identity) is excluded:
+    two same-seed runs of the same code produce the same digest, so
+    record-level comparisons and git diffs are not churned by when or
+    where a run happened.
+    """
+    stripped = {k: v for k, v in record.items() if k != "meta"}
+    text = json.dumps(stripped, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
 def write_report(record, path="BENCH_wallclock.json"):
     """Append ``record`` to the perf-trajectory report, atomically.
 
@@ -344,9 +388,18 @@ def write_report(record, path="BENCH_wallclock.json"):
     the recorded trajectory instead of erasing it.  The write goes through
     a ``.tmp`` sibling + ``os.replace`` so a crashed run never corrupts
     history.
+
+    Wall-clock and host facts go into a separate ``meta`` block —
+    :func:`record_digest` and the ``--trajectory`` check compare
+    measurement fields only, so re-running the bench never churns a
+    digest (or a git diff) merely because time passed.
     """
     record = dict(record)
-    record["unix_time"] = time.time()
+    meta = dict(record.get("meta") or {})
+    meta.setdefault("unix_time", time.time())
+    meta.setdefault("host", platform.node())
+    meta.setdefault("python", platform.python_version())
+    record["meta"] = meta
     runs = []
     if os.path.exists(path):
         with open(path) as handle:

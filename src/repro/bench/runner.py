@@ -89,14 +89,26 @@ def run_table4():
     return rows
 
 
-def run_fig5(profile="local", rounds=2000, seed=0):
-    """Fig. 5: RTT medians for increasing payload sizes."""
+def run_fig5(profile="local", rounds=2000, seed=0, workers=1, cache=None):
+    """Fig. 5: RTT medians for increasing payload sizes.
+
+    The grid runs through the parallel sweep executor (serially by
+    default); ``workers``/``cache`` shard it across processes and reuse
+    digest-keyed cached points.
+    """
+    from repro.bench.sweep import TallyStats, fig5_cells, grid_payloads, sweep_cells
+
+    sweep = sweep_cells(
+        fig5_cells(profile=profile, rounds=rounds, seed=seed),
+        workers=workers, cache=cache,
+    )
+    payloads = grid_payloads(sweep, "system", "size")
     results = {}
     rows = []
     for system in FIG5_SYSTEMS:
         medians = []
         for size in FIG5_SIZES:
-            tally = run_pingpong(system, profile=profile, rounds=rounds, size=size, seed=seed)
+            tally = TallyStats(payloads[(system, size)])
             results[(system, size)] = tally
             medians.append(tally.median / 1000.0)
         rows.append([system] + medians)
@@ -128,12 +140,19 @@ def run_fig6(rounds=300, seed=0):
     return results
 
 
-def run_fig7(profile="local", rounds=2000, seed=0):
+def run_fig7(profile="local", rounds=2000, seed=0, workers=1, cache=None):
     """Fig. 7: average RTT of all seven systems (64 B)."""
+    from repro.bench.sweep import TallyStats, fig7_cells, grid_payloads, sweep_cells
+
+    sweep = sweep_cells(
+        fig7_cells(profile=profile, rounds=rounds, seed=seed),
+        workers=workers, cache=cache,
+    )
+    payloads = grid_payloads(sweep, "system")
     results = {}
     rows = []
     for system in SYSTEMS:
-        tally = run_pingpong(system, profile=profile, rounds=rounds, size=64, seed=seed)
+        tally = TallyStats(payloads[system])
         results[system] = tally
         paper = PAPER_FIG7[profile][system]
         rows.append([system, tally.mean / 1000.0, paper if paper is not None else "n/a"])
@@ -145,14 +164,21 @@ def run_fig7(profile="local", rounds=2000, seed=0):
     return results
 
 
-def run_fig8a(messages=20000, seed=0):
+def run_fig8a(messages=20000, seed=0, workers=1, cache=None):
     """Fig. 8a: throughput for increasing payload size (local testbed)."""
+    from repro.bench.sweep import fig8a_cells, grid_payloads, sweep_cells
+
+    sweep = sweep_cells(
+        fig8a_cells(messages=messages, seed=seed),
+        workers=workers, cache=cache,
+    )
+    payloads = grid_payloads(sweep, "system", "size")
     results = {}
     rows = []
     for system in FIG8A_SYSTEMS:
         series = []
         for size in FIG8A_SIZES:
-            gbps = run_throughput(system, messages=messages, size=size, seed=seed)
+            gbps = payloads[(system, size)]["gbps"]
             results[(system, size)] = gbps
             series.append(gbps)
         rows.append([system] + series)
@@ -164,12 +190,19 @@ def run_fig8a(messages=20000, seed=0):
     return results
 
 
-def run_fig8b(messages=20000, seed=0):
+def run_fig8b(messages=20000, seed=0, workers=1, cache=None):
     """Fig. 8b: INSANE fast throughput vs number of sinks (1 KB)."""
+    from repro.bench.sweep import fig8b_cells, grid_payloads, sweep_cells
+
+    sweep = sweep_cells(
+        fig8b_cells(messages=messages, seed=seed),
+        workers=workers, cache=cache,
+    )
+    payloads = grid_payloads(sweep, "sinks")
     results = {}
     rows = []
     for sinks in FIG8B_SINKS:
-        gbps = run_multisink(sinks, messages=messages, size=1024, seed=seed)
+        gbps = payloads[sinks]["avg_gbps"]
         results[sinks] = gbps
         rows.append([sinks, gbps, PAPER_FIG8B.get(sinks, "-")])
     print(format_table(

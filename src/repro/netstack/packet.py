@@ -28,6 +28,18 @@ WIRE_OVERHEAD = ETHERNET_OVERHEAD + IP_UDP_HEADER
 _packet_counter = [0]
 
 
+def reset_packet_counter():
+    """Reset the global packet sequence counter to zero.
+
+    Packet ``seq`` numbers are process-global, so two experiment cells run
+    back-to-back in one process would otherwise see different absolute
+    sequence numbers than the same cells run in fresh worker processes.
+    :func:`repro.simnet.cell.run_cell` calls this before every cell so a
+    cell's observable behaviour is identical wherever it executes.
+    """
+    _packet_counter[0] = 0
+
+
 class Packet:
     """One UDP datagram, possibly carrying a zero-copy payload view."""
 

@@ -1,0 +1,45 @@
+"""Deterministic parallel sweep execution with a digest-keyed result cache.
+
+The package shards independent experiment cells — figure-grid points,
+fault scenarios, fuzz batches, differential workloads — across spawned
+worker processes and merges results in cell-key order, so a sweep's
+output (and its sha256 digest) is identical at any worker count.  See
+DESIGN.md §10 for the sharding unit, seed derivation, cache key, and the
+determinism guarantee.
+"""
+
+from repro.parallel.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA,
+    ResultCache,
+    cache_key,
+    default_cache_root,
+    profile_digest,
+)
+from repro.parallel.cells import grid_cells, make_cell
+from repro.parallel.executor import (
+    CellResult,
+    SweepExecutor,
+    SweepResult,
+    run_sweep,
+)
+from repro.simnet.cell import cell_key, derive_seed, register_cell_kind, run_cell
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CellResult",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepResult",
+    "cache_key",
+    "cell_key",
+    "default_cache_root",
+    "derive_seed",
+    "grid_cells",
+    "make_cell",
+    "profile_digest",
+    "register_cell_kind",
+    "run_cell",
+    "run_sweep",
+]

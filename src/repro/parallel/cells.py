@@ -1,0 +1,33 @@
+"""Cell-construction helpers: grids of experiment points as cell lists.
+
+Everything here is a pure function from parameters to plain dicts —
+building a grid never touches the simulator, so cell lists are cheap to
+construct, hash, and ship across the spawn boundary.
+"""
+
+from repro.simnet.cell import cell_key
+
+
+def make_cell(kind, **params):
+    """One cell: ``{"kind": ..., "params": {...}}``.
+
+    Raises immediately if the params are not canonically JSON-able, so a
+    bad cell fails at construction time, not inside a worker.
+    """
+    cell = {"kind": kind, "params": params}
+    cell_key(cell)
+    return cell
+
+
+def grid_cells(kind, axes, **common):
+    """The cartesian product of ``axes`` as a cell list.
+
+    ``axes`` is an ordered list of ``(param_name, values)`` pairs;
+    ``common`` params are shared by every cell.  Order of the returned
+    list is row-major over the axes, but the executor re-orders by cell
+    key anyway — grid order is only a convenience for display code.
+    """
+    cells = [dict(common)]
+    for name, values in axes:
+        cells = [dict(base, **{name: value}) for base in cells for value in values]
+    return [make_cell(kind, **params) for params in cells]

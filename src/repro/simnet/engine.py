@@ -52,19 +52,27 @@ class EventHandle:
     :meth:`Simulator.schedule` fast path does not allocate handles.
     """
 
-    __slots__ = ("sim", "fn", "args", "cancelled")
+    __slots__ = ("sim", "fn", "args", "cancelled", "pending")
 
     def __init__(self, sim, fn, args):
         self.sim = sim
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: True while the handle's heap entry exists and has neither fired
+        #: nor been purged.  ``_cancelled`` counts exactly the handles with
+        #: ``cancelled and pending`` — cancelling a timer that already fired
+        #: must not inflate the counter (it has no heap entry to purge).
+        self.pending = True
 
     def cancel(self):
-        """Prevent the callback from running.  Safe to call repeatedly."""
+        """Prevent the callback from running.  Safe to call repeatedly,
+        including after the timer has already fired (a no-op then)."""
         if self.cancelled:
             return
         self.cancelled = True
+        if not self.pending:
+            return
         sim = self.sim
         sim._cancelled += 1
         if sim._cancelled >= _COMPACT_MIN and sim._cancelled * 2 > len(sim._heap):
@@ -211,9 +219,11 @@ class Simulator:
                             if fn is None:
                                 handle = entry[3]
                                 if handle.cancelled:
+                                    handle.pending = False
                                     self._cancelled -= 1
                                     self._purged += 1
                                     continue
+                                handle.pending = False
                                 handle.fn(*handle.args)
                             else:
                                 fn(*entry[3])
@@ -230,9 +240,11 @@ class Simulator:
                 if fn is None:
                     handle = entry[3]
                     if handle.cancelled:
+                        handle.pending = False
                         self._cancelled -= 1
                         self._purged += 1
                         continue
+                    handle.pending = False
                     self.now = entry[0]
                     handle.fn(*handle.args)
                 else:
@@ -253,9 +265,11 @@ class Simulator:
                         if fn is None:
                             handle = entry[3]
                             if handle.cancelled:
+                                handle.pending = False
                                 self._cancelled -= 1
                                 self._purged += 1
                                 continue
+                            handle.pending = False
                             handle.fn(*handle.args)
                         else:
                             fn(*entry[3])
@@ -271,6 +285,7 @@ class Simulator:
             fn = entry[2]
             if fn is None and entry[3].cancelled:
                 heappop(heap)
+                entry[3].pending = False
                 self._cancelled -= 1
                 self._purged += 1
                 continue
@@ -283,6 +298,7 @@ class Simulator:
             self.now = time
             if fn is None:
                 handle = entry[3]
+                handle.pending = False
                 handle.fn(*handle.args)
             else:
                 fn(*entry[3])
@@ -331,9 +347,11 @@ class Simulator:
                         if fn is None:
                             handle = entry[3]
                             if handle.cancelled:
+                                handle.pending = False
                                 self._cancelled -= 1
                                 self._purged += 1
                                 continue
+                            handle.pending = False
                             handle.fn(*handle.args)
                         else:
                             fn(*entry[3])
@@ -350,9 +368,11 @@ class Simulator:
             if fn is None:
                 handle = entry[3]
                 if handle.cancelled:
+                    handle.pending = False
                     self._cancelled -= 1
                     self._purged += 1
                     continue
+                handle.pending = False
                 self.now = entry[0]
                 handle.fn(*handle.args)
             else:
@@ -368,6 +388,7 @@ class Simulator:
             entry = heap[0]
             if entry[2] is None and entry[3].cancelled:
                 heappop(heap)
+                entry[3].pending = False
                 self._cancelled -= 1
                 self._purged += 1
                 continue
@@ -380,13 +401,30 @@ class Simulator:
 
     def _compact(self):
         """Drop cancelled timers and re-heapify (in place: ``run`` holds a
-        reference to the list)."""
+        reference to the list).
+
+        An entry is purgeable iff its *handle* is cancelled — regardless of
+        what the payload slot holds, so a payload-carrying cancellable
+        entry cannot survive its own cancellation.  Bookkeeping is per
+        purged entry (never a blanket reset): each drop decrements the
+        cancelled counter exactly once, keeping
+        ``stats()["cancelled_pending"]`` truthful even when cancelled
+        handles have already left the heap through another path.
+        """
         heap = self._heap
-        before = len(heap)
-        heap[:] = [e for e in heap if e[2] is not None or not e[3].cancelled]
+        kept = []
+        purged = 0
+        for entry in heap:
+            handle = entry[3]
+            if isinstance(handle, EventHandle) and handle.cancelled:
+                handle.pending = False
+                purged += 1
+            else:
+                kept.append(entry)
+        heap[:] = kept
         heapify(heap)
-        self._purged += before - len(heap)
-        self._cancelled = 0
+        self._purged += purged
+        self._cancelled -= purged
 
     def stats(self):
         """Counters for perf diagnosis, surfaced in benchmark reports."""

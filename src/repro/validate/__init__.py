@@ -32,6 +32,10 @@ This package makes both contracts continuously checkable:
 :mod:`repro.validate.golden`
     The pinned golden-trace corpus under ``tests/golden/`` and its
     regeneration tool (refuses to overwrite without ``--force``).
+:mod:`repro.validate.parallel`
+    Parallel fan-out of fuzz batches and differential sweeps via
+    :mod:`repro.parallel`, plus the executor's own checker
+    (serial-vs-parallel merged-digest equality).
 
 Everything is exposed on the command line as ``insane-validate`` (see
 :mod:`repro.validate.cli`) and as the pytest suites under
@@ -47,6 +51,11 @@ from repro.validate.golden import (
     corpus_path,
     regenerate_corpus,
 )
+from repro.validate.parallel import (
+    check_parallel_equivalence,
+    parallel_differential,
+    parallel_fuzz,
+)
 from repro.validate.properties import check_run, property_report
 from repro.validate.workloads import RunResult, WorkloadSpec, random_spec, run_spec
 
@@ -58,10 +67,13 @@ __all__ = [
     "TraceProbe",
     "WorkloadSpec",
     "check_corpus",
+    "check_parallel_equivalence",
     "check_run",
     "compute_corpus",
     "corpus_path",
     "fuzz",
+    "parallel_differential",
+    "parallel_fuzz",
     "property_report",
     "random_spec",
     "regenerate_corpus",

@@ -3,9 +3,11 @@
 Subcommands::
 
     insane-validate differential --seed 0 --n 50 [--perturb insane_ipc=1.01]
+                                 [--workers 4]
     insane-validate properties   --seed 0 --n 25
-    insane-validate fuzz         --seed 0 --n 25 [--differential]
+    insane-validate fuzz         --seed 0 --n 25 [--differential] [--workers 4]
     insane-validate golden       [--regen [--force]] [--path FILE]
+    insane-validate parallel     --workers 2 [--n 4] [--cache-dir DIR]
     insane-validate repro        --seed 17 [--json SPEC_JSON]
 
 Also reachable as ``python -m repro.validate`` and as the ``validate``
@@ -17,6 +19,21 @@ import sys
 
 
 def _cmd_differential(args):
+    if args.workers > 1:
+        from repro.validate.parallel import parallel_differential
+
+        checked, diverged, _sweep = parallel_differential(
+            seed=args.seed, n=args.n, workers=args.workers,
+            perturb=args.perturb,
+            progress=print if args.verbose else None,
+        )
+        for payload in diverged:
+            print(payload["report"])
+        print(
+            "differential: %d/%d workload(s) checked, %d divergence(s) "
+            "(%d workers)" % (checked, args.n, len(diverged), args.workers)
+        )
+        return 1 if diverged else 0
     from repro.validate.differential import run_differential
 
     checked, divergences = run_differential(
@@ -54,6 +71,21 @@ def _cmd_properties(args):
 
 
 def _cmd_fuzz(args):
+    if args.workers > 1:
+        from repro.validate.parallel import format_fuzz_failure, parallel_fuzz
+
+        checked, failures, _sweep = parallel_fuzz(
+            seed=args.seed, n=args.n, workers=args.workers,
+            differential=args.differential, do_shrink=not args.no_shrink,
+            progress=print if args.verbose else None,
+        )
+        for payload in failures:
+            print(format_fuzz_failure(payload))
+        print(
+            "fuzz: %d spec(s) checked, %d failure(s) (%d workers)"
+            % (checked, len(failures), args.workers)
+        )
+        return 1 if failures else 0
     from repro.validate.fuzz import fuzz
 
     checked, failures = fuzz(
@@ -85,6 +117,57 @@ def _cmd_golden(args):
         print("  - %s" % problem)
     print("golden: %s" % ("corpus holds" if not problems
                           else "%d mismatch(es)" % len(problems)))
+    return 1 if problems else 0
+
+
+def _cmd_parallel(args):
+    """The sweep executor's own check: serial == parallel, cache hits.
+
+    Runs a small mixed cell set three ways — serially, in parallel
+    against an empty cache, and in parallel again over the warm cache —
+    and requires (a) identical merged digests everywhere and (b) a 100%
+    hit rate on the warm pass.  This is the CI parallel-smoke entrypoint.
+    """
+    import shutil
+    import tempfile
+
+    from repro.parallel import ResultCache, SweepExecutor
+    from repro.validate.parallel import compare_sweeps, equivalence_cells
+
+    cells = equivalence_cells(seed=args.seed, n=args.n)
+    serial = SweepExecutor(workers=1).run(cells)
+
+    cache_root = args.cache_dir or tempfile.mkdtemp(prefix="insane-cache-")
+    problems = []
+    try:
+        cold = SweepExecutor(
+            workers=args.workers, cache=ResultCache(root=cache_root)
+        ).run(cells)
+        warm = SweepExecutor(
+            workers=args.workers, cache=ResultCache(root=cache_root)
+        ).run(cells)
+    finally:
+        if args.cache_dir is None:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    problems += compare_sweeps(serial, cold)
+    problems += compare_sweeps(serial, warm)
+    if warm.hit_rate() < 1.0:
+        problems.append(
+            "warm pass hit rate %.0f%% (expected 100%%): %d of %d cells "
+            "re-executed"
+            % (warm.hit_rate() * 100.0, warm.executed, len(warm.results))
+        )
+    for problem in problems:
+        print("  - %s" % problem)
+    print(
+        "parallel: %d cell(s), serial vs %d-worker digest %s, "
+        "warm-cache hit rate %.0f%%"
+        % (len(cells), args.workers,
+           "identical" if serial.merged_digest() == cold.merged_digest()
+           == warm.merged_digest() else "DIFFERS",
+           warm.hit_rate() * 100.0)
+    )
     return 1 if problems else 0
 
 
@@ -138,6 +221,11 @@ def build_parser():
              "(self-test: the oracle must report a divergence)",
     )
     differential.add_argument("--keep-going", action="store_true")
+    differential.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard specs across N worker processes (checks all --n specs; "
+             "implies --keep-going)",
+    )
     differential.add_argument("-v", "--verbose", action="store_true")
     differential.set_defaults(func=_cmd_differential)
 
@@ -159,6 +247,10 @@ def build_parser():
     fuzz.add_argument("--differential", action="store_true",
                       help="also cross-check both engines per spec")
     fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard fuzzed specs across N worker processes",
+    )
     fuzz.add_argument("-v", "--verbose", action="store_true")
     fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -169,6 +261,19 @@ def build_parser():
     golden.add_argument("--force", action="store_true")
     golden.add_argument("--path", default=None)
     golden.set_defaults(func=_cmd_golden)
+
+    parallel = sub.add_parser(
+        "parallel",
+        help="check the sweep executor: serial==parallel digests, cache hits",
+    )
+    parallel.add_argument("--seed", type=int, default=0)
+    parallel.add_argument("--n", type=int, default=4,
+                          help="fuzz cells in the equivalence set")
+    parallel.add_argument("--workers", type=int, default=2, metavar="N")
+    parallel.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="persist the cache here (default: a "
+                               "throwaway temp dir)")
+    parallel.set_defaults(func=_cmd_parallel)
 
     repro = sub.add_parser(
         "repro", help="re-run one workload spec and report everything"

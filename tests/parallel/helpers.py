@@ -1,0 +1,54 @@
+"""Worker-importable cell runners for the parallel-executor tests.
+
+These live in a real module (not a test file) so spawn-started workers
+can import them by the ``"tests.parallel.helpers:<fn>"`` registry target.
+"""
+
+import os
+import random
+
+#: in-process execution counter — only meaningful for workers=1 runs,
+#: where cells execute in the parent interpreter.
+EXECUTIONS = []
+
+
+def echo_cell(value=0, seed=0, draws=4):
+    """Deterministic payload from (value, seed); records each execution."""
+    EXECUTIONS.append(("echo", value, seed))
+    rng = random.Random(seed)
+    return {
+        "value": value,
+        "seed": seed,
+        "draws": [rng.randrange(1_000_000) for _ in range(draws)],
+    }
+
+
+def rng_stream_cell(seed=0, draws=8):
+    """Expose the raw rng stream a cell observes, plus process identity.
+
+    The regression this backs: two cells must never interleave or share
+    rng state — each derives its own ``random.Random(seed)`` — so the
+    draws are a pure function of the seed, not of the worker process,
+    execution order, or sibling cells.
+    """
+    rng = random.Random(seed)
+    return {
+        "seed": seed,
+        "pid": os.getpid(),
+        "draws": [rng.randrange(1 << 30) for _ in range(draws)],
+    }
+
+
+def packet_seq_cell(count=3, seed=0):
+    """Allocate packets and report their global sequence numbers.
+
+    With per-cell global resets, the first packet of every cell is seq 1
+    regardless of what ran before in the same process.
+    """
+    from repro.netstack.packet import Packet
+
+    packets = [
+        Packet("10.0.0.1", "10.0.0.2", 1000 + i, 2000, payload_len=64)
+        for i in range(count)
+    ]
+    return {"seqs": [packet.seq for packet in packets]}

@@ -1,0 +1,157 @@
+"""Result-cache semantics: hits skip execution, staleness forces misses.
+
+The cache key is content-addressed over (cell spec, hardware-profile
+content, package version, cache schema); these tests pin each component's
+contribution and the executor-facing behaviours: a hit skips execution
+entirely, ``cache=None`` (the ``--no-cache`` surface) always recomputes,
+and a profile edit — even one that keeps the profile *name* — misses.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.hw.profiles import PROFILES
+from repro.parallel import (
+    ResultCache,
+    SweepExecutor,
+    cache_key,
+    make_cell,
+    profile_digest,
+    register_cell_kind,
+)
+from repro.simnet.cell import CELL_RUNNERS
+from tests.parallel import helpers
+
+
+@pytest.fixture(autouse=True)
+def _test_kinds():
+    saved = dict(CELL_RUNNERS)
+    register_cell_kind("test.echo", "tests.parallel.helpers:echo_cell")
+    helpers.EXECUTIONS.clear()
+    yield
+    CELL_RUNNERS.clear()
+    CELL_RUNNERS.update(saved)
+
+
+def echo_cells(n=3):
+    return [make_cell("test.echo", value=v, seed=0) for v in range(n)]
+
+
+class TestCacheKey:
+    def test_key_depends_on_cell_params(self):
+        a = make_cell("test.echo", value=1, seed=0)
+        b = make_cell("test.echo", value=2, seed=0)
+        assert cache_key(a) != cache_key(b)
+        assert cache_key(a) == cache_key(make_cell("test.echo", value=1, seed=0))
+
+    def test_key_goes_stale_on_profile_change(self):
+        cell = make_cell("bench.throughput", system="insane_fast",
+                         messages=100, size=256, seed=0)
+        local = cache_key(cell, profile=PROFILES["local"])
+        cloud = cache_key(cell, profile=PROFILES["cloud"])
+        assert local != cloud
+        # the profile param inside the cell picks the default profile
+        cloudy = make_cell("bench.throughput", system="insane_fast",
+                           profile="cloud", messages=100, size=256, seed=0)
+        assert cache_key(cloudy) != cache_key(cell)
+
+    def test_key_goes_stale_on_profile_content_edit(self):
+        """Editing a stage cost misses even when the name stays 'local'."""
+        base = PROFILES["local"]
+        stage = base.stages["insane_ipc"]
+        scaled = type(stage)(fixed=stage.fixed * 2, per_pkt=stage.per_pkt,
+                             per_byte=stage.per_byte)
+        stages = dict(base.stages)
+        stages["insane_ipc"] = scaled
+        edited = base.replace(stages=stages)
+        assert profile_digest(edited) != profile_digest(base)
+        cell = make_cell("test.echo", value=1, seed=0)
+        assert cache_key(cell, profile=edited) != cache_key(cell, profile=base)
+
+    def test_key_goes_stale_on_version_change(self):
+        cell = make_cell("test.echo", value=1, seed=0)
+        current = cache_key(cell)
+        assert cache_key(cell, version=repro.__version__) == current
+        assert cache_key(cell, version="0.0.0-other") != current
+
+
+class TestCacheStore:
+    def test_put_then_get_roundtrips(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cell = make_cell("test.echo", value=1, seed=0)
+        key = cache_key(cell)
+        cache.put(key, cell, {"answer": 42})
+        entry = cache.get(key)
+        assert entry["payload"] == {"answer": 42}
+        assert entry["cell"] == cell
+        assert cache.stats()["stores"] == 1
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cell = make_cell("test.echo", value=1, seed=0)
+        key = cache_key(cell)
+        assert cache.get(key) is None
+        path = cache.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{truncated")
+        assert cache.get(key) is None
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 2
+
+    def test_entries_are_sharded_json_files(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        cell = make_cell("test.echo", value=1, seed=0)
+        key = cache_key(cell)
+        cache.put(key, cell, {"x": 1})
+        path = cache.path(key)
+        assert path.startswith(os.path.join(str(tmp_path), key[:2]))
+        with open(path) as handle:
+            assert json.load(handle)["key"] == key
+
+
+class TestExecutorCaching:
+    def test_hit_skips_execution_entirely(self, tmp_path):
+        cells = echo_cells(3)
+        first = SweepExecutor(workers=1, cache=ResultCache(str(tmp_path))).run(cells)
+        assert first.executed == 3
+        assert first.cache_hits == 0
+        assert len(helpers.EXECUTIONS) == 3
+        second = SweepExecutor(workers=1, cache=ResultCache(str(tmp_path))).run(cells)
+        assert second.executed == 0
+        assert second.cache_hits == 3
+        assert second.hit_rate() == 1.0
+        assert len(helpers.EXECUTIONS) == 3          # no re-execution
+        assert first.merged_digest() == second.merged_digest()
+        assert all(r.cached for r in second.results)
+
+    def test_no_cache_forces_recompute(self, tmp_path):
+        cells = echo_cells(2)
+        SweepExecutor(workers=1, cache=ResultCache(str(tmp_path))).run(cells)
+        assert len(helpers.EXECUTIONS) == 2
+        # cache=None is the --no-cache surface: everything re-executes
+        again = SweepExecutor(workers=1, cache=None).run(cells)
+        assert again.executed == 2
+        assert len(helpers.EXECUTIONS) == 4
+
+    def test_partial_hits_merge_with_fresh_results(self, tmp_path):
+        cache_root = str(tmp_path)
+        SweepExecutor(workers=1, cache=ResultCache(cache_root)).run(echo_cells(2))
+        mixed = SweepExecutor(workers=1, cache=ResultCache(cache_root)).run(
+            echo_cells(4)
+        )
+        assert mixed.cache_hits == 2
+        assert mixed.executed == 2
+        flags = {r.cell["params"]["value"]: r.cached for r in mixed.results}
+        assert flags == {0: True, 1: True, 2: False, 3: False}
+
+    def test_cached_and_fresh_digests_agree_across_worker_counts(self, tmp_path):
+        cells = echo_cells(3)
+        fresh = SweepExecutor(workers=1).run(cells)
+        warm = SweepExecutor(workers=2, cache=ResultCache(str(tmp_path))).run(cells)
+        hot = SweepExecutor(workers=2, cache=ResultCache(str(tmp_path))).run(cells)
+        assert fresh.merged_digest() == warm.merged_digest() == hot.merged_digest()
+        assert hot.cache_hits == 3

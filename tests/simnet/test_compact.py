@@ -1,0 +1,104 @@
+"""Regression tests for lazy timer compaction and cancelled-counter truth.
+
+The heap keeps cancelled timers until :meth:`Simulator._compact` (or an
+execution-path purge) drops them.  These tests pin the two invariants the
+compaction bugfix restored:
+
+* a cancelled timer is purged by compaction *regardless of its payload* —
+  the keep-predicate is keyed off the handle, not the payload slot;
+* ``stats()["cancelled_pending"]`` counts exactly the cancelled handles
+  whose entries still sit in the heap — cancelling an already-fired timer
+  does not inflate it, and compaction accounts per purged entry instead of
+  blanket-resetting the counter.
+"""
+
+from repro.simnet import Simulator
+from repro.simnet.engine import _COMPACT_MIN
+
+
+def _noop(*args):
+    pass
+
+
+def test_compact_purges_cancelled_payload_carrying_timer():
+    # a timer that carries payload args through its handle must still be
+    # purged once cancelled — the predicate must not key off the payload
+    sim = Simulator()
+    victim = sim.schedule_cancellable(1_000.0, _noop, "payload", 42)
+    sim.schedule(2_000.0, _noop)          # a plain survivor
+    victim.cancel()
+    assert sim.stats()["cancelled_pending"] == 1
+    sim._compact()
+    stats = sim.stats()
+    assert stats["heap_size"] == 1        # only the plain event survives
+    assert stats["cancelled_pending"] == 0
+    assert stats["cancelled_purged"] == 1
+    assert not victim.pending
+    # and the survivor still runs
+    executed = sim.run()
+    assert executed == 1
+
+
+def test_cancelled_pending_stays_truthful_through_threshold_compaction():
+    sim = Simulator()
+    keep = 10
+    handles = [
+        sim.schedule_cancellable(1_000.0 + i, _noop, "payload", i)
+        for i in range(_COMPACT_MIN + keep)
+    ]
+    for handle in handles[keep:]:
+        handle.cancel()
+    # the last cancel crossed the threshold and compacted in place
+    stats = sim.stats()
+    assert stats["heap_size"] == keep
+    assert stats["cancelled_pending"] == 0
+    assert stats["cancelled_purged"] == _COMPACT_MIN
+    assert all(not h.pending for h in handles[keep:])
+    assert all(h.pending for h in handles[:keep])
+
+
+def test_cancel_after_fire_does_not_inflate_cancelled_pending():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_cancellable(10.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert not handle.pending
+    # cancelling a timer that already fired is a no-op for the accounting
+    handle.cancel()
+    assert sim.stats()["cancelled_pending"] == 0
+    sim._compact()
+    assert sim.stats()["cancelled_pending"] == 0
+
+
+def test_cancel_after_fire_then_real_cancels_keep_exact_count():
+    # a stale (post-fire) cancel must not offset the purge bookkeeping of
+    # genuinely pending cancels: pending counter goes 2 -> 0 via compact
+    sim = Simulator()
+    fired = sim.schedule_cancellable(1.0, _noop, "early")
+    sim.run()
+    fired.cancel()                        # stale: entry already executed
+    live = [sim.schedule_cancellable(100.0 + i, _noop, i) for i in range(2)]
+    for handle in live:
+        handle.cancel()
+    assert sim.stats()["cancelled_pending"] == 2
+    sim._compact()
+    stats = sim.stats()
+    assert stats["cancelled_pending"] == 0
+    assert stats["heap_size"] == 0
+    assert stats["cancelled_purged"] == 2
+
+
+def test_run_purge_path_marks_handle_not_pending():
+    # a cancelled entry reaped by the run loop (not compaction) must also
+    # release its handle so a later stale cancel cannot double-count
+    sim = Simulator()
+    handle = sim.schedule_cancellable(5.0, _noop, "payload")
+    sim.schedule(10.0, _noop)
+    handle.cancel()
+    assert sim.stats()["cancelled_pending"] == 1
+    sim.run()
+    stats = sim.stats()
+    assert stats["cancelled_pending"] == 0
+    assert stats["cancelled_purged"] == 1
+    assert not handle.pending
