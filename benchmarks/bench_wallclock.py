@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from repro.bench.perfbench import (
+    check_ratchet,
     check_trajectory,
     run_suite,
     summary_lines,
@@ -52,11 +53,22 @@ def main(argv=None):
                              "and compare against the committed report")
     parser.add_argument("--wall-factor", type=float, default=3.0,
                         help="allowed wall-clock factor for --trajectory")
+    parser.add_argument("--ratchet", action="store_true",
+                        help="perf-ratchet check only: rerun engine_churn on "
+                             "the fast engine and fail if events/sec falls "
+                             "below the floor derived from the committed "
+                             "report (INSANE_PERF_RATCHET_SKIP=1 skips)")
     args = parser.parse_args(argv)
 
     if args.trajectory:
         ok, lines = check_trajectory(path=args.json, reps=args.reps,
                                      wall_factor=args.wall_factor)
+        for line in lines:
+            print(line)
+        return 0 if ok else 1
+
+    if args.ratchet:
+        ok, lines = check_ratchet(path=args.json, reps=args.reps)
         for line in lines:
             print(line)
         return 0 if ok else 1

@@ -61,7 +61,7 @@ class LunarMom:
         # topic hashing + MoM header: the ns-scale LUNAR layer cost
         yield Timeout(self.host.stage_cost("mom_layer", length))
         emit_id = yield from self.session.emit_data(source, buffer, length=length)
-        self.published.increment()
+        self.published.value += 1
         return emit_id
 
     def _source_for(self, topic):
@@ -90,7 +90,7 @@ class LunarMom:
         while not sink.closed:
             delivery = yield from self.session.consume_data(sink)
             yield Timeout(self.host.stage_cost("mom_layer", delivery.length))
-            self.delivered.increment()
+            self.delivered.value += 1
             callback(topic, delivery.payload())
             self.session.release_buffer(sink, delivery)
 

@@ -97,7 +97,7 @@ class LunarStreamServer:
             # fragmentation copies payload into the slot: app-side cost
             yield Timeout(self.host.stage_cost("frag_copy", data_len))
             yield from self.session.emit_data(self.data_source, buffer, length=total)
-        self.frames_sent.increment()
+        self.frames_sent.value += 1
 
     def close(self):
         self.session.close()
@@ -143,7 +143,7 @@ class LunarStreamClient:
                     frame = self.codec.decode(frame)
                     # decode cost charged on the reconstructed size
                     yield Timeout(self.host.stage_cost("codec", len(frame)))
-                self.frames_received.increment()
+                self.frames_received.value += 1
                 frames.append((frame, self.sim.now))
                 if on_frame is not None:
                     on_frame(frame)

@@ -130,7 +130,7 @@ class ReliableSender:
         for seq in range(self.base, ack_seq):
             if seq in self._unacked:
                 del self._unacked[seq]
-                self.acked.increment()
+                self.acked.value += 1
         self.base = ack_seq
         # ACK progress: reset the exponential backoff
         self._current_rto_ns = self.rto_ns
@@ -168,7 +168,7 @@ class ReliableSender:
     def _retransmit_window(self):
         # go-back-N: resend everything outstanding, oldest first
         for seq in sorted(self._unacked):
-            self.retransmissions.increment()
+            self.retransmissions.value += 1
             yield from self._transmit(seq)
         self._arm_timer()
 
@@ -196,7 +196,7 @@ class ReliableReceiver:
             return
         payload = bytes(view[HEADER_LEN : HEADER_LEN + length])
         if seq < self.expected or seq in self._out_of_order:
-            self.duplicates.increment()
+            self.duplicates.value += 1
         elif seq == self.expected:
             self._deliver(payload)
             self.expected += 1
@@ -211,7 +211,7 @@ class ReliableReceiver:
             self.sim.process(self._send_ack(), name="arq.ack")
 
     def _deliver(self, payload):
-        self.delivered.increment()
+        self.delivered.value += 1
         self.deliver(payload)
 
     def _send_ack(self):

@@ -122,5 +122,5 @@ class CycloneDdsNode:
         callback = self._callbacks[topic]
         while True:
             packet = yield Get(queue)
-            self.samples_received.increment()
+            self.samples_received.value += 1
             callback(topic, packet)

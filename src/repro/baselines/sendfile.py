@@ -68,7 +68,7 @@ class SendfileStreamer:
                         self.server_host.stage_cost("sendfile_tx", data_len)
                     )
                     self.datapath.transmit(packet)
-                self.frames_sent.increment()
+                self.frames_sent.value += 1
 
         def client():
             pending = {}

@@ -81,5 +81,5 @@ class ZmqNode:
         queue = self._dish_queues[group]
         while True:
             packet = yield Get(queue)
-            self.received.increment()
+            self.received.value += 1
             callback(group, packet)

@@ -59,7 +59,32 @@ EXPERIMENTS = {
     ),
     "validate": lambda args: run_validate(seed=args.seed, quick=args.quick),
     "breakdown": lambda args: run_breakdown_cmd(args),
+    "profile": lambda args: run_profile_cmd(args),
 }
+
+#: meta-tools excluded from ``insane-bench all`` (they measure the harness,
+#: not the paper)
+NOT_IN_ALL = ("profile",)
+
+
+def run_profile_cmd(args):
+    """cProfile one perf workload; see :mod:`repro.bench.profiling`."""
+    from repro.bench.perfbench import QUICK_MESSAGES, QUICK_ROUNDS
+    from repro.bench.profiling import PROFILE_WORKLOADS, run_profile
+
+    workload = args.workload or "fig8a_streaming"
+    if workload not in PROFILE_WORKLOADS:
+        raise SystemExit("profile: unknown workload %r (choose from %s)"
+                         % (workload, ", ".join(PROFILE_WORKLOADS)))
+    return run_profile(
+        workload,
+        engine=args.engine,
+        top=args.top,
+        rounds=args.rounds if args.rounds is not None else QUICK_ROUNDS,
+        messages=(args.messages if args.messages is not None
+                  else QUICK_MESSAGES),
+        seed=args.seed,
+    )
 
 
 def run_breakdown_cmd(args):
@@ -236,6 +261,16 @@ def main(argv=None):
                         help="breakdown --trace: write a Chrome-trace JSON here")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="append machine-readable results to a JSON file")
+    parser.add_argument("--workload", metavar="NAME", default=None,
+                        help="profile only: which perf workload to profile "
+                             "(a bench_wallclock suite name or "
+                             "'engine_churn'; default fig8a_streaming)")
+    parser.add_argument("--engine", choices=("fast", "legacy"),
+                        default="fast",
+                        help="profile only: which engine to profile")
+    parser.add_argument("--top", type=int, default=25, metavar="N",
+                        help="profile only: functions in the cumulative-"
+                             "time table")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="shard sweep cells across N worker processes "
                              "(fig5/fig7/fig8a/fig8b/faults; results are "
@@ -257,7 +292,10 @@ def main(argv=None):
     if args.messages is None:
         args.messages = 50000 if args.full else 10000
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names = [n for n in sorted(EXPERIMENTS) if n not in NOT_IN_ALL]
+    else:
+        names = [args.experiment]
     collected = {}
     for name in names:
         print()

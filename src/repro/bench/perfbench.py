@@ -43,7 +43,7 @@ import time
 from repro.bench.harness import InsaneBenchApp
 from repro.hw import Testbed
 from repro.hw.profiles import PROFILES
-from repro.simnet import Simulator
+from repro.simnet import ChargeChain, Simulator
 from repro.simnet.legacy import LegacySimulator
 
 #: workload name -> (kind, kwargs) — fig5 ping-pong latency, fig8a
@@ -74,8 +74,8 @@ SUITE_REPS = 3
 #: engine-churn microbenchmark: enough events to swamp setup noise, small
 #: enough for a CI smoke run.
 CHURN_EVENTS = 200_000
-CHURN_CHAINS = 64
-CHURN_ZERO_FRACTION = 0.75
+CHURN_DRIVERS = 16
+CHURN_BURST = 64
 CHURN_CANCEL_FRACTION = 0.25
 
 
@@ -138,18 +138,110 @@ def _noop():
     pass
 
 
+class _ChurnRecord:
+    """An inert slotted stand-in for a packet inside a churn chain."""
+
+    __slots__ = ("payload_len", "hits")
+
+    def __init__(self):
+        self.payload_len = 64
+        self.hits = 0
+
+
+class _ChurnHost:
+    """The minimal host shape a chain caches (stage costs)."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def stage_cost(key, size, burst=1, jitter=True):
+        return 0.0  # never reached: churn chains declare no stages
+
+
+class _ChurnDp:
+    """The minimal datapath shape :class:`ChargeChain` constructs from."""
+
+    __slots__ = ("sim", "host")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.host = _ChurnHost()
+
+
+class _ChurnChain(ChargeChain):
+    """A charge chain over inert records: pure per-step engine cost.
+
+    ``stages`` is empty (no rng draws, zero-cost steps), so every step
+    measures exactly the chain-execution machinery: the per-record action,
+    the inline-next proof, and the ``now``/``_executed`` bookkeeping.
+    """
+
+    __slots__ = ()
+
+    stages = ()
+
+    def _act(self, record):
+        record.hits += 1
+
+
+class _ChurnDriver:
+    """One self-rescheduling burst source.
+
+    Each tick draws from the shared rng, occasionally spawns an
+    immediately-cancelled decoy timer (the per-packet retransmission-timer
+    pattern that lazy compaction exists for), then runs one
+    :class:`_ChurnChain` over its record batch; the chain resumes the
+    driver, which schedules the next tick a short random delay out (so
+    chains from different drivers almost always run with an empty lane and
+    the inline path engages, as in a real poll loop).
+    """
+
+    __slots__ = ("sim", "dp", "batch", "budget", "_random", "_schedule",
+                 "_cancellable")
+
+    def __init__(self, sim, dp, budget):
+        self.sim = sim
+        self.dp = dp
+        self.batch = [_ChurnRecord() for _ in range(CHURN_BURST)]
+        self.budget = budget
+        self._random = sim.rng.random
+        self._schedule = sim.schedule
+        self._cancellable = sim.schedule_cancellable
+
+    def tick(self, _=None):
+        budget = self.budget
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        if self._random() < CHURN_CANCEL_FRACTION:
+            self._cancellable(1e6 + self._random(), _noop).cancel()
+        _ChurnChain(self.dp, self.batch).apply(self.sim, self)
+
+    def resume(self, value=None, exc=None):
+        """Chain completion callback (the driver plays the process role)."""
+        if exc is not None:
+            raise exc
+        self._schedule(1.0 + self._random() * 100.0, self.tick, None)
+
+
 def run_churn(engine="fast", events=CHURN_EVENTS, seed=0, reps=1):
     """Pure engine churn: the identical event stream on either engine.
 
-    :data:`CHURN_CHAINS` self-rescheduling callbacks generate a
-    deterministic mix of zero-delay events (the lane's territory), short
-    timers (heap churn), and immediately-cancelled decoy timers (the
-    per-packet retransmission-timer pattern that compaction exists for).
-    No processes, stores, or application code runs, so this isolates the
-    event-loop overhead that the fig8a speedup dilutes with stack callback
-    time — see the Amdahl decomposition in DESIGN.md.  Both engines execute
-    the same stream, so their event counts and final simulated time must
-    match exactly (asserted by ``run_suite`` as ``identical_stream``).
+    :data:`CHURN_DRIVERS` drivers each run :class:`_ChurnChain` bursts of
+    :data:`CHURN_BURST` zero-cost steps over slotted records, plus timed
+    rescheduling (heap churn) and immediately-cancelled decoy timers
+    (compaction coverage).  No processes, stores, or application code
+    runs, so this isolates the per-event cost of the batched hot path —
+    the machinery the fig8a speedup dilutes with stack callback time (see
+    the Amdahl decomposition in DESIGN.md).  Both engines execute the same
+    stream — on the legacy engine every chain step is a normally-scheduled
+    heap event, on the fast engine steps run inline when provably next —
+    so event counts and final simulated time must match exactly (asserted
+    by ``run_suite`` as ``identical_stream``).
+
+    ``events`` is a budget: each tick accounts CHURN_BURST + 1 executed
+    events (the tick plus its chain steps), and ticks stop once the budget
+    is spent.
     """
     best = None
     for _ in range(max(1, reps)):
@@ -161,26 +253,12 @@ def run_churn(engine="fast", events=CHURN_EVENTS, seed=0, reps=1):
 
 def _run_churn_once(engine, events, seed):
     sim = ENGINES[engine](seed=seed)
-    rng_random = sim.rng.random
-    schedule = sim.schedule
-    schedule_cancellable = sim.schedule_cancellable
-    budget = [events]
-
-    def tick(_=None):
-        remaining = budget[0]
-        if remaining <= 0:
-            return
-        budget[0] = remaining - 1
-        draw = rng_random()
-        if draw < CHURN_CANCEL_FRACTION:
-            schedule_cancellable(1e6 + rng_random(), _noop).cancel()
-        if draw < CHURN_ZERO_FRACTION:
-            schedule(0, tick, None)
-        else:
-            schedule(1.0 + rng_random() * 100.0, tick, None)
-
-    for _ in range(CHURN_CHAINS):
-        tick()
+    dp = _ChurnDp(sim)
+    ticks = max(events // (CHURN_BURST + 1), CHURN_DRIVERS)
+    budget = [ticks]
+    drivers = [_ChurnDriver(sim, dp, budget) for _ in range(CHURN_DRIVERS)]
+    for driver in drivers:
+        driver.tick()
     wall_start = time.perf_counter()
     sim.run()
     wall_s = time.perf_counter() - wall_start
@@ -195,7 +273,8 @@ def _run_churn_once(engine, events, seed):
         "events": executed,
         "events_per_sec": executed / wall_s if wall_s > 0 else 0.0,
         "sim_ns": sim.now,
-        "result": {"events_requested": events},
+        "result": {"events_requested": events, "ticks": ticks,
+                   "burst": CHURN_BURST, "drivers": CHURN_DRIVERS},
         "sim_stats": stats,
         "failures": len(sim.failures),
     }
@@ -364,6 +443,63 @@ def check_trajectory(path="BENCH_wallclock.json", workload="fig8a_streaming",
            current["wall_s"], baseline["wall_s"], ratio,
            "OK" if ok else "FAIL")
     )
+    return ok, lines
+
+
+#: the perf ratchet fails when a fast-engine churn run falls below this
+#: fraction of the newest committed events/sec — generous on purpose: CI
+#: runners are shared and slow relative to the machines that append
+#: BENCH_wallclock.json entries, so the ratchet catches "the batched hot
+#: path stopped engaging" (a many-x cliff), not percent-level drift.
+RATCHET_FLOOR_FRACTION = 0.25
+
+#: set (to anything non-empty) to skip the ratchet, e.g. on a machine
+#: known to be much slower than the committed baseline's host
+RATCHET_SKIP_ENV = "INSANE_PERF_RATCHET_SKIP"
+
+
+def check_ratchet(path="BENCH_wallclock.json",
+                  floor_fraction=RATCHET_FLOOR_FRACTION, reps=SUITE_REPS):
+    """The perf ratchet: fast-engine churn vs the committed trajectory.
+
+    Reruns the ``engine_churn`` microbenchmark on the fast engine and
+    fails when its events/sec lands below ``floor_fraction`` of the newest
+    committed record's.  Setting :data:`RATCHET_SKIP_ENV` in the
+    environment skips the check (returns ok with a note).
+
+    Returns ``(ok, lines)``.
+    """
+    if os.environ.get(RATCHET_SKIP_ENV):
+        return True, ["ratchet: skipped (%s is set)" % RATCHET_SKIP_ENV]
+    if not os.path.exists(path):
+        return False, ["ratchet: no committed report at %s" % path]
+    with open(path) as handle:
+        runs = json.load(handle)
+    if not isinstance(runs, list):
+        runs = [runs]
+    baseline_run = next(
+        (run for run in reversed(runs)
+         if "engine_churn" in run.get("suite", {})),
+        None,
+    )
+    if baseline_run is None:
+        return False, ["ratchet: no committed engine_churn record"]
+    committed = baseline_run["suite"]["engine_churn"]["fast"]["events_per_sec"]
+    floor = committed * floor_fraction
+    current = run_churn("fast", seed=baseline_run.get("seed", 0), reps=reps)
+    ok = current["events_per_sec"] >= floor
+    lines = [
+        "ratchet: engine_churn fast %.3f Mev/s vs committed %.3f Mev/s "
+        "(floor %.3f = %.0f%%) -> %s"
+        % (current["events_per_sec"] / 1e6, committed / 1e6, floor / 1e6,
+           floor_fraction * 100, "OK" if ok else "FAIL")
+    ]
+    if not ok:
+        lines.append(
+            "ratchet: the batched hot path is likely not engaging — "
+            "profile with 'insane-bench profile --workload engine_churn' "
+            "(or set %s on a known-slow machine)" % RATCHET_SKIP_ENV
+        )
     return ok, lines
 
 

@@ -6,7 +6,6 @@ application-chosen channel id within the same stream.  These are client-side
 handles; the runtime keeps its own registry of sink endpoints.
 """
 
-from dataclasses import dataclass, field
 from typing import NamedTuple
 
 from repro.core.qos import TimeSensitivity
@@ -124,17 +123,32 @@ class Source:
         return False
 
 
-@dataclass
 class Delivery:
-    """What a sink hands the application: a borrowed zero-copy buffer."""
+    """What a sink hands the application: a borrowed zero-copy buffer.
 
-    buffer: object
-    length: int
-    channel: int
-    stream: str
-    source_ip: str = None
-    recv_ns: float = 0.0
-    meta: dict = field(default_factory=dict)
+    One is built per consumed message, so this is a plain ``__slots__``
+    class rather than a dataclass.
+    """
+
+    __slots__ = (
+        "buffer", "length", "channel", "stream", "source_ip", "recv_ns",
+        "meta",
+    )
+
+    def __init__(self, buffer, length, channel, stream, source_ip=None,
+                 recv_ns=0.0, meta=None):
+        self.buffer = buffer
+        self.length = length
+        self.channel = channel
+        self.stream = stream
+        self.source_ip = source_ip
+        self.recv_ns = recv_ns
+        self.meta = {} if meta is None else meta
+
+    def __repr__(self):
+        return "Delivery(stream=%r, channel=%r, length=%r)" % (
+            self.stream, self.channel, self.length
+        )
 
     def payload(self):
         """Read-only view of the received bytes."""

@@ -80,9 +80,9 @@ class TokenRing:
     def try_enqueue(self, token):
         """Non-blocking enqueue; returns False when the ring is full."""
         if self.store.try_put(token):
-            self.enqueued.increment()
+            self.enqueued.value += 1
             return True
-        self.rejected.increment()
+        self.rejected.value += 1
         return False
 
     def enqueue_effect(self, token):
@@ -92,7 +92,7 @@ class TokenRing:
             # verbatim pre-overhaul path: per-call import + increment()
             from repro.simnet import Put as PutEffect
 
-            self.enqueued.increment()
+            self.enqueued.value += 1
             return PutEffect(self.store, token)
         self.enqueued.value += 1
         return Put(self.store, token)

@@ -114,10 +114,7 @@ class SlotPool:
                 "application level" % (size, self.slot_bytes)
             )
         if not self._free:
-            if self._legacy:
-                self.exhaustions.increment()
-            else:
-                self.exhaustions.value += 1
+            self.exhaustions.value += 1
             return None
         buffer = self._free.pop()
         if self._legacy:
@@ -127,7 +124,7 @@ class SlotPool:
             offset = slot_id * self.slot_bytes
             buffer = Buffer(self, slot_id, self._view[offset : offset + self.slot_bytes])
             self._live[slot_id] = buffer
-            self.allocations.increment()
+            self.allocations.value += 1
             return buffer
         buffer.length = 0
         buffer.refcount = 1
@@ -153,12 +150,14 @@ class SlotPool:
 
     def addref(self, buffer):
         """Take an extra reference for multi-sink delivery."""
-        self._check_live(buffer)
+        if buffer.pool is not self or self._live.get(buffer.slot_id) is not buffer:
+            self._check_live(buffer)  # raises with the precise diagnosis
         buffer.refcount += 1
 
     def release(self, buffer):
         """Drop one reference; recycle the slot when it hits zero."""
-        self._check_live(buffer)
+        if buffer.pool is not self or self._live.get(buffer.slot_id) is not buffer:
+            self._check_live(buffer)  # raises with the precise diagnosis
         buffer.refcount -= 1
         if buffer.refcount > 0:
             return
@@ -170,10 +169,7 @@ class SlotPool:
             callback = self._waiters.pop(0)
             buffer.refcount = 1
             self._live[buffer.slot_id] = buffer
-            if self._legacy:
-                self.allocations.increment()
-            else:
-                self.allocations.value += 1
+            self.allocations.value += 1
             self.sim.schedule(0, callback, buffer, None)
         else:
             self._free.append(buffer)

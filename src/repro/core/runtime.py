@@ -29,6 +29,7 @@ from repro.datapaths import (
 )
 from repro.datapaths.registry import available_datapaths
 from repro.netstack import FramePolicy, Packet
+from repro.netstack.packet import PACKET_POOL
 from repro.simnet import Counter, Timeout
 
 #: Well-known UDP port space used for runtime-to-runtime traffic,
@@ -242,8 +243,9 @@ class DatapathBinding:
                 if not batch:
                     break
                 for packet in batch:
-                    buffer = packet.meta.pop("tx_buffer", None)
+                    buffer = packet.tx_buffer
                     if buffer is not None:
+                        packet.tx_buffer = None
                         buffer.pool.release(buffer)
                     dropped += 1
         return dropped
@@ -437,9 +439,9 @@ class DatapathBinding:
         available = self.runtime.available_datapaths()
         for tech in TECH_PREFERENCE:
             if tech in dst_datapaths and tech in available:
-                self.cross_tech_routes.increment()
+                self.cross_tech_routes.value += 1
                 return self.runtime.ensure_binding(tech)
-        self.cross_tech_routes.increment()
+        self.cross_tech_routes.value += 1
         return self.runtime.ensure_binding("udp")
 
     def _build_packet(self, token, buffer, dst_ip):
@@ -459,7 +461,9 @@ class DatapathBinding:
             trace = {"emit_ns": meta["emit_ns"]}
         else:
             trace = None
-        packet = Packet(
+        # pooled slotted record: hot metadata lands in attributes, and the
+        # record itself is recycled at the receiver's dispatch
+        packet = PACKET_POOL.acquire(
             self.host.ip,
             dst_ip,
             self.port,
@@ -470,11 +474,11 @@ class DatapathBinding:
         )
         if trace is not None:
             trace["runtime_tx"] = self.sim.now
-        pmeta = packet.meta
-        pmeta["insane"] = (token.stream, token.channel, token.length)
-        pmeta["tx_buffer"] = buffer
-        if "app" in meta:
-            pmeta["flow"] = meta["app"]
+        packet.insane = (token.stream, token.channel, token.length)
+        packet.tx_buffer = buffer
+        app = meta.get("app")
+        if app is not None:
+            packet.flow = app
         return packet
 
     def _push_scheduler(self, packet, traffic_class):
@@ -484,7 +488,9 @@ class DatapathBinding:
                 self.tsn = TsnScheduler(self.runtime.config.gate_control_list)
             self.tsn.push(packet, traffic_class, now=now)
         else:
-            flow = packet.meta.get("flow", "default")
+            flow = packet.flow
+            if flow is None:
+                flow = "default"
             self.fifo.push(packet, traffic_class, now=now, flow=flow)
 
     def _pop_ready(self, now, max_items):
@@ -549,7 +555,7 @@ class DatapathBinding:
                     cache.clear()
                 pkt_cost = cache[key] = self._rx_pkt_cost(packet, burst)
             cost += pkt_cost
-            meta = packet.meta.get("insane")
+            meta = packet.insane
             sinks = None
             if meta is not None:
                 sinks = sinks_get((meta[0], meta[1]))
@@ -591,10 +597,11 @@ class DatapathBinding:
         trace = packet.trace
         if trace is not None:
             trace["runtime_rx"] = now
-        meta = packet.meta.get("insane")
+        meta = packet.insane
         if meta is None:
             self.unknown_drops.value += 1
             _trace_drop(trace, now, "unknown stream header")
+            PACKET_POOL.release(packet)
             return
         stream, channel, length = meta
         if sinks is None:
@@ -602,6 +609,7 @@ class DatapathBinding:
         if not sinks:
             self.no_sink_drops.value += 1
             _trace_drop(trace, now, "no local sink")
+            PACKET_POOL.release(packet)
             return
         runtime = self.runtime
         memory = runtime.memory
@@ -609,6 +617,7 @@ class DatapathBinding:
         if buffer is None:
             self.pool_drops.value += 1
             _trace_drop(trace, now, "rx pool exhausted")
+            PACKET_POOL.release(packet)
             return
         payload = packet.payload
         if payload is not None:
@@ -632,10 +641,13 @@ class DatapathBinding:
                             None, src_ip, buffer, tmeta)
             memory.lend_to(endpoint.app_id, buffer)
             if not endpoint.ring.try_put(delivery):
-                endpoint.dropped.increment()
+                endpoint.dropped.value += 1
                 memory.release_for(endpoint.app_id, buffer)
                 _trace_annotate(trace, now, "drop",
                                 "sink ring full: %s" % endpoint.app_id)
+        # the packet record's last consumer is done: recycle it (the trace
+        # dict and payload live on through the delivery tokens)
+        PACKET_POOL.release(packet)
 
     def _dispatch_legacy(self, packet):
         packet.stamp("runtime_rx", self.sim.now)
@@ -837,7 +849,7 @@ class InsaneRuntime:
                 for sink in stream.sinks:
                     self.remap_sink(sink.endpoint, decision.datapath)
                 stream._rebind(decision, new_binding)
-                self.failovers.increment()
+                self.failovers.value += 1
                 remapped.append(
                     (session.app_id, stream.name, binding.name, decision.datapath)
                 )
@@ -967,7 +979,7 @@ class InsaneRuntime:
         )
         self.memory.lend_to(endpoint.app_id, buffer)
         if not endpoint.ring.try_put(delivery):
-            endpoint.dropped.increment()
+            endpoint.dropped.value += 1
             self.memory.release_for(endpoint.app_id, buffer)
 
     # -- emit outcome bookkeeping ------------------------------------------------

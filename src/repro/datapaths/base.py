@@ -123,8 +123,9 @@ class Datapath:
         if packet.trace is not None:
             packet.trace["nic_handoff"] = sim.now
         departure = self.nic.transmit(packet)
-        buffer = packet.meta.pop("tx_buffer", None)
+        buffer = packet.tx_buffer
         if buffer is not None:
+            packet.tx_buffer = None
             sim.schedule(departure - sim.now, buffer.pool.release, buffer)
         self.tx_packets.value += 1
         return departure

@@ -14,6 +14,7 @@ fast under load.
 
 from repro.datapaths.base import Datapath, DatapathInfo
 from repro.simnet import Counter, Get, Timeout
+from repro.simnet.burst import DpdkRxChain, TxChain
 
 #: pseudo-port carrying ARP exchanges on the simulated wire (the frame
 #: model is UDP-shaped; the ARP payload bytes themselves are the real
@@ -74,19 +75,17 @@ class DpdkDatapath(Datapath):
 
     def send_many(self, packets):
         """Transmit a burst through the PMD (rte_eth_tx_burst)."""
-        burst = len(packets)
+        if not packets:
+            return
         if self._legacy:
+            burst = len(packets)
             for packet in packets:
                 yield self.charge("ustack_tx", packet.payload_len, burst=burst)
                 yield self.charge("dpdk_tx", packet.payload_len, burst=burst)
                 packet.stamp("dpdk_tx_done", self.sim.now)
                 self.transmit(packet)
             return
-        for packet in packets:
-            yield self.charge_many(("ustack_tx", "dpdk_tx"), packet.payload_len, burst=burst)
-            if packet.trace is not None:
-                packet.trace["dpdk_tx_done"] = self.sim.now
-            self.transmit(packet)
+        yield TxChain(self, packets, ("ustack_tx", "dpdk_tx"), "dpdk_tx_done")
 
     # -- receive ------------------------------------------------------------------
 
@@ -101,13 +100,13 @@ class DpdkDatapath(Datapath):
         first = yield Get(queue)
         yield Timeout(self.host.jitter(self.detect_ns))
         batch = self.drain_queue(queue, first, max_burst)
+        if not self._legacy:
+            delivered = yield DpdkRxChain(self, batch)
+            return delivered
         delivered = []
         for packet in batch:
-            if self._legacy:
-                yield self.charge("dpdk_rx", packet.payload_len, burst=len(batch))
-                yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
-            else:
-                yield self.charge_many(("dpdk_rx", "ustack_rx"), packet.payload_len, burst=len(batch))
+            yield self.charge("dpdk_rx", packet.payload_len, burst=len(batch))
+            yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
             if not self._stage_into_mempool(packet):
                 continue
             packet.stamp("dpdk_rx_done", self.sim.now)
@@ -119,21 +118,22 @@ class DpdkDatapath(Datapath):
         """Move the payload into an mbuf; drop the packet when out of mbufs."""
         buffer = self.mempool.try_alloc()
         if buffer is None:
-            self.mempool_drops.increment()
+            self.mempool_drops.value += 1
             return False
         if packet.payload is not None:
             buffer.write(packet.payload)
             packet.payload = buffer.payload()
         else:
             buffer.length = min(packet.payload_len, buffer.capacity)
-        packet.meta["rx_buffer"] = buffer
+        packet.rx_buffer = buffer
         return True
 
     @staticmethod
     def release_rx(packet):
         """Return a received packet's mbuf to the mempool."""
-        buffer = packet.meta.pop("rx_buffer", None)
+        buffer = packet.rx_buffer
         if buffer is not None:
+            packet.rx_buffer = None
             buffer.pool.release(buffer)
 
     # -- ARP control path ----------------------------------------------------

@@ -10,6 +10,7 @@ busy-polling detection delay (non-blocking sockets) or a scheduler wake-up
 
 from repro.datapaths.base import Datapath, DatapathInfo
 from repro.simnet import Counter, Get, Store, Timeout
+from repro.simnet.burst import KernelRxChain, TxChain
 
 
 class KernelUdpDatapath(Datapath):
@@ -61,22 +62,30 @@ class KernelUdpDatapath(Datapath):
         """IRQ + softirq processing: NIC default ring -> socket buffers.
 
         Batches mimic NAPI: when a backlog exists, per-packet cost
-        amortizes its fixed component.
+        amortizes its fixed component.  Each drained batch executes as one
+        :class:`KernelRxChain` — identical per-packet charges and rng
+        order, one trampoline activation per batch.
         """
         ring = self.nic.rx_ring
+        if self._legacy:
+            # pre-overhaul: one generator resume per charged packet
+            while True:
+                first = yield Get(ring)
+                batch = self.drain_queue(ring, first, self.rx_burst)
+                for packet in batch:
+                    yield self.charge("udp_rx", packet.payload_len, burst=len(batch))
+                    packet.stamp("kernel_rx_done", self.sim.now)
+                    socket = self._sockets.get(packet.dst_port)
+                    if socket is None:
+                        self.no_socket_drops.increment()
+                    elif socket.buffer.try_put(packet):
+                        self.rx_packets.increment()
+                    else:
+                        self.socket_overflow_drops.increment()
         while True:
             first = yield Get(ring)
             batch = self.drain_queue(ring, first, self.rx_burst)
-            for packet in batch:
-                yield self.charge("udp_rx", packet.payload_len, burst=len(batch))
-                packet.stamp("kernel_rx_done", self.sim.now)
-                socket = self._sockets.get(packet.dst_port)
-                if socket is None:
-                    self.no_socket_drops.increment()
-                elif socket.buffer.try_put(packet):
-                    self.rx_packets.increment()
-                else:
-                    self.socket_overflow_drops.increment()
+            yield KernelRxChain(self, batch)
 
 
 class UdpSocket:
@@ -107,11 +116,17 @@ class UdpSocket:
     def send_many(self, packets):
         """Send a batch in one activation (models sendmmsg amortization)."""
         self._check_open()
-        burst = len(packets)
-        for packet in packets:
-            yield self.datapath.charge("udp_tx", packet.payload_len, burst=burst)
-            packet.stamp("udp_tx_done", self.datapath.sim.now)
-            self.datapath.transmit(packet)
+        if not packets:
+            return
+        datapath = self.datapath
+        if datapath._legacy:
+            burst = len(packets)
+            for packet in packets:
+                yield datapath.charge("udp_tx", packet.payload_len, burst=burst)
+                packet.stamp("udp_tx_done", datapath.sim.now)
+                datapath.transmit(packet)
+            return
+        yield TxChain(datapath, packets, ("udp_tx",), "udp_tx_done")
 
     # -- receive ---------------------------------------------------------------
 

@@ -10,6 +10,7 @@ but resource consumption matters (paper §5.2).
 
 from repro.datapaths.base import Datapath, DatapathInfo
 from repro.simnet import Get, Timeout
+from repro.simnet.burst import TxChain, XdpRxChain
 
 
 class XdpDatapath(Datapath):
@@ -55,19 +56,17 @@ class XdpDatapath(Datapath):
         The sendto() kick is the fixed component; it amortizes across the
         batch like a real AF_XDP submission.
         """
-        burst = len(packets)
+        if not packets:
+            return
         if self._legacy:
+            burst = len(packets)
             for packet in packets:
                 yield self.charge("ustack_tx", packet.payload_len, burst=burst)
                 yield self.charge("xdp_tx", packet.payload_len, burst=burst)
                 packet.stamp("xdp_tx_done", self.sim.now)
                 self.transmit(packet)
             return
-        for packet in packets:
-            yield self.charge_many(("ustack_tx", "xdp_tx"), packet.payload_len, burst=burst)
-            if packet.trace is not None:
-                packet.trace["xdp_tx_done"] = self.sim.now
-            self.transmit(packet)
+        yield TxChain(self, packets, ("ustack_tx", "xdp_tx"), "xdp_tx_done")
 
     def recv_burst(self, queue, max_burst=None):
         """Wait for redirected frames and process them through the
@@ -76,12 +75,12 @@ class XdpDatapath(Datapath):
         first = yield Get(queue)
         yield Timeout(self.host.jitter(self.detect_ns))
         batch = self.drain_queue(queue, first, max_burst)
+        if not self._legacy:
+            yield XdpRxChain(self, batch)
+            return batch
         for packet in batch:
-            if self._legacy:
-                yield self.charge("xdp_rx", packet.payload_len, burst=len(batch))
-                yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
-            else:
-                yield self.charge_many(("xdp_rx", "ustack_rx"), packet.payload_len, burst=len(batch))
+            yield self.charge("xdp_rx", packet.payload_len, burst=len(batch))
+            yield self.charge("ustack_rx", packet.payload_len, burst=len(batch))
             if isinstance(packet.payload, memoryview):
                 packet.payload = bytes(packet.payload)
             packet.stamp("xdp_rx_done", self.sim.now)

@@ -27,6 +27,15 @@ class Link:
         self.taps = []
         end_a.egress = self
         end_b.egress = self
+        # Fast-engine hop fusion (DESIGN.md §11): propagation and the
+        # receiving NIC's rx-DMA hop execute as one scheduled event with
+        # counter parity — the ring mutation lands on the bit-identical
+        # instant via schedule_abs.  The legacy stack keeps the verbatim
+        # two-event wire path.
+        self._fuse = (
+            getattr(sim, "_lane", None) is not None
+            and not getattr(sim, "legacy_stack", False)
+        )
 
     def carry(self, frame, sender):
         """Propagate ``frame`` from ``sender`` to the opposite end."""
@@ -55,9 +64,18 @@ class Link:
                 if mark is not None:
                     mark(self.sim.now, "link down" if not self.up else "link loss")
         if dropped:
-            self.lost_frames.increment()
+            self.lost_frames.value += 1
             return
-        self.sim.schedule(self.propagation_ns, receiver.receive, frame)
+        sim = self.sim
+        if self._fuse and sim.observer is None:
+            rx_dma = getattr(receiver, "_rx_dma_ns", None)
+            if rx_dma is not None:
+                # exact two-step instant: fl(fl(now + prop) + dma)
+                arrival = sim.now + self.propagation_ns
+                sim.schedule_abs(arrival + rx_dma, receiver._place_in_ring, frame)
+                sim._executed += 1  # parity with the elided receive hop
+                return
+        sim.schedule(self.propagation_ns, receiver.receive, frame)
 
     # -- fault injection ---------------------------------------------------
 

@@ -30,7 +30,7 @@ class SwitchPort:
         queued = departure - sim.now - frame.wire_size * 8.0 / self.switch.bandwidth_gbps
         trace = getattr(getattr(frame, "packet", frame), "trace", None)
         if queued > self.switch.max_port_queue_ns:
-            self.switch.dropped.increment()
+            self.switch.dropped.value += 1
             if trace is not None:
                 mark = getattr(trace, "mark_dropped", None)
                 if mark is not None:
@@ -71,13 +71,13 @@ class Switch:
         port = self.table.get(frame.dst_ip)
         trace = getattr(getattr(frame, "packet", frame), "trace", None)
         if port is None or port is in_port:
-            self.dropped.increment()
+            self.dropped.value += 1
             if trace is not None:
                 mark = getattr(trace, "mark_dropped", None)
                 if mark is not None:
                     mark(self.sim.now, "switch: no route to %s" % frame.dst_ip)
             return
-        self.forwarded.increment()
+        self.forwarded.value += 1
         if trace is not None:
             trace["switch_in"] = self.sim.now
         self.sim.schedule(self.forward_ns, port.emit, frame)

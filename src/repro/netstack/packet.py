@@ -5,6 +5,21 @@ semantics observable, ``payload`` may be a :class:`memoryview` into a
 memory-pool slot; ``payload_len`` is authoritative for all cost and wire
 computations so throughput runs may carry size-only packets.
 
+Packets are *slotted records*: the metadata keys the per-packet hot path
+reads and writes — the INSANE stream header (``insane``), the scheduler
+flow label (``flow``), and the TX/RX pool buffers — are ``__slots__``
+attributes, so lookups are attribute loads instead of dict operations and
+no per-packet ``meta`` dict is allocated.  Cold paths (baselines, ARP,
+obs/validate tooling) keep dict-style access through the :class:`PacketMeta`
+shim returned by the ``meta`` property, which maps the hot keys onto the
+slots and spills anything else into a lazily-created ``_extra`` dict.
+
+A process-global :class:`PacketPool` free-list recycles records on the
+runtime delivery path: ``acquire`` resets every field (including a fresh
+global ``seq``, so pooled and freshly-allocated packets are byte-identical
+in behaviour) and falls back to plain allocation when the pool is empty —
+it never blocks.
+
 ``wire_bytes`` produces the real on-the-wire byte string (Ethernet + IPv4 +
 UDP + payload) using the codecs in this package; it is exercised by tests
 and by datapaths running with ``deep_processing`` enabled, while the default
@@ -29,15 +44,23 @@ _packet_counter = [0]
 
 
 def reset_packet_counter():
-    """Reset the global packet sequence counter to zero.
+    """Reset the global packet sequence counter (and drain the free-list).
 
     Packet ``seq`` numbers are process-global, so two experiment cells run
     back-to-back in one process would otherwise see different absolute
     sequence numbers than the same cells run in fresh worker processes.
     :func:`repro.simnet.cell.run_cell` calls this before every cell so a
-    cell's observable behaviour is identical wherever it executes.
+    cell's observable behaviour is identical wherever it executes.  The
+    packet pool is re-blanked for the same reason: a cell starts from
+    factory-fresh records whether or not another cell ran first.
     """
     _packet_counter[0] = 0
+    PACKET_POOL.reset()
+
+
+#: metadata keys promoted to slots — everything the per-packet hot path
+#: touches; anything else goes through the ``_extra`` spill dict
+_HOT_KEYS = frozenset(("insane", "flow", "tx_buffer", "rx_buffer"))
 
 
 class Packet:
@@ -52,7 +75,12 @@ class Packet:
         "payload_len",
         "seq",
         "trace",
-        "meta",
+        # -- hot metadata, promoted from the former meta dict ------------
+        "insane",      # (stream, channel, length) INSANE header tuple
+        "flow",        # scheduler flow label
+        "tx_buffer",   # TX pool slot, released when the frame departs
+        "rx_buffer",   # RX mbuf (DPDK mempool staging)
+        "_extra",      # lazy spill dict for cold keys (arp, dds_topic, ...)
     )
 
     def __init__(self, src_ip, dst_ip, src_port, dst_port, payload=None, payload_len=None, trace=None):
@@ -69,7 +97,16 @@ class Packet:
         _packet_counter[0] += 1
         self.seq = _packet_counter[0]
         self.trace = trace
-        self.meta = {}
+        self.insane = None
+        self.flow = None
+        self.tx_buffer = None
+        self.rx_buffer = None
+        self._extra = None
+
+    @property
+    def meta(self):
+        """Dict-compatible view over the slotted metadata (cold paths)."""
+        return PacketMeta(self)
 
     @property
     def wire_size(self):
@@ -96,6 +133,184 @@ class Packet:
             self.dst_port,
             self.payload_len,
         )
+
+
+class PacketMeta:
+    """A dict-compatible shim over a packet's slotted metadata.
+
+    Hot keys (``insane``, ``flow``, ``tx_buffer``, ``rx_buffer``) read and
+    write the packet's slots; other keys spill into the lazily-created
+    ``_extra`` dict.  ``None`` marks an absent hot key — no caller stores a
+    literal ``None`` value.  Only cold paths (baselines, ARP, obs/validate
+    tooling, legacy-stack code) go through this shim; hot paths use the
+    attributes directly.
+    """
+
+    __slots__ = ("_packet",)
+
+    def __init__(self, packet):
+        self._packet = packet
+
+    def get(self, key, default=None):
+        if key in _HOT_KEYS:
+            value = getattr(self._packet, key)
+            return default if value is None else value
+        extra = self._packet._extra
+        if extra is None:
+            return default
+        return extra.get(key, default)
+
+    def pop(self, key, default=None):
+        if key in _HOT_KEYS:
+            value = getattr(self._packet, key)
+            if value is None:
+                return default
+            setattr(self._packet, key, None)
+            return value
+        extra = self._packet._extra
+        if extra is None:
+            return default
+        return extra.pop(key, default)
+
+    def __getitem__(self, key):
+        if key in _HOT_KEYS:
+            value = getattr(self._packet, key)
+            if value is None:
+                raise KeyError(key)
+            return value
+        extra = self._packet._extra
+        if extra is None:
+            raise KeyError(key)
+        return extra[key]
+
+    def __setitem__(self, key, value):
+        if key in _HOT_KEYS:
+            setattr(self._packet, key, value)
+            return
+        extra = self._packet._extra
+        if extra is None:
+            extra = self._packet._extra = {}
+        extra[key] = value
+
+    def __delitem__(self, key):
+        if key in _HOT_KEYS:
+            if getattr(self._packet, key) is None:
+                raise KeyError(key)
+            setattr(self._packet, key, None)
+            return
+        extra = self._packet._extra
+        if extra is None:
+            raise KeyError(key)
+        del extra[key]
+
+    def __contains__(self, key):
+        if key in _HOT_KEYS:
+            return getattr(self._packet, key) is not None
+        extra = self._packet._extra
+        return extra is not None and key in extra
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return self[key]
+        self[key] = default
+        return default
+
+    def keys(self):
+        packet = self._packet
+        out = [key for key in _HOT_KEYS if getattr(packet, key) is not None]
+        if packet._extra is not None:
+            out.extend(packet._extra.keys())
+        return out
+
+    def items(self):
+        return [(key, self[key]) for key in self.keys()]
+
+    def values(self):
+        return [self[key] for key in self.keys()]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self):
+        return len(self.keys())
+
+    def __bool__(self):
+        return len(self.keys()) > 0
+
+    def __repr__(self):
+        return "PacketMeta(%r)" % (dict(self.items()),)
+
+
+class PacketPool:
+    """A preallocated free-list of :class:`Packet` records.
+
+    ``acquire`` mirrors ``Packet.__init__`` exactly — including the global
+    sequence-counter bump and the ``payload_len`` validation — so a pooled
+    record is observationally identical to a fresh one.  Exhaustion falls
+    back to plain allocation (never blocks, never fails); ``release``
+    clears every reference-holding field before parking the record so no
+    buffer, trace, or payload outlives its packet.
+    """
+
+    __slots__ = ("capacity", "preallocate", "_free")
+
+    def __init__(self, capacity=1024, preallocate=256):
+        self.capacity = capacity
+        self.preallocate = preallocate
+        self._free = []
+        self.reset()
+
+    def reset(self):
+        """Drop all parked records and re-preallocate blanks."""
+        new = Packet.__new__
+        self._free[:] = [new(Packet) for _ in range(self.preallocate)]
+
+    def acquire(self, src_ip, dst_ip, src_port, dst_port, payload=None,
+                payload_len=None, trace=None):
+        """A fully-reset packet record, pooled when possible."""
+        free = self._free
+        packet = free.pop() if free else Packet.__new__(Packet)
+        packet.src_ip = src_ip
+        packet.dst_ip = dst_ip
+        packet.src_port = src_port
+        packet.dst_port = dst_port
+        packet.payload = payload
+        if payload_len is None:
+            if payload is None:
+                raise ValueError("either payload or payload_len is required")
+            payload_len = len(payload)
+        packet.payload_len = payload_len
+        _packet_counter[0] += 1
+        packet.seq = _packet_counter[0]
+        packet.trace = trace
+        packet.insane = None
+        packet.flow = None
+        packet.tx_buffer = None
+        packet.rx_buffer = None
+        packet._extra = None
+        return packet
+
+    def release(self, packet):
+        """Park ``packet`` for reuse (dropped when the pool is full).
+
+        Only call this at a provably-bounded lifetime point — after the
+        packet's last consumer is done with it (the runtime's dispatch
+        path); protocols that retain packets (retransmit queues) must not
+        release.
+        """
+        if len(self._free) < self.capacity:
+            packet.payload = None
+            packet.trace = None
+            packet.insane = None
+            packet.flow = None
+            packet.tx_buffer = None
+            packet.rx_buffer = None
+            packet._extra = None
+            self._free.append(packet)
+
+
+#: the process-global free-list used by the runtime delivery path
+PACKET_POOL = PacketPool()
 
 
 def wire_bytes(packet, src_mac=None, dst_mac=None):

@@ -165,7 +165,7 @@ class UtcpStack:
 
         packet = Packet(self.host.ip, peer_ip, self.port, self.port,
                         payload=segment.to_bytes())
-        self.segments_sent.increment()
+        self.segments_sent.value += 1
 
         def op():
             yield from self.datapath.send(packet)
@@ -344,19 +344,19 @@ class UtcpConnection:
                 if not self._connected.fired:
                     self._connected.succeed(False)
                 return
-            self.stack.retransmits.increment()
+            self.stack.retransmits.value += 1
             self._send_control(FLAG_SYN, seq=self.snd_una)
             self.snd_nxt = self.snd_una + 1
         elif self._unacked:
             # go-back-N: retransmit everything outstanding
             for seq, payload in self._unacked:
-                self.stack.retransmits.increment()
+                self.stack.retransmits.value += 1
                 self.stack._transmit(
                     self.peer_ip,
                     Segment(seq, self.rcv_nxt, self._advertised_window(), FLAG_ACK, payload),
                 )
         elif self._unacked_fin():
-            self.stack.retransmits.increment()
+            self.stack.retransmits.value += 1
             self._send_control(FLAG_FIN, seq=self.snd_nxt - 1)
         else:
             return

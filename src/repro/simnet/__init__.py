@@ -17,12 +17,16 @@ from repro.simnet.errors import (
 )
 from repro.simnet.events import Signal
 from repro.simnet.engine import Simulator
-from repro.simnet.process import AnyOf, Get, Join, Process, Put, Timeout, Wait
+from repro.simnet.process import (
+    AnyOf, Get, Join, Process, Put, Timeout, TimeoutAt, Wait,
+)
 from repro.simnet.resources import Resource, Store
 from repro.simnet.monitor import Counter, RateMeter, Tally
+from repro.simnet.burst import ChargeChain
 
 __all__ = [
     "AnyOf",
+    "ChargeChain",
     "Counter",
     "DegenerateWindowError",
     "Get",
@@ -38,5 +42,6 @@ __all__ = [
     "StoreFullError",
     "Tally",
     "Timeout",
+    "TimeoutAt",
     "Wait",
 ]

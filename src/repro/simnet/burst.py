@@ -1,0 +1,319 @@
+"""Burst chains: batched execution of per-packet charge pipelines.
+
+A datapath poll loop used to cost one full scheduler round-trip per packet:
+
+    for packet in batch:
+        yield charge(stage, packet.payload_len, burst)   # Timeout -> timer
+        ...per-packet action...                          # at the resume
+
+Every iteration paid a ``Timeout`` allocation, a generator ``send``, the
+trampoline dispatch, and a heap/lane round-trip.  A :class:`ChargeChain`
+replaces the whole loop with ONE yielded effect per drained batch: the
+per-packet charge steps become plain slotted callbacks that the chain
+threads through the engine itself, and the generator is resumed once, at
+the end of the batch.
+
+Bit-identity contract (golden traces, differential oracle):
+
+* jitter is still drawn per stage, per packet, in exactly the order the
+  per-packet loop drew it — packet *k+1*'s cost is drawn at packet *k*'s
+  completion event, and packet 1's cost at the event that yielded the
+  chain;
+* every step is a real engine event: scheduled steps carry normal sequence
+  numbers through the same lane/heap split as ``Simulator.schedule``, and
+  *inline* steps bump ``now``/``_executed`` exactly as the run loop would
+  have, so executed-event counts and timestamps are unchanged;
+* the final step resumes the generator synchronously within the same
+  event, matching the old loop falling through to its next ``yield``.
+
+Inline execution — the actual batching win — fires only when a step is
+*provably* the next event in the whole simulation: the zero-delay lane is
+empty, every heap entry is strictly later than the step's completion time,
+the step lands inside any active ``run(until=)`` deadline, and no engine
+observer is installed.  In that situation the engine loop would pop
+exactly this step next; executing it in place skips the push, the heap
+sift, the pop, and the dispatch — one scheduler round-trip for the whole
+batch in the common poll-loop case.  Whenever the condition fails (a
+consumer was woken onto the lane, a timer is due first) the chain falls
+back to a normally-scheduled step, so interleaving with the rest of the
+simulation is preserved by construction.
+
+When true cross-packet coalescing (a single timeout covering the whole
+batch) is and is not legal is discussed in DESIGN.md §11 — the short
+version: it is illegal whenever a consumer can observe (or draw rng at) a
+per-packet completion time, which is why chains keep per-packet steps.
+"""
+
+from heapq import heappush
+
+
+class ChargeChain:
+    """One drained batch executed as a chain of per-packet charge steps.
+
+    Subclasses define ``stages`` (tuple of stage-cost keys charged per
+    packet, in order), ``_act(packet)`` (the per-packet action performed at
+    the packet's charge-completion event) and optionally ``_result()`` (the
+    value the generator is resumed with; defaults to None).
+
+    A chain is yielded from a process body like any other effect; the
+    trampoline dispatches it through :meth:`apply` (tag 0).
+    """
+
+    __slots__ = ("sim", "process", "batch", "index", "burst",
+                 "_stage_cost", "_lane")
+    _tag = 0
+
+    #: stage-cost keys charged per packet, in order (subclass constant or
+    #: instance attribute added to the subclass __slots__)
+    stages = ()
+
+    def __init__(self, dp, batch):
+        self.batch = batch
+        self.burst = len(batch)
+        self.sim = sim = dp.sim
+        self._stage_cost = dp.host.stage_cost
+        self._lane = getattr(sim, "_lane", None)
+
+    def apply(self, sim, process):
+        """Start the chain: draw packet 1's cost at the yielding event —
+        the same rng position the per-packet loop drew it — and schedule
+        the first step."""
+        self.process = process
+        try:
+            packet = self.batch[0]
+            cost = 0.0
+            size = packet.payload_len
+            burst = self.burst
+            stage_cost = self._stage_cost
+            for key in self.stages:
+                cost += stage_cost(key, size, burst=burst)
+            self.index = 0
+            self._push(cost)
+        except Exception as exc:
+            # the draw used to happen inside the generator frame; deliver
+            # the failure there so it lands in sim.failures as before
+            process.resume(None, exc)
+
+    def _push(self, cost):
+        """Schedule the next step — the same seq accounting and lane/heap
+        split as ``Simulator.schedule(cost, self._step)``, minus the call
+        (falls back to the real call on the legacy engine)."""
+        lane = self._lane
+        if lane is None:
+            self.sim.schedule(cost, self._step)
+            return
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        if cost <= 0:
+            lane.append((seq, self._step, ()))
+        else:
+            heap = sim._heap
+            heappush(heap, (sim.now + cost, seq, self._step, ()))
+            if len(heap) > sim._peak_heap:
+                sim._peak_heap = len(heap)
+
+    def _step(self):
+        """Run one charge-completion event, then as many subsequent steps
+        as can be proven safe to execute inline."""
+        sim = self.sim
+        batch = self.batch
+        i = self.index
+        n = self.burst
+        stages = self.stages
+        stage_cost = self._stage_cost
+        act = self._act
+        lane = self._lane
+        inline_ok = lane is not None and sim.observer is None
+        heap = sim._heap if inline_ok else None
+        until = sim._until if inline_ok else None
+        # inline steps are counted in a local and flushed to _executed in
+        # one store; the flush happens before anything outside this frame
+        # (the resumed generator, a failure path) can observe sim.stats()
+        stepped = 0
+        try:
+            while True:
+                act(batch[i])
+                i += 1
+                if i == n:
+                    # resume synchronously within this event: the old loop
+                    # fell through to its next yield at the same instant
+                    if stepped:
+                        sim._executed += stepped
+                        stepped = 0
+                    self.process.resume(self._result())
+                    return
+                if stages:
+                    size = batch[i].payload_len
+                    cost = 0.0
+                    for key in stages:
+                        cost += stage_cost(key, size, burst=n)
+                else:
+                    cost = 0.0
+                if inline_ok and not lane:
+                    t_next = sim.now + cost
+                    if (not heap or heap[0][0] > t_next) and (
+                        until is None or t_next <= until
+                    ):
+                        # Provably the next event: the engine loop would
+                        # pop exactly this step, set now, and call it —
+                        # do that here, skipping push/sift/pop/dispatch.
+                        sim.now = t_next
+                        stepped += 1
+                        continue
+                self.index = i
+                self._push(cost)
+                return
+        except Exception as exc:
+            # per-packet actions ran inside the generator frame before the
+            # overhaul; route failures through the process so they surface
+            # in sim.failures exactly as they used to
+            if stepped:
+                sim._executed += stepped
+                stepped = 0
+            self.process.resume(None, exc)
+        finally:
+            if stepped:
+                sim._executed += stepped
+
+    def _result(self):
+        return None
+
+
+class TxChain(ChargeChain):
+    """Generic transmit burst: charge ``stages``, stamp ``done_key``, hand
+    the packet to the datapath's NIC."""
+
+    __slots__ = ("dp", "done_key", "stages")
+
+    def __init__(self, dp, batch, stages, done_key):
+        ChargeChain.__init__(self, dp, batch)
+        self.dp = dp
+        self.stages = stages
+        self.done_key = done_key
+
+    def _act(self, packet):
+        trace = packet.trace
+        if trace is not None:
+            trace[self.done_key] = self.sim.now
+        self.dp.transmit(packet)
+
+
+class RdmaTxChain(TxChain):
+    """RDMA SEND posting: a TxChain that also counts posted work requests."""
+
+    __slots__ = ("posted_sends",)
+
+    def __init__(self, dp, batch, posted_sends):
+        TxChain.__init__(self, dp, batch, ("rdma_post",), "rdma_post_done")
+        self.posted_sends = posted_sends
+
+    def _act(self, packet):
+        TxChain._act(self, packet)
+        self.posted_sends.value += 1
+
+
+class KernelRxChain(ChargeChain):
+    """Kernel softirq processing: NIC default ring -> per-socket buffers."""
+
+    __slots__ = ("dp", "sockets")
+
+    stages = ("udp_rx",)
+
+    def __init__(self, dp, batch):
+        ChargeChain.__init__(self, dp, batch)
+        self.dp = dp
+        self.sockets = dp._sockets
+
+    def _act(self, packet):
+        trace = packet.trace
+        if trace is not None:
+            trace["kernel_rx_done"] = self.sim.now
+        dp = self.dp
+        socket = self.sockets.get(packet.dst_port)
+        if socket is None:
+            dp.no_socket_drops.value += 1
+        elif socket.buffer.try_put(packet):
+            dp.rx_packets.value += 1
+        else:
+            dp.socket_overflow_drops.value += 1
+
+
+class DpdkRxChain(ChargeChain):
+    """DPDK PMD receive: mempool staging plus userspace stack processing.
+
+    Resumes the generator with the list of packets that obtained an mbuf
+    (mempool exhaustion drops at the driver, like real rx-descriptor
+    starvation).
+    """
+
+    __slots__ = ("dp", "delivered")
+
+    stages = ("dpdk_rx", "ustack_rx")
+
+    def __init__(self, dp, batch):
+        ChargeChain.__init__(self, dp, batch)
+        self.dp = dp
+        self.delivered = []
+
+    def _act(self, packet):
+        dp = self.dp
+        if not dp._stage_into_mempool(packet):
+            return
+        trace = packet.trace
+        if trace is not None:
+            trace["dpdk_rx_done"] = self.sim.now
+        dp.rx_packets.value += 1
+        self.delivered.append(packet)
+
+    def _result(self):
+        return self.delivered
+
+
+class XdpRxChain(ChargeChain):
+    """AF_XDP receive: UMEM frame to userspace bytes."""
+
+    __slots__ = ("dp",)
+
+    stages = ("xdp_rx", "ustack_rx")
+
+    def __init__(self, dp, batch):
+        ChargeChain.__init__(self, dp, batch)
+        self.dp = dp
+
+    def _act(self, packet):
+        payload = packet.payload
+        if type(payload) is memoryview:
+            packet.payload = bytes(payload)
+        trace = packet.trace
+        if trace is not None:
+            trace["xdp_rx_done"] = self.sim.now
+        self.dp.rx_packets.value += 1
+
+    def _result(self):
+        return self.batch
+
+
+class RdmaRxChain(ChargeChain):
+    """RDMA completion-queue poll: count completions per received message."""
+
+    __slots__ = ("dp", "completions")
+
+    stages = ("rdma_poll_cq",)
+
+    def __init__(self, dp, batch, completions):
+        ChargeChain.__init__(self, dp, batch)
+        self.dp = dp
+        self.completions = completions
+
+    def _act(self, packet):
+        payload = packet.payload
+        if type(payload) is memoryview:
+            packet.payload = bytes(payload)
+        trace = packet.trace
+        if trace is not None:
+            trace["rdma_rx_done"] = self.sim.now
+        self.dp.rx_packets.value += 1
+        self.completions.value += 1
+
+    def _result(self):
+        return self.batch

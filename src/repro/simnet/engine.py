@@ -24,6 +24,12 @@ dozens of events), so the common case is kept allocation-free:
 * Cancelled timers are dropped lazily; when they exceed half the heap the
   heap is compacted in place, keeping ``len(_heap)`` bounded under timer
   churn (e.g. a retransmit timer cancelled per delivered packet).
+* Burst chains (:mod:`repro.simnet.burst`) may *inline-execute* their next
+  step — advancing :attr:`Simulator.now` and ``_executed`` directly —
+  whenever the step is provably the next event (empty lane, no earlier or
+  equal heap entry, inside the ``until`` bound, no observer).  The run
+  loop publishes the active ``until`` bound through ``_until`` so chains
+  can honour it.
 
 Determinism contract: with a fixed seed, event execution order is a pure
 function of the sequence of ``schedule*`` calls — same seed, same code ⇒
@@ -119,6 +125,10 @@ class Simulator:
         self._seq = 0
         self._cancelled = 0   # cancelled handles still sitting in the heap
         self._executed = 0
+        #: the ``until`` bound of the run() call currently draining events
+        #: (None when unbounded).  Burst chains consult it before
+        #: inline-executing a step that would advance virtual time.
+        self._until = None
         self._peak_heap = 0
         self._purged = 0
         self.rng = random.Random(seed)
@@ -147,6 +157,33 @@ class Simulator:
         self._seq = seq = self._seq + 1
         heap = self._heap
         heappush(heap, (self.now + delay, seq, fn, args))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def schedule_abs(self, time, fn, *args):
+        """Run ``fn(*args)`` at the exact absolute instant ``time`` ns.
+
+        ``schedule(time - now)`` re-rounds the instant through
+        ``now + delay``, which is not bit-identical for every float.
+        Fused hot-path hops (link propagation + NIC rx DMA, coalesced
+        IPC-plus-processing sleeps) use this to land on precisely the
+        timestamp the unfused multi-event schedule would have produced.
+        An event at the current instant goes on the heap, not the lane:
+        the run loop's time-and-seq tie check already interleaves it
+        correctly with pending zero-delay work.
+        """
+        now = self.now
+        if time < now:
+            if now - time < _PAST_EPSILON_NS:
+                time = now
+            else:
+                raise SimulationError(
+                    "cannot schedule in the past (time=%r < now=%r)"
+                    % (time, now)
+                )
+        self._seq = seq = self._seq + 1
+        heap = self._heap
+        heappush(heap, (time, seq, fn, args))
         if len(heap) > self._peak_heap:
             self._peak_heap = len(heap)
 
@@ -202,6 +239,10 @@ class Simulator:
         if self.observer is not None:
             return self._run_observed(until)
         executed = 0
+        # Burst chains bump _executed directly for inline-executed steps;
+        # returning the _executed delta keeps the return value equal to
+        # stats()["events_executed"] growth either way.
+        start_executed = self._executed
         heap = self._heap
         lane = self._lane
         lane_pop = lane.popleft
@@ -252,61 +293,68 @@ class Simulator:
                     fn(*entry[3])
                 executed += 1
             self._executed += executed
-            return executed
-        while True:
-            if lane:
-                # A heap event at the current instant that was scheduled
-                # before the lane head must run first (global seq order).
-                if heap:
-                    entry = heap[0]
-                    if entry[0] == self.now and entry[1] < lane[0][0]:
-                        heappop(heap)
-                        fn = entry[2]
-                        if fn is None:
-                            handle = entry[3]
-                            if handle.cancelled:
+            return self._executed - start_executed
+        # Bounded drain: publish the deadline so burst chains refuse to
+        # inline-execute a step past it (they would otherwise advance
+        # ``now`` beyond ``until`` from inside a callback).
+        self._until = until
+        try:
+            while True:
+                if lane:
+                    # A heap event at the current instant that was scheduled
+                    # before the lane head must run first (global seq order).
+                    if heap:
+                        entry = heap[0]
+                        if entry[0] == self.now and entry[1] < lane[0][0]:
+                            heappop(heap)
+                            fn = entry[2]
+                            if fn is None:
+                                handle = entry[3]
+                                if handle.cancelled:
+                                    handle.pending = False
+                                    self._cancelled -= 1
+                                    self._purged += 1
+                                    continue
                                 handle.pending = False
-                                self._cancelled -= 1
-                                self._purged += 1
-                                continue
-                            handle.pending = False
-                            handle.fn(*handle.args)
-                        else:
-                            fn(*entry[3])
-                        executed += 1
-                        continue
-                entry = lane_pop()
-                entry[1](*entry[2])
-                executed += 1
-                continue
-            if not heap:
-                break
-            entry = heap[0]
-            fn = entry[2]
-            if fn is None and entry[3].cancelled:
+                                handle.fn(*handle.args)
+                            else:
+                                fn(*entry[3])
+                            executed += 1
+                            continue
+                    entry = lane_pop()
+                    entry[1](*entry[2])
+                    executed += 1
+                    continue
+                if not heap:
+                    break
+                entry = heap[0]
+                fn = entry[2]
+                if fn is None and entry[3].cancelled:
+                    heappop(heap)
+                    entry[3].pending = False
+                    self._cancelled -= 1
+                    self._purged += 1
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    self.now = until
+                    self._executed += executed
+                    return self._executed - start_executed
                 heappop(heap)
-                entry[3].pending = False
-                self._cancelled -= 1
-                self._purged += 1
-                continue
-            time = entry[0]
-            if until is not None and time > until:
+                self.now = time
+                if fn is None:
+                    handle = entry[3]
+                    handle.pending = False
+                    handle.fn(*handle.args)
+                else:
+                    fn(*entry[3])
+                executed += 1
+            if until is not None and until > self.now:
                 self.now = until
-                self._executed += executed
-                return executed
-            heappop(heap)
-            self.now = time
-            if fn is None:
-                handle = entry[3]
-                handle.pending = False
-                handle.fn(*handle.args)
-            else:
-                fn(*entry[3])
-            executed += 1
-        if until is not None and until > self.now:
-            self.now = until
-        self._executed += executed
-        return executed
+            self._executed += executed
+            return self._executed - start_executed
+        finally:
+            self._until = None
 
     def _run_observed(self, until):
         """The observed drain loop: :meth:`step` plus an ``on_event``

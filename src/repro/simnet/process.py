@@ -37,6 +37,12 @@ class Timeout:
     """Suspend the process for ``delay`` ns of virtual time."""
 
     __slots__ = ("delay",)
+    #: Trampoline dispatch tag (see :meth:`Process._resume`): the dominant
+    #: yield types carry a small int so the hot dispatch is two attribute
+    #: loads and an int compare instead of an isinstance/identity chain.
+    #: 1=Timeout, 2=Get, 3=Put, 4=Wait, 5=TimeoutAt; 0 (or absent) falls
+    #: back to ``effect.apply()``.
+    _tag = 1
 
     def __init__(self, delay):
         self.delay = delay
@@ -45,10 +51,36 @@ class Timeout:
         sim.schedule(self.delay, process.resume, None)
 
 
+class TimeoutAt:
+    """Suspend the process until the absolute instant ``at`` ns.
+
+    ``Timeout(at - sim.now)`` wakes at ``now + (at - now)``, which float
+    rounding does not guarantee to equal ``at``.  Code that coalesces a
+    chain of relative sleeps into one event computes the chain's exact
+    final instant step by step and yields it here, so the wake-up is bit
+    identical to the unfused schedule.
+    """
+
+    __slots__ = ("at",)
+    _tag = 5
+
+    def __init__(self, at):
+        self.at = at
+
+    def apply(self, sim, process):
+        # exotic engines (no schedule_abs) fall back to a relative sleep
+        schedule_abs = getattr(sim, "schedule_abs", None)
+        if schedule_abs is not None:
+            schedule_abs(self.at, process.resume, None)
+        else:
+            sim.schedule(self.at - sim.now, process.resume, None)
+
+
 class Wait:
     """Suspend until ``signal`` fires; resumes with the signal's value."""
 
     __slots__ = ("signal",)
+    _tag = 4
 
     def __init__(self, signal):
         self.signal = signal
@@ -64,6 +96,7 @@ class AnyOf:
     """
 
     __slots__ = ("signals",)
+    _tag = 0
 
     def __init__(self, signals):
         self.signals = list(signals)
@@ -88,6 +121,7 @@ class Get:
     """Take the next item from a :class:`Store`, blocking while empty."""
 
     __slots__ = ("store",)
+    _tag = 2
 
     def __init__(self, store):
         self.store = store
@@ -100,6 +134,7 @@ class Put:
     """Deposit ``item`` into a :class:`Store`, blocking while full."""
 
     __slots__ = ("store", "item")
+    _tag = 3
 
     def __init__(self, store, item):
         self.store = store
@@ -113,6 +148,7 @@ class Join:
     """Wait for another process to finish; resumes with its return value."""
 
     __slots__ = ("process",)
+    _tag = 0
 
     def __init__(self, process):
         self.process = process
@@ -153,58 +189,115 @@ class Process:
         return self._finished
 
     def _resume(self, value, exception=None):
-        """Advance the generator with ``value`` (or throw ``exception``)."""
+        """Advance the generator with ``value`` (or throw ``exception``).
+
+        The body is a loop rather than a single step: when a ``Get`` finds
+        its item already waiting and nothing else is runnable at this
+        instant (empty lane, heap strictly in the future, no observer, no
+        queued getters/putters), the hand-off event is elided and the
+        generator continues in place — ``sim._executed`` is bumped for the
+        elided event so counters stay bit-identical to the scheduled form.
+        """
         if self._finished:
             return
-        try:
-            if exception is not None:
-                effect = self._throw(exception)
-            else:
-                effect = self._send(value)
-        except StopIteration as stop:
-            self._finished = True
-            self.done.succeed(getattr(stop, "value", None))
-            return
-        except Exception as exc:  # surface the failure to joiners
-            self._finished = True
-            self.sim.failures.append((self.name, exc))
-            self.done.fail(ProcessFailed(self.name, exc))
-            return
-        # Inline dispatch for the hot effects (one C-level type check beats
-        # a method call); anything exotic falls back to effect.apply().
-        cls = effect.__class__
-        if cls is Timeout:
-            lane = self._lane
-            if lane is None:
-                self.sim.schedule(effect.delay, self.resume, None)
+        while True:
+            try:
+                if exception is not None:
+                    effect = self._throw(exception)
+                else:
+                    effect = self._send(value)
+            except StopIteration as stop:
+                self._finished = True
+                self.done.succeed(getattr(stop, "value", None))
                 return
-            # inline of Simulator.schedule(delay, resume, None): same seq
-            # accounting, same lane/heap split, minus the call overhead
-            sim = self.sim
-            delay = effect.delay
-            if delay <= 0:
-                if delay < 0:
-                    raise SimulationError(
-                        "cannot schedule in the past (delay=%r)" % (delay,)
-                    )
-                sim._seq = seq = sim._seq + 1
-                lane.append((seq, self.resume, _NONE_ARGS))
-            else:
+            except Exception as exc:  # surface the failure to joiners
+                self._finished = True
+                self.sim.failures.append((self.name, exc))
+                self.done.fail(ProcessFailed(self.name, exc))
+                return
+            # Tag dispatch for the hot effects: every built-in effect
+            # carries a small-int ``_tag`` class attribute, so the dominant
+            # yields cost one attribute load plus int compares — no
+            # isinstance chain, no method call.  Exotic effects (tag 0)
+            # fall back to effect.apply(); a bare Process yield has no tag
+            # at all and is wrapped as Join.
+            try:
+                tag = effect._tag
+            except AttributeError:
+                if isinstance(effect, Process):
+                    Join(effect).apply(self.sim, self)
+                else:
+                    effect.apply(self.sim, self)
+                return
+            if tag == 1:  # Timeout — one per charged cost, the hottest yield
+                lane = self._lane
+                if lane is None:
+                    self.sim.schedule(effect.delay, self.resume, None)
+                    return
+                # inline of Simulator.schedule(delay, resume, None): same
+                # seq accounting, same lane/heap split, minus the call
+                # overhead
+                sim = self.sim
+                delay = effect.delay
+                if delay <= 0:
+                    if delay < 0:
+                        raise SimulationError(
+                            "cannot schedule in the past (delay=%r)" % (delay,)
+                        )
+                    sim._seq = seq = sim._seq + 1
+                    lane.append((seq, self.resume, _NONE_ARGS))
+                else:
+                    sim._seq = seq = sim._seq + 1
+                    heap = sim._heap
+                    heappush(heap, (sim.now + delay, seq, self.resume, _NONE_ARGS))
+                    if len(heap) > sim._peak_heap:
+                        sim._peak_heap = len(heap)
+                return
+            elif tag == 2:
+                store = effect.store
+                lane = self._lane
+                if lane is not None and not lane:
+                    items = store._items
+                    if items and not store._getters and not store._putters:
+                        sim = self.sim
+                        heap = sim._heap
+                        if sim.observer is None and (
+                            not heap or heap[0][0] > sim.now
+                        ):
+                            # ready hand-off with nothing else runnable at
+                            # this instant: elide the lane round-trip and
+                            # continue the generator in place
+                            sim._executed += 1
+                            value = items.popleft()
+                            exception = None
+                            continue
+                store.add_getter(self.resume)
+                return
+            elif tag == 3:
+                effect.store.add_putter(effect.item, self.resume)
+                return
+            elif tag == 4:
+                effect.signal.add_waiter(self.resume)
+                return
+            elif tag == 5:  # TimeoutAt — exact-instant wake of a fused sleep
+                if self._lane is None:
+                    effect.apply(self.sim, self)
+                    return
+                # inline of Simulator.schedule_abs(at, resume, None)
+                sim = self.sim
+                at = effect.at
+                if at < sim.now:
+                    effect.apply(sim, self)  # epsilon clamp / past-time error
+                    return
                 sim._seq = seq = sim._seq + 1
                 heap = sim._heap
-                heappush(heap, (sim.now + delay, seq, self.resume, _NONE_ARGS))
+                heappush(heap, (at, seq, self.resume, _NONE_ARGS))
                 if len(heap) > sim._peak_heap:
                     sim._peak_heap = len(heap)
-        elif cls is Get:
-            effect.store.add_getter(self.resume)
-        elif cls is Put:
-            effect.store.add_putter(effect.item, self.resume)
-        elif cls is Wait:
-            effect.signal.add_waiter(self.resume)
-        else:
-            if isinstance(effect, Process):
-                effect = Join(effect)
-            effect.apply(self.sim, self)
+                return
+            else:
+                effect.apply(self.sim, self)
+                return
 
     def interrupt(self, exception=None):
         """Throw ``exception`` (default :class:`Interrupt`) into the body."""

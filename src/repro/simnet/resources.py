@@ -183,6 +183,7 @@ class Resource:
 
 class _Acquire:
     __slots__ = ("resource",)
+    _tag = 0  # trampoline fallback tag: dispatched via apply()
 
     def __init__(self, resource):
         self.resource = resource

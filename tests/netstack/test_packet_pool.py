@@ -1,0 +1,158 @@
+"""Packet free-list pool and slotted-metadata shim behaviour."""
+
+import pytest
+
+from repro.netstack import PACKET_POOL, Packet, PacketPool
+from repro.netstack.packet import reset_packet_counter
+
+
+def acquire(pool, payload=b"x" * 8, **kwargs):
+    return pool.acquire("10.0.0.1", "10.0.0.2", 7000, 7001,
+                        payload=payload, **kwargs)
+
+
+class TestPacketPool:
+    def test_exhaustion_falls_back_to_fresh_allocation(self):
+        """An empty free-list must allocate, never block or fail."""
+        pool = PacketPool(capacity=4, preallocate=2)
+        packets = [acquire(pool) for _ in range(10)]
+        assert len(packets) == 10
+        assert len({id(p) for p in packets}) == 10
+        seqs = [p.seq for p in packets]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 10
+
+    def test_acquire_mirrors_packet_init_validation(self):
+        pool = PacketPool(capacity=4, preallocate=1)
+        with pytest.raises(ValueError):
+            pool.acquire("10.0.0.1", "10.0.0.2", 1, 2)  # no payload, no len
+
+    def test_reused_record_is_fully_reset(self):
+        """No stale metadata, trace, or payload may leak across reuse."""
+        pool = PacketPool(capacity=4, preallocate=1)
+        trace = {}
+        packet = acquire(pool, trace=trace)
+        packet.insane = (1, 2, 64)
+        packet.flow = "camera"
+        packet.tx_buffer = object()
+        packet.rx_buffer = object()
+        packet.meta["arp"] = True  # spill dict
+        packet.stamp("runtime_tx", 42.0)
+        pool.release(packet)
+        reused = acquire(pool, payload=b"new")
+        assert reused is packet  # actually recycled
+        assert reused.insane is None
+        assert reused.flow is None
+        assert reused.tx_buffer is None
+        assert reused.rx_buffer is None
+        assert reused._extra is None
+        assert reused.trace is None
+        assert "arp" not in reused.meta
+        assert reused.payload == b"new"
+        assert reused.payload_len == 3
+
+    def test_release_clears_references_even_when_parked(self):
+        pool = PacketPool(capacity=4, preallocate=0)
+        packet = acquire(pool, trace={"t": 1})
+        packet.tx_buffer = object()
+        pool.release(packet)
+        assert packet.trace is None
+        assert packet.tx_buffer is None
+        assert packet.payload is None
+
+    def test_full_pool_drops_released_records(self):
+        pool = PacketPool(capacity=1, preallocate=0)
+        first = acquire(pool)
+        second = acquire(pool)
+        pool.release(first)
+        pool.release(second)  # over capacity: dropped, not parked
+        assert len(pool._free) == 1
+
+    def test_pooled_and_fresh_records_share_the_seq_stream(self):
+        """acquire() bumps the same global counter Packet.__init__ does."""
+        pool = PacketPool(capacity=4, preallocate=2)
+        a = acquire(pool)
+        b = Packet("10.0.0.1", "10.0.0.2", 1, 2, payload=b"y")
+        c = acquire(pool)
+        assert [a.seq, b.seq, c.seq] == [a.seq, a.seq + 1, a.seq + 2]
+
+    def test_preallocation_does_not_consume_sequence_numbers(self):
+        reset_packet_counter()
+        PacketPool(capacity=64, preallocate=64)
+        probe = Packet("10.0.0.1", "10.0.0.2", 1, 2, payload=b"z")
+        assert probe.seq == 1
+        reset_packet_counter()
+
+    def test_reset_packet_counter_isolates_cells(self):
+        """Parallel cells must see identical seqs and factory-fresh pools
+        regardless of what ran in the process before them."""
+        dirty = acquire(PACKET_POOL)
+        dirty.flow = "stale"
+        PACKET_POOL.release(dirty)
+        reset_packet_counter()
+        fresh = acquire(PACKET_POOL)
+        assert fresh.seq == 1
+        assert fresh.flow is None
+        assert fresh is not dirty  # reset() re-blanked the free-list
+        reset_packet_counter()
+
+
+class TestPacketMetaShim:
+    def make(self):
+        return Packet("10.0.0.1", "10.0.0.2", 1, 2, payload=b"x")
+
+    def test_hot_keys_map_to_slots(self):
+        packet = self.make()
+        packet.meta["flow"] = "camera"
+        assert packet.flow == "camera"
+        packet.insane = (1, 2, 3)
+        assert packet.meta["insane"] == (1, 2, 3)
+        assert packet.meta.get("insane") == (1, 2, 3)
+
+    def test_absent_hot_key_behaves_like_missing_dict_key(self):
+        packet = self.make()
+        assert "tx_buffer" not in packet.meta
+        assert packet.meta.get("tx_buffer") is None
+        assert packet.meta.get("tx_buffer", "d") == "d"
+        assert packet.meta.pop("tx_buffer", "d") == "d"
+        with pytest.raises(KeyError):
+            packet.meta["tx_buffer"]
+        with pytest.raises(KeyError):
+            del packet.meta["tx_buffer"]
+
+    def test_pop_hot_key_clears_the_slot(self):
+        packet = self.make()
+        buffer = object()
+        packet.tx_buffer = buffer
+        assert packet.meta.pop("tx_buffer", None) is buffer
+        assert packet.tx_buffer is None
+
+    def test_cold_keys_spill_lazily(self):
+        packet = self.make()
+        assert packet._extra is None  # no dict until a cold key is written
+        packet.meta["arp"] = True
+        assert packet._extra == {"arp": True}
+        assert packet.meta["arp"] is True
+        assert "arp" in packet.meta
+        del packet.meta["arp"]
+        assert "arp" not in packet.meta
+
+    def test_dict_protocol_views(self):
+        packet = self.make()
+        meta = packet.meta
+        assert len(meta) == 0
+        assert not meta
+        meta["flow"] = "f"
+        meta["dds_topic"] = "t"
+        assert sorted(meta.keys()) == ["dds_topic", "flow"]
+        assert sorted(meta.items()) == [("dds_topic", "t"), ("flow", "f")]
+        assert sorted(meta.values()) == ["f", "t"]
+        assert sorted(iter(meta)) == ["dds_topic", "flow"]
+        assert len(meta) == 2
+        assert meta
+
+    def test_setdefault(self):
+        packet = self.make()
+        assert packet.meta.setdefault("flow", "default") == "default"
+        assert packet.flow == "default"
+        assert packet.meta.setdefault("flow", "other") == "default"

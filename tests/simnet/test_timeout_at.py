@@ -1,0 +1,230 @@
+"""Absolute-instant scheduling: ``schedule_abs``, ``TimeoutAt``, and the
+ready-``Get`` elision.
+
+These are the primitives behind the fused hot-path hops (DESIGN.md §11):
+two relative sleeps collapse into one wake-up only if the wake instant is
+computed step-by-step — ``fl(fl(t + a) + b)`` — because float addition is
+not associative.  The tests pin that exactness, the past-time contract,
+the legacy-engine fallback, and the counter parity of elided events.
+"""
+
+import pytest
+
+from repro.simnet import Get, Put, Simulator, Store, Timeout, TimeoutAt
+from repro.simnet.errors import SimulationError
+from repro.simnet.legacy import LegacySimulator
+
+
+# -- schedule_abs ---------------------------------------------------------
+
+
+def test_schedule_abs_fires_at_exact_instant():
+    sim = Simulator()
+    seen = []
+    sim.schedule_abs(7.25, seen.append, "a")
+    sim.schedule_abs(3.5, seen.append, "b")
+    sim.run()
+    assert seen == ["b", "a"]
+    assert sim.now == 7.25
+
+
+def test_schedule_abs_matches_chained_relative_instant():
+    # the motivating case: fl(fl(t + a) + b) is NOT fl(t + (a + b))
+    t, a, b = 1e9, 0.1, 0.2
+    chained = (t + a) + b
+    assert chained != t + (a + b)
+
+    sim = Simulator()
+    instants = []
+    sim.schedule(t, lambda: sim.schedule_abs((sim.now + a) + b,
+                                             lambda: instants.append(sim.now)))
+    sim.run()
+    assert instants == [chained]
+
+
+def test_schedule_abs_rejects_past_instants():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_abs(5.0, lambda: None)
+
+
+def test_schedule_abs_epsilon_clamps_to_now():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    fired = []
+    # a hair in the past (float round-off scale) clamps to now
+    sim.schedule_abs(10.0 - 1e-7, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_schedule_abs_at_now_runs_after_lane_entries():
+    # absolute entries always go to the heap; zero-delay lane entries
+    # scheduled earlier (smaller seq) keep priority at the same instant
+    sim = Simulator()
+    order = []
+
+    def kickoff():
+        sim.schedule(0, order.append, "lane")
+        sim.schedule_abs(sim.now, order.append, "abs")
+
+    sim.schedule(1.0, kickoff)
+    sim.run()
+    assert order == ["lane", "abs"]
+
+
+# -- TimeoutAt ------------------------------------------------------------
+
+
+def _sleeper(sim, instants, trail):
+    for at in instants:
+        yield TimeoutAt(at)
+        trail.append(sim.now)
+
+
+@pytest.mark.parametrize("engine", [Simulator, LegacySimulator])
+def test_timeout_at_wakes_on_exact_instant(engine):
+    sim = engine()
+    trail = []
+    sim.process(_sleeper(sim, [2.5, 2.5, 9.0], trail))
+    sim.run()
+    # second TimeoutAt targets the current instant: allowed, zero-width
+    assert trail == [2.5, 2.5, 9.0]
+    assert sim.now == 9.0
+
+
+@pytest.mark.parametrize("engine", [Simulator, LegacySimulator])
+def test_timeout_at_past_instant_raises(engine):
+    # same contract as Timeout with a negative delay: scheduling in the
+    # past is a hard SimulationError out of run(), not a process failure
+    sim = engine()
+
+    def body():
+        yield Timeout(10.0)
+        yield TimeoutAt(2.0)
+
+    sim.process(body(), name="past")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_timeout_at_epsilon_clamps_to_now():
+    # float round-off scale in the past clamps to now instead of raising
+    sim = Simulator()
+    trail = []
+
+    def body():
+        yield Timeout(10.0)
+        yield TimeoutAt(sim.now - 1e-7)
+        trail.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert trail == [10.0]
+
+
+def test_fused_sleep_is_bit_identical_to_two_timeouts():
+    """One TimeoutAt at fl(fl(t+a)+b) == Timeout(a) then Timeout(b)."""
+    t, a, b = 1e9, 0.1, 0.2
+
+    def two_step(sim, out):
+        yield Timeout(t)
+        yield Timeout(a)
+        yield Timeout(b)
+        out.append(sim.now)
+
+    def fused(sim, out):
+        yield Timeout(t)
+        target = sim.now + a  # the unfused first wake-up
+        yield TimeoutAt(target + b)
+        sim._executed += 1  # parity with the elided second event
+        out.append(sim.now)
+
+    sim_a, sim_b = Simulator(), Simulator()
+    out_a, out_b = [], []
+    sim_a.process(two_step(sim_a, out_a))
+    sim_b.process(fused(sim_b, out_b))
+    sim_a.run()
+    sim_b.run()
+    assert out_a == out_b
+    assert sim_a.now == sim_b.now
+    assert sim_a.stats()["events_executed"] == sim_b.stats()["events_executed"]
+
+
+# -- ready-Get elision ----------------------------------------------------
+
+
+def _producer(store, n):
+    for i in range(n):
+        yield Put(store, i)
+
+
+def _consumer(sim, store, n, got):
+    for _ in range(n):
+        item = yield Get(store)
+        got.append((item, sim.now))
+
+
+def _run_store_workload(engine, n=200):
+    sim = engine()
+    store = Store(sim, capacity=8)
+    got = []
+    sim.process(_consumer(sim, store, n, got), name="consumer")
+    sim.process(_producer(store, n), name="producer")
+    sim.run()
+    return got, sim.stats()["events_executed"], sim.now
+
+
+def test_get_elision_matches_legacy_engine():
+    fast = _run_store_workload(Simulator)
+    legacy = _run_store_workload(LegacySimulator)
+    assert fast == legacy
+
+
+def test_ready_get_chain_does_not_recurse():
+    """A long run of back-to-back ready Gets must not hit the Python
+    recursion limit: the trampoline loops, it does not self-call."""
+    n = 5000
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(n):
+        store.put_nowait(i)
+    got = []
+    sim.process(_consumer(sim, store, n, got))
+    sim.run()
+    assert [item for item, _ in got] == list(range(n))
+
+
+def test_get_elision_counts_the_elided_event():
+    """events_executed parity: eliding the hand-off must not change the
+    counter relative to the scheduled form (here: vs the legacy engine)."""
+    _, fast_events, _ = _run_store_workload(Simulator, n=50)
+    _, legacy_events, _ = _run_store_workload(LegacySimulator, n=50)
+    assert fast_events == legacy_events
+
+
+def test_get_elision_respects_queued_getters():
+    """With another getter already queued, a fresh Get must line up
+    behind it even when items are present (FIFO fairness)."""
+
+    def greedy(sim, store, got, tag):
+        item = yield Get(store)
+        got.append((tag, item))
+
+    for engine in (Simulator, LegacySimulator):
+        sim = engine()
+        store = Store(sim)
+        got = []
+        sim.process(greedy(sim, store, got, "first"))
+        sim.process(greedy(sim, store, got, "second"))
+
+        def feed():
+            store.put_nowait("x")
+            store.put_nowait("y")
+
+        sim.schedule(1.0, feed)
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")], engine.__name__

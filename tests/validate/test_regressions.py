@@ -69,7 +69,7 @@ class _SchedulerPacket:
     """The minimal shape `_drop_scheduled` needs from a queued packet."""
 
     def __init__(self):
-        self.meta = {}
+        self.tx_buffer = None
 
 
 class TestSchedulerDropAccounting:
