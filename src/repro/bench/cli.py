@@ -19,6 +19,7 @@ from repro.bench.ablations import (
     run_ablation_tsn,
 )
 from repro.bench.faults import run_faults
+from repro.cli.common import add_execution_options, make_cache
 
 EXPERIMENTS = {
     "table1": lambda args: runner.run_table1(),
@@ -247,7 +248,13 @@ def main(argv=None):
                         help="ping-pong rounds per data point")
     parser.add_argument("--messages", type=int, default=None,
                         help="messages per throughput data point")
-    parser.add_argument("--seed", type=int, default=0)
+    add_execution_options(
+        parser,
+        workers_help="shard sweep cells across N worker processes "
+                     "(fig5/fig7/fig8a/fig8b/faults; results are "
+                     "bit-identical at any worker count)",
+        json_help="append machine-readable results to a JSON file",
+    )
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--quick", action="store_true",
                        help="small sample counts (default)")
@@ -259,8 +266,6 @@ def main(argv=None):
                         help="breakdown only: collect lifecycle spans per datapath")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="breakdown --trace: write a Chrome-trace JSON here")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="append machine-readable results to a JSON file")
     parser.add_argument("--workload", metavar="NAME", default=None,
                         help="profile only: which perf workload to profile "
                              "(a bench_wallclock suite name or "
@@ -271,21 +276,9 @@ def main(argv=None):
     parser.add_argument("--top", type=int, default=25, metavar="N",
                         help="profile only: functions in the cumulative-"
                              "time table")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="shard sweep cells across N worker processes "
-                             "(fig5/fig7/fig8a/fig8b/faults; results are "
-                             "bit-identical at any worker count)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="recompute every sweep cell instead of reusing "
-                             "the digest-keyed result cache")
-    parser.add_argument("--cache-dir", metavar="DIR", default=None,
-                        help="result-cache directory (default: "
-                             "./.insane-cache or $INSANE_CACHE_DIR)")
     args = parser.parse_args(argv)
 
-    from repro.parallel import ResultCache
-
-    args.cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    args.cache = make_cache(args)
     args.quick = not args.full
     if args.rounds is None:
         args.rounds = 2000 if args.full else 500

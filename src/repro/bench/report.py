@@ -1,8 +1,14 @@
-"""Machine-readable result reporting (JSON) for the benchmark CLI."""
+"""Machine-readable result reporting (JSON) for the benchmark CLI.
 
-import json
-import os
+Since the :class:`repro.report.RunReport` unification, each ``--json``
+invocation appends one ``bench.run`` report document: the experiments
+(and the profile/seed that produced them) live in the digest-compared
+``data`` block, kernel diagnostics (``sim_stats``) in the non-compared
+``meta`` block.  The file stays a plain JSON list, so successive
+invocations (e.g. local then cloud) accumulate rather than overwrite.
+"""
 
+from repro.report import RunReport, write_reports
 from repro.simnet import Tally
 
 
@@ -26,38 +32,42 @@ def _key(key):
     return str(key)
 
 
+def bench_report(results_by_experiment, profile="local", seed=0,
+                 sim_stats=None):
+    """Fold one bench invocation into a ``bench.run`` RunReport.
+
+    ``data`` (digest-compared) carries profile, seed and the experiment
+    results — a pure function of the run's inputs.  Kernel counters —
+    events executed, peak heap, purged timers — go in ``meta`` as
+    diagnostics: they tell a perf regression apart from a workload change
+    without ever moving the digest.
+    """
+    meta = {}
+    if sim_stats is not None:
+        meta["sim_stats"] = _jsonable(sim_stats)
+    return RunReport(
+        kind="bench.run",
+        data={
+            "profile": profile,
+            "seed": seed,
+            "experiments": {
+                name: _jsonable(results)
+                for name, results in results_by_experiment.items()
+            },
+        },
+        meta=meta,
+    )
+
+
 def write_json_report(path, results_by_experiment, profile="local", seed=0,
                       sim_stats=None):
-    """Append one run's results to a JSON report file.
+    """Append one run's ``bench.run`` report document to a JSON file.
 
-    The file holds a list of run records, so successive invocations (e.g.
-    local then cloud) accumulate rather than overwrite.  Pass a
-    :meth:`repro.simnet.Simulator.stats` dict (or a mapping of them) as
-    ``sim_stats`` to record kernel counters — events executed, peak heap,
-    purged timers — alongside the results, so a perf regression can be told
-    apart from a workload change when trajectories diverge.
+    Pass a :meth:`repro.simnet.Simulator.stats` dict (or a mapping of
+    them) as ``sim_stats`` to record kernel counters alongside the
+    results.  Returns the :class:`~repro.report.RunReport` written.
     """
-    record = {
-        "profile": profile,
-        "seed": seed,
-        "experiments": {
-            name: _jsonable(results)
-            for name, results in results_by_experiment.items()
-        },
-    }
-    if sim_stats is not None:
-        record["sim_stats"] = _jsonable(sim_stats)
-    runs = []
-    if os.path.exists(path):
-        with open(path) as handle:
-            try:
-                runs = json.load(handle)
-            except ValueError:
-                runs = []
-        if not isinstance(runs, list):
-            runs = [runs]
-    runs.append(record)
-    with open(path, "w") as handle:
-        json.dump(runs, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return record
+    report = bench_report(results_by_experiment, profile=profile, seed=seed,
+                          sim_stats=sim_stats)
+    write_reports(path, [report])
+    return report

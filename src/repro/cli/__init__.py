@@ -1,0 +1,87 @@
+"""The ``insane`` umbrella command line.
+
+One entry point in front of every subsystem::
+
+    insane bench fig7 --profile cloud     # tables and figures
+    insane validate differential --n 50   # engine oracles and fuzzing
+    insane scenario run corpus/           # scenario DSL + SLO verdicts
+    insane profile --workload fig8a_streaming
+
+Sub-command argv is forwarded *verbatim* to the existing sub-CLI mains,
+so ``insane bench ...`` is byte-identical on stdout to the historical
+``insane-bench ...`` (and likewise for validate).  The old entry points
+remain as thin deprecated aliases — :func:`bench_alias` and
+:func:`validate_alias` — that print a one-line notice on stderr and
+forward; scripts keep working, stdout parsers never notice.
+"""
+
+import importlib
+import sys
+
+#: sub-command -> (module with a ``main(argv)``, one-line description).
+COMMANDS = {
+    "bench": ("repro.bench.cli",
+              "regenerate the paper's tables and figures"),
+    "validate": ("repro.validate.cli",
+                 "differential validation, fuzzing, golden corpus"),
+    "scenario": ("repro.scenario.cli",
+                 "run scenario suites and evaluate SLOs"),
+}
+
+
+def _usage():
+    lines = [
+        "usage: insane COMMAND [ARGS...]",
+        "",
+        "Reproduction toolkit for INSANE (Middleware '23).  Commands:",
+        "",
+    ]
+    for name in sorted(COMMANDS):
+        lines.append("  %-10s %s" % (name, COMMANDS[name][1]))
+    lines.append("  %-10s %s" % ("profile",
+                                 "cProfile one perf workload "
+                                 "(= bench profile)"))
+    lines.append("")
+    lines.append("Run `insane COMMAND --help` for command options.")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(_usage(), file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command in ("-h", "--help", "help"):
+        print(_usage())
+        return 0
+    if command == "profile":
+        # shorthand: `insane profile ...` == `insane bench profile ...`
+        command, rest = "bench", ["profile"] + rest
+    entry = COMMANDS.get(command)
+    if entry is None:
+        print("insane: unknown command %r\n" % command, file=sys.stderr)
+        print(_usage(), file=sys.stderr)
+        return 2
+    module = importlib.import_module(entry[0])
+    return module.main(rest)
+
+
+def _alias(old_name, command, argv):
+    sys.stderr.write(
+        "%s: deprecated alias; use `insane %s ...` instead\n"
+        % (old_name, command)
+    )
+    sys.stderr.flush()
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return main([command] + argv)
+
+
+def bench_alias(argv=None):
+    """Deprecated ``insane-bench`` entry point; forwards to ``insane bench``."""
+    return _alias("insane-bench", "bench", argv)
+
+
+def validate_alias(argv=None):
+    """Deprecated ``insane-validate`` entry point; forwards to ``insane validate``."""
+    return _alias("insane-validate", "validate", argv)

@@ -28,6 +28,7 @@ from repro.core.errors import (
     NoDatapathError,
     PoolExhaustedError,
     QosValidationError,
+    ScenarioError,
     SessionError,
     TransferError,
     UtcpError,

@@ -103,6 +103,30 @@ class UtcpError(InsaneError, ConnectionError):
     code = 51
 
 
+class ScenarioError(InsaneError, ValueError):
+    """A scenario document failed validation or could not be compiled.
+
+    Carries ``path`` — the dotted location inside the document
+    (``"workload.size"``, ``"faults[2].kind"``) — so a bad corpus file
+    points at the offending line, not at a stack trace.  Also a
+    ``ValueError`` for callers treating specs as plain bad input.
+    """
+
+    code = 60
+
+    def __init__(self, message, path=None, source=None):
+        location = ""
+        if source and path:
+            location = "%s: %s: " % (source, path)
+        elif path:
+            location = "%s: " % (path,)
+        elif source:
+            location = "%s: " % (source,)
+        super().__init__("%s%s" % (location, message))
+        self.path = path
+        self.source = source
+
+
 #: name -> paper-style integer code, the full error-code space of the API.
 ERROR_CODES = {
     "INSANE_OK": INSANE_OK,
@@ -117,4 +141,5 @@ ERROR_CODES = {
     "FaultInjectionError": FaultInjectionError.code,
     "TransferError": TransferError.code,
     "UtcpError": UtcpError.code,
+    "ScenarioError": ScenarioError.code,
 }

@@ -163,9 +163,45 @@ class QosPolicy:
         .constrained().time_sensitive().done()``."""
         return QosPolicyBuilder(cls)
 
+    def to_dict(self):
+        """The policy as a JSON-native dict of enum *values*.
+
+        Round-trips through :meth:`from_dict`; the scenario DSL stores
+        policies in exactly this shape.
+        """
+        return {
+            "acceleration": self.acceleration.value,
+            "resources": self.resources.value,
+            "time_sensitivity": self.time_sensitivity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, options):
+        """Build a validated policy from a JSON-native dict.
+
+        Accepts everything :meth:`from_kwargs` accepts — enum members,
+        enum *values* (``"fast"``), enum *names* in any case
+        (``"ACCELERATED"``, ``"best_effort"``), and the boolean aliases —
+        so a policy parsed from YAML/JSON needs no Python-side massaging.
+        """
+        from repro.core.errors import QosValidationError
+
+        if not isinstance(options, dict):
+            raise QosValidationError(
+                "a QoS policy must be a dict of options, got %s"
+                % type(options).__name__
+            )
+        return cls.from_kwargs(**options)
+
 
 def _coerce(enum_cls, value, aliases):
-    """Normalize ``value`` to an ``enum_cls`` member, or raise typed."""
+    """Normalize ``value`` to an ``enum_cls`` member, or raise typed.
+
+    Strings match, in order: an explicit alias, an enum *value*
+    (``"best-effort"``), or an enum *name* in any case and with hyphens
+    and underscores interchangeable (``"BEST_EFFORT"``, ``"best_effort"``)
+    — the forms a YAML/JSON front end naturally produces.
+    """
     from repro.core.errors import QosValidationError
 
     if value is None or isinstance(value, enum_cls):
@@ -174,6 +210,18 @@ def _coerce(enum_cls, value, aliases):
         hashable = value if isinstance(value, (str, bool)) else None
         if hashable in aliases:
             return aliases[hashable]
+        if isinstance(value, str):
+            folded = value.strip().lower()
+            if folded in aliases:
+                return aliases[folded]
+            for member in enum_cls:
+                if folded in (
+                    member.value,
+                    member.name.lower(),
+                    member.value.replace("-", "_"),
+                    member.name.lower().replace("_", "-"),
+                ):
+                    return member
         return enum_cls(value)
     except (ValueError, TypeError):
         raise QosValidationError(

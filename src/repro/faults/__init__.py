@@ -20,8 +20,9 @@ from repro.faults.injectors import (
     LinkDown,
     LossBurst,
     NicQueueSqueeze,
+    parse_ns,
 )
-from repro.faults.schedule import FaultSchedule, FaultTrace
+from repro.faults.schedule import INJECTOR_KINDS, FaultSchedule, FaultTrace
 
 __all__ = [
     "CpuSlowdown",
@@ -29,8 +30,10 @@ __all__ = [
     "DatapathStall",
     "FaultSchedule",
     "FaultTrace",
+    "INJECTOR_KINDS",
     "Injector",
     "LinkDown",
     "LossBurst",
     "NicQueueSqueeze",
+    "parse_ns",
 ]

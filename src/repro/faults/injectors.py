@@ -17,10 +17,56 @@ Injector taxonomy, bottom-up through the stack:
 * :class:`CpuSlowdown` — the host's cores (``hw/host.py``).
 """
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Optional, Union
 
 from repro.core.errors import FaultInjectionError
+
+#: duration-suffix multipliers for :func:`parse_ns`, longest-first so
+#: ``"ms"`` is tried before ``"s"``.
+_NS_UNITS = (("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9))
+
+
+def parse_ns(value, what="duration"):
+    """Normalize a time value to float nanoseconds.
+
+    Accepts the JSON-native forms a declarative front end produces:
+    plain numbers (already ns), and strings with a unit suffix —
+    ``"250us"``, ``"1.5ms"``, ``"3s"``, ``"700ns"``, or a bare numeric
+    string (ns).  ``None`` passes through (the "permanent" duration).
+    Anything else raises :class:`~repro.core.errors.FaultInjectionError`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise FaultInjectionError(
+            "%s must be a number of ns or a '250us'-style string, got %r"
+            % (what, value)
+        )
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip().lower().replace("_", "").replace(" ", "")
+        for suffix, scale in sorted(_NS_UNITS, key=lambda u: -len(u[0])):
+            if text.endswith(suffix):
+                number = text[: -len(suffix)]
+                try:
+                    return float(number) * scale
+                except ValueError:
+                    break
+        try:
+            return float(text)
+        except ValueError:
+            pass
+        raise FaultInjectionError(
+            "%s %r is not a recognized time: use a number of ns or a "
+            "string with one of the suffixes %s (e.g. '250us')"
+            % (what, value, "/".join(unit for unit, _ in _NS_UNITS))
+        )
+    raise FaultInjectionError(
+        "%s must be a number of ns or a '250us'-style string, got %s %r"
+        % (what, type(value).__name__, value)
+    )
 
 
 @dataclass(frozen=True)
@@ -28,20 +74,42 @@ class Injector:
     """Base class: one scheduled fault.
 
     ``at_ns`` is when the fault fires; ``for_ns`` is how long it lasts
-    (``None`` = permanent — no clear callback is scheduled).
+    (``None`` = permanent — no clear callback is scheduled).  Both accept
+    the string forms of :func:`parse_ns` (``"250us"``) and are normalized
+    to float ns at construction, so a schedule built from YAML/JSON and a
+    schedule built from Python literals compare (and digest) identically.
     """
 
-    at_ns: float
-    for_ns: Optional[float] = None
+    at_ns: Union[float, str]
+    for_ns: Optional[Union[float, str]] = None
 
     def __post_init__(self):
-        if self.at_ns < 0:
+        object.__setattr__(self, "at_ns", parse_ns(self.at_ns, "fault time"))
+        object.__setattr__(
+            self, "for_ns", parse_ns(self.for_ns, "fault duration")
+        )
+        if self.at_ns is None or self.at_ns < 0:
             raise FaultInjectionError("fault time must be >= 0, got %r" % (self.at_ns,))
         if self.for_ns is not None and self.for_ns <= 0:
             raise FaultInjectionError(
                 "fault duration must be > 0 (or None for permanent), got %r"
                 % (self.for_ns,)
             )
+
+    def to_dict(self):
+        """The injector as a JSON-native dict (``kind`` + its fields).
+
+        Round-trips through :meth:`repro.faults.FaultSchedule.from_dict`;
+        times are always emitted as plain ns numbers, never strings.
+        """
+        record = {"kind": self.kind, "at": self.at_ns}
+        if self.for_ns is not None:
+            record["for"] = self.for_ns
+        for spec in fields(self):
+            if spec.name in ("at_ns", "for_ns"):
+                continue
+            record[spec.name] = getattr(self, spec.name)
+        return record
 
     #: short type tag used in trace lines and digests.
     kind = "fault"

@@ -23,7 +23,18 @@ from repro.faults.injectors import (
     LinkDown,
     LossBurst,
     NicQueueSqueeze,
+    parse_ns,
 )
+
+#: fault-kind tag -> injector class; the vocabulary of the JSON-native
+#: schedule shape (:meth:`FaultSchedule.from_dict`) and the scenario DSL.
+INJECTOR_KINDS = {
+    cls.kind: cls
+    for cls in (
+        LinkDown, LossBurst, NicQueueSqueeze,
+        DatapathFailure, DatapathStall, CpuSlowdown,
+    )
+}
 
 
 class FaultTrace:
@@ -50,6 +61,46 @@ class FaultTrace:
             h.update(line.encode())
             h.update(b"\n")
         return h.hexdigest()
+
+
+def _injector_from_record(record, index):
+    """One JSON-native fault record -> a frozen injector, loudly."""
+    if not isinstance(record, dict):
+        raise FaultInjectionError(
+            "faults[%d] must be a dict, got %s"
+            % (index, type(record).__name__)
+        )
+    spec = dict(record)
+    kind = spec.pop("kind", None)
+    injector_cls = INJECTOR_KINDS.get(kind)
+    if injector_cls is None:
+        raise FaultInjectionError(
+            "faults[%d]: unknown fault kind %r (known: %s)"
+            % (index, kind, ", ".join(sorted(INJECTOR_KINDS)))
+        )
+    kwargs = {}
+    # the declarative spellings; the Python-level names also work
+    for declarative, pythonic in (("at", "at_ns"), ("for", "for_ns")):
+        if declarative in spec:
+            kwargs[pythonic] = spec.pop(declarative)
+    import dataclasses
+
+    known = {field.name for field in dataclasses.fields(injector_cls)}
+    for name, value in spec.items():
+        if name not in known:
+            raise FaultInjectionError(
+                "faults[%d] (%s): unknown field %r (fields: %s)"
+                % (index, kind, name, ", ".join(sorted(known - {"at_ns", "for_ns"}) + ["at", "for"]))
+            )
+        kwargs[name] = value
+    if "at_ns" not in kwargs:
+        raise FaultInjectionError(
+            "faults[%d] (%s): missing required field 'at'" % (index, kind)
+        )
+    try:
+        return injector_cls(**kwargs)
+    except FaultInjectionError as exc:
+        raise FaultInjectionError("faults[%d] (%s): %s" % (index, kind, exc)) from None
 
 
 class FaultSchedule:
@@ -125,6 +176,56 @@ class FaultSchedule:
     def describe(self):
         """Canonical description of the armed faults (digest input)."""
         return tuple(injector.describe() for injector in self.injectors)
+
+    # -- JSON-native round trip ----------------------------------------------
+
+    def to_dict(self):
+        """The schedule as ``{"faults": [...]}`` of JSON-native records.
+
+        Round-trips through :meth:`from_dict`: the reconstructed schedule
+        has an identical :meth:`describe` tuple, so fault-trace digests
+        are preserved across serialization.
+        """
+        return {"faults": [injector.to_dict() for injector in self.injectors]}
+
+    @classmethod
+    def from_dict(cls, document):
+        """Build a schedule from JSON-native fault records.
+
+        ``document`` is either ``{"faults": [...]}`` or a bare list of
+        records; each record names its ``kind`` (one of
+        :data:`INJECTOR_KINDS`) and uses the declarative field spellings:
+        ``at``/``for`` durations as ns numbers *or* ``"250us"``-style
+        strings, plus the injector's own fields (``link``, ``host``,
+        ``rate``, ...)::
+
+            FaultSchedule.from_dict({"faults": [
+                {"kind": "link_down", "at": "1ms", "for": "300us"},
+                {"kind": "loss_burst", "at": 0, "for": 500_000, "rate": 0.2},
+            ]})
+
+        Unknown kinds and unknown fields raise
+        :class:`~repro.core.errors.FaultInjectionError` naming the
+        offending record.
+        """
+        if isinstance(document, dict):
+            records = document.get("faults")
+            if records is None:
+                raise FaultInjectionError(
+                    "a fault-schedule dict needs a 'faults' list, got keys %s"
+                    % sorted(document)
+                )
+        else:
+            records = document
+        if not isinstance(records, (list, tuple)):
+            raise FaultInjectionError(
+                "faults must be a list of records, got %s"
+                % type(records).__name__
+            )
+        schedule = cls()
+        for index, record in enumerate(records):
+            schedule.add(_injector_from_record(record, index))
+        return schedule
 
     # -- randomized scenarios -------------------------------------------------
 

@@ -97,6 +97,36 @@ class SweepResult:
         total = len(self.results)
         return self.cache_hits / total if total else 0.0
 
+    def to_report(self, kind="sweep", **meta):
+        """The sweep as a :class:`repro.report.RunReport`.
+
+        ``data`` carries the key-ordered cells and the merged digest (the
+        digest-compared shape, identical at any worker count); execution
+        provenance — worker count, cache hits, per-cell cached flags —
+        goes in the non-compared ``meta`` block.
+        """
+        from repro.report import RunReport
+
+        return RunReport(
+            kind=kind,
+            data={
+                "cells": [
+                    {"key": result.key, "payload": result.payload}
+                    for result in self.results
+                ],
+                "merged_digest": self.merged_digest(),
+            },
+            meta=dict(
+                meta,
+                workers=self.workers,
+                executed=self.executed,
+                cache_hits=self.cache_hits,
+                cached_keys=sorted(
+                    result.key for result in self.results if result.cached
+                ),
+            ),
+        )
+
 
 class SweepExecutor:
     """Run independent experiment cells, serially or across processes.

@@ -1,0 +1,53 @@
+"""The declarative scenario DSL and its SLO verification engine.
+
+ROADMAP item 4 ("as many scenarios as you can imagine") made concrete:
+a scenario is a small YAML/JSON document — workload mix per service
+category, topology, per-path impairments, replayed fault profiles, and
+SLO assertions — compiled onto the existing stack (core runtime, hw
+testbeds, ``repro.faults`` schedules, ``repro.obs`` histograms) and
+evaluated into a structured pass/fail :class:`~repro.report.RunReport`.
+
+Pipeline::
+
+    schema.load_scenario(path)      # parse + validate, errors cite paths
+      -> compile.run_scenario(spec) # testbed/faults/workload -> metrics
+      -> slo.evaluate_slos(...)     # assertions -> pass/fail
+      -> runner.run_suite(...)      # corpus through the SweepExecutor
+
+Every scenario pins its seed, so a suite's merged digest is bit-identical
+at any worker count — the corpus doubles as a regression gate.
+"""
+
+from repro.scenario.compile import compile_scenario, run_scenario
+from repro.scenario.runner import (
+    builtin_corpus_dir,
+    discover_scenarios,
+    run_scenario_cell,
+    run_suite,
+    scenario_report,
+)
+from repro.scenario.schema import (
+    SCENARIO_SCHEMA,
+    ScenarioError,
+    load_scenario,
+    parse_scenario,
+    validate_scenario,
+)
+from repro.scenario.slo import SLO_NAMES, evaluate_slos
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "SLO_NAMES",
+    "ScenarioError",
+    "builtin_corpus_dir",
+    "compile_scenario",
+    "discover_scenarios",
+    "evaluate_slos",
+    "load_scenario",
+    "parse_scenario",
+    "run_scenario",
+    "run_scenario_cell",
+    "run_suite",
+    "scenario_report",
+    "validate_scenario",
+]

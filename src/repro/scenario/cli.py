@@ -1,0 +1,132 @@
+"""``insane scenario``: run, validate, or list scenario suites.
+
+Subcommands::
+
+    insane scenario run [PATH ...] [--workers N] [--seed S] [--json OUT]
+    insane scenario validate [PATH ...]
+    insane scenario list
+
+``run`` executes every scenario under the given files/directories (the
+built-in corpus when none are given) through the deterministic sweep
+executor and prints one PASS/FAIL line per scenario plus the suite's
+merged digest; exit status is 0 iff every SLO held.  ``validate``
+schema-checks without running; ``list`` shows the shipped corpus.
+"""
+
+import argparse
+import sys
+
+from repro.cli.common import add_execution_options, make_cache
+from repro.core.errors import ScenarioError
+
+
+def _cmd_run(args):
+    from repro.report import write_reports
+    from repro.scenario.runner import builtin_corpus_dir, run_suite
+    from repro.scenario.slo import format_assertions
+
+    paths = args.paths or [builtin_corpus_dir()]
+    report, sweep = run_suite(paths, workers=args.workers,
+                              cache=make_cache(args), seed=args.seed)
+    data = report.data
+    for payload in data["scenarios"]:
+        mark = "PASS" if payload["ok"] else "FAIL"
+        print("%s %-28s seed=%-4d %s" % (mark, payload["scenario"],
+                                         payload["seed"],
+                                         payload["metrics_digest"][:12]))
+        if args.verbose or not payload["ok"]:
+            print(format_assertions(payload["slo"]["assertions"],
+                                    indent="    "))
+    print("scenario: %d/%d passed, merged digest %s "
+          "(%d worker(s), %d cache hit(s))"
+          % (data["passed"], data["total"], data["merged_digest"],
+             sweep.workers, sweep.cache_hits))
+    if args.json:
+        write_reports(args.json, [report])
+        print("suite report appended to %s" % args.json)
+    return 0 if data["ok"] else 1
+
+
+def _cmd_validate(args):
+    from repro.scenario.runner import builtin_corpus_dir, discover_scenarios
+    from repro.scenario.schema import load_scenario
+
+    paths = args.paths or [builtin_corpus_dir()]
+    seen = {}
+    for filename in discover_scenarios(paths):
+        spec = load_scenario(filename)
+        name = spec["scenario"]
+        if name in seen:
+            raise ScenarioError(
+                "duplicate scenario name %r (also defined in %s)"
+                % (name, seen[name]), source=filename,
+            )
+        seen[name] = filename
+        print("ok   %-28s %-10s %s" % (name, spec["workload"]["kind"],
+                                       filename))
+    print("scenario: %d file(s) valid" % len(seen))
+    return 0
+
+
+def _cmd_list(args):
+    from repro.scenario.runner import builtin_corpus_dir, discover_scenarios
+    from repro.scenario.schema import load_scenario
+
+    corpus = builtin_corpus_dir()
+    specs = [load_scenario(f) for f in discover_scenarios(corpus)]
+    for spec in specs:
+        print("%-28s %-10s seed=%-4d %s"
+              % (spec["scenario"], spec["workload"]["kind"], spec["seed"],
+                 spec.get("description", "")))
+    print("%d scenario(s) in the built-in corpus (%s)" % (len(specs), corpus))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="insane scenario",
+        description="Declarative scenarios: workload + topology + faults "
+                    "+ SLO assertions, compiled onto the simulated stack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run scenarios and evaluate their SLOs"
+    )
+    run.add_argument("paths", nargs="*", metavar="PATH",
+                     help="scenario files or directories "
+                          "(default: the built-in corpus)")
+    add_execution_options(
+        run, seed=None,
+        workers_help="shard scenarios across N worker processes (the "
+                     "merged digest is bit-identical at any worker count)",
+        json_help="append the suite RunReport to this JSON file",
+    )
+    run.add_argument("-v", "--verbose", action="store_true",
+                     help="print every SLO assertion, not just failures")
+    run.set_defaults(func=_cmd_run)
+
+    validate = sub.add_parser(
+        "validate", help="schema-check scenario files without running them"
+    )
+    validate.add_argument("paths", nargs="*", metavar="PATH",
+                          help="scenario files or directories "
+                               "(default: the built-in corpus)")
+    validate.set_defaults(func=_cmd_validate)
+
+    lst = sub.add_parser("list", help="list the built-in scenario corpus")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ScenarioError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return exc.code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

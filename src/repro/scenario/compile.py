@@ -1,0 +1,420 @@
+"""Compile a normalized scenario spec onto the simulated INSANE stack.
+
+:func:`compile_scenario` turns one validated spec (the output of
+:func:`repro.scenario.schema.validate_scenario`) into a
+:class:`CompiledScenario`: the testbed built from the topology section
+(with the RDMA NIC switched on when the workload pins ``rdma``), the
+runtime deployment with per-packet tracing enabled, and the fault
+schedule assembled from steady-state impairments plus the scheduled
+faults.  :meth:`CompiledScenario.run` drives the workload and returns a
+JSON-native metrics dict — the input :func:`repro.scenario.slo.
+evaluate_slos` asserts over.
+
+A compiled scenario is single-use (fault schedules arm exactly once);
+compile a fresh one per run.  Everything here is a pure function of the
+spec, so the same spec + same seed yields a bit-identical metrics dict —
+the property :func:`repro.scenario.runner.run_scenario_cell` digests.
+"""
+
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.errors import ScenarioError
+from repro.core.runtime import InsaneDeployment
+from repro.faults import FaultSchedule
+from repro.hw import Testbed
+from repro.hw.profiles import PROFILES
+from repro.obs import LogHistogram
+from repro.simnet import Timeout
+
+#: stream/channel names shared by every driver — part of the spec's
+#: compiled identity, fixed so digests never depend on driver internals.
+STREAM_NAME = "scenario"
+DATA_CHANNEL = 1
+
+
+def _schedule_records(spec):
+    """Fault records to arm: steady impairments first, then the schedule.
+
+    A steady-state impairment is exactly a permanent loss burst starting
+    at t=0 on the named link — the same injector vocabulary, so the whole
+    impairment state is visible in one place (the fault trace)."""
+    records = []
+    for impairment in spec["topology"]["impairments"]:
+        records.append({
+            "kind": "loss_burst", "at": 0.0,
+            "link": impairment["link"], "rate": impairment["loss_rate"],
+        })
+    records.extend(spec["faults"])
+    return records
+
+
+def build_schedule(spec):
+    """The spec's full :class:`~repro.faults.FaultSchedule` (fresh, unarmed)."""
+    return FaultSchedule.from_dict(_schedule_records(spec))
+
+
+class CompiledScenario:
+    """One scenario wired onto a live (simulated) stack, ready to run."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.workload = spec["workload"]
+        self.kind = self.workload["kind"]
+        self._ran = False
+        if self.kind == "baseline":
+            # baseline comparisons build one stack per system inside run()
+            self.testbed = None
+            self.deployment = None
+            self.schedule = None
+            return
+        profile = PROFILES[spec["topology"]["profile"]]
+        pin = self.workload.get("datapath")
+        if pin == "rdma" and not profile.rdma_nic:
+            # the recorded testbeds have no RNIC; an explicit rdma pin is
+            # the what-if that enables one (paper §6: "not yet available")
+            profile = profile.replace(rdma_nic=True)
+        self.testbed = Testbed(profile, hosts=spec["topology"]["hosts"],
+                               seed=spec["seed"])
+        config = RuntimeConfig(trace=True)
+        if pin is not None:
+            config.mapping_strategy = \
+                lambda policy, available, _pin=pin: _pin
+        self.deployment = InsaneDeployment(self.testbed, config=config)
+        self.schedule = build_schedule(spec)
+
+    def run(self):
+        """Execute the workload; returns the JSON-native metrics dict."""
+        if self._ran:
+            raise ScenarioError(
+                "a compiled scenario is single-use (its fault schedule "
+                "arms exactly once); compile a fresh one",
+                source=self.spec["scenario"],
+            )
+        self._ran = True
+        if self.kind == "baseline":
+            return _drive_baseline(self.spec)
+        trace = None
+        if len(self.schedule):
+            trace = self.schedule.apply(self.testbed, self.deployment)
+        metrics = _DRIVERS[self.kind](self.spec, self.testbed,
+                                      self.deployment)
+        metrics["faults"] = {
+            "events": len(trace.events) if trace else 0,
+            "digest": trace.digest() if trace else None,
+        }
+        return metrics
+
+
+def compile_scenario(spec):
+    """Build the simulated stack for one normalized spec."""
+    return CompiledScenario(spec)
+
+
+def run_scenario(spec):
+    """Compile + run in one step; returns the metrics dict."""
+    return compile_scenario(spec).run()
+
+
+# -- shared metric blocks ------------------------------------------------------
+
+def _latency_block(hist):
+    return {
+        "count": hist.count,
+        "mean_ns": hist.mean,
+        "p50_ns": hist.percentile(50),
+        "p99_ns": hist.percentile(99),
+        "p999_ns": hist.percentile(99.9),
+        "max_ns": hist.maximum,
+        "histogram": hist.to_dict(),
+    }
+
+
+def _gap_block(deliveries):
+    """Median (nominal) and maximum (blackout) inter-delivery gap."""
+    gaps = sorted(b - a for a, b in zip(deliveries, deliveries[1:]))
+    if not gaps:
+        return {"nominal_ns": 0.0, "blackout_ns": 0.0}
+    return {"nominal_ns": gaps[len(gaps) // 2], "blackout_ns": gaps[-1]}
+
+
+def _failovers(deployment):
+    return sum(runtime.failovers.value
+               for runtime in deployment.runtimes.values())
+
+
+def _datapath_block(stream, initial):
+    return {"initial": initial, "final": stream.datapath,
+            "degraded": stream.degraded}
+
+
+def _policy(workload):
+    return QosPolicy.from_dict(workload["qos"])
+
+
+# -- workload drivers ----------------------------------------------------------
+
+def _drive_streaming(spec, testbed, deployment):
+    """A paced one-way stream: the paper's sensor/telemetry category."""
+    workload = spec["workload"]
+    sim = testbed.sim
+    messages = workload["messages"]
+    size = workload["size"]
+    interval = workload["interval"]
+    policy = _policy(workload)
+    pub = Session(deployment.runtime(0), "scn-pub")
+    sub = Session(deployment.runtime(1), "scn-sub")
+    pub_stream = pub.create_stream(policy, name=STREAM_NAME)
+    sub_stream = sub.create_stream(policy, name=STREAM_NAME)
+    source = pub.create_source(pub_stream, channel=DATA_CHANNEL)
+    sink = sub.create_sink(sub_stream, channel=DATA_CHANNEL)
+    initial = pub_stream.datapath
+    hist = LogHistogram()
+    deliveries = []
+
+    def producer():
+        for _ in range(messages):
+            buffer = yield from pub.get_buffer_wait(source, size)
+            yield from pub.emit_data(source, buffer, length=size)
+            yield Timeout(interval)
+
+    def consumer():
+        while True:
+            delivery = yield from sub.consume_data(sink)
+            now = sim.now
+            deliveries.append(now)
+            stamps = delivery.meta.get("trace")
+            if stamps and "emit_ns" in stamps:
+                hist.record(now - stamps["emit_ns"])
+            sub.release_buffer(sink, delivery)
+
+    sim.process(consumer(), name="scn.sub")
+    sim.process(producer(), name="scn.pub")
+    sim.run()
+    delivered = len(deliveries)
+    duration = deliveries[-1] if deliveries else 0.0
+    return {
+        "kind": "streaming",
+        "emitted": messages,
+        "delivered": delivered,
+        "delivery_ratio": delivered / messages,
+        "duration_ns": duration,
+        "goodput_gbps": delivered * size * 8.0 / duration if duration else 0.0,
+        "latency": _latency_block(hist),
+        "gaps": _gap_block(deliveries),
+        "datapath": _datapath_block(pub_stream, initial),
+        "failovers": _failovers(deployment),
+    }
+
+
+def _drive_pingpong(spec, testbed, deployment):
+    """Symmetric request/response echo: the RTC-like category (RTT SLOs)."""
+    workload = spec["workload"]
+    sim = testbed.sim
+    rounds = workload["rounds"]
+    size = workload["size"]
+    policy = _policy(workload)
+    client = Session(deployment.runtime(0), "scn-client")
+    server = Session(deployment.runtime(1), "scn-server")
+    c_stream = client.create_stream(policy, name=STREAM_NAME)
+    s_stream = server.create_stream(policy, name=STREAM_NAME)
+    c_source = client.create_source(c_stream, channel=DATA_CHANNEL)
+    c_sink = client.create_sink(c_stream, channel=DATA_CHANNEL + 1)
+    s_sink = server.create_sink(s_stream, channel=DATA_CHANNEL)
+    s_source = server.create_source(s_stream, channel=DATA_CHANNEL + 1)
+    initial = c_stream.datapath
+    hist = LogHistogram()
+
+    def client_proc():
+        for _ in range(rounds):
+            start = sim.now
+            buffer = yield from client.get_buffer_wait(c_source, size)
+            yield from client.emit_data(c_source, buffer, length=size)
+            delivery = yield from client.consume_data(c_sink)
+            client.release_buffer(c_sink, delivery)
+            hist.record(sim.now - start)
+
+    def server_proc():
+        while True:
+            delivery = yield from server.consume_data(s_sink)
+            server.release_buffer(s_sink, delivery)
+            buffer = yield from server.get_buffer_wait(s_source, size)
+            yield from server.emit_data(s_source, buffer, length=size)
+
+    sim.process(server_proc(), name="scn.server")
+    sim.process(client_proc(), name="scn.client")
+    sim.run()
+    return {
+        "kind": "pingpong",
+        "emitted": rounds,
+        "delivered": hist.count,
+        "duration_ns": sim.now,
+        "latency": _latency_block(hist),
+        "datapath": _datapath_block(c_stream, initial),
+        "failovers": _failovers(deployment),
+    }
+
+
+def _drive_bulk(spec, testbed, deployment):
+    """Reliable windowed transfer over the ARQ app layer (bulk category)."""
+    from repro.apps.reliable import ReliableReceiver, ReliableSender
+    from repro.core.errors import TransferError
+
+    workload = spec["workload"]
+    sim = testbed.sim
+    messages = workload["messages"]
+    size = workload["size"]
+    interval = workload["interval"]
+    policy = _policy(workload)
+    tx = Session(deployment.runtime(0), "scn-tx")
+    rx = Session(deployment.runtime(1), "scn-rx")
+    tx_stream = tx.create_stream(policy, name=STREAM_NAME)
+    rx_stream = rx.create_stream(policy, name=STREAM_NAME)
+    sender = ReliableSender(tx, tx_stream, channel=DATA_CHANNEL,
+                            window=workload["window"])
+    initial = tx_stream.datapath
+    delivered = []
+    ReliableReceiver(rx, rx_stream, channel=DATA_CHANNEL,
+                     deliver=delivered.append)
+    expected = [_bulk_payload(index, size) for index in range(messages)]
+    state = {"completed": False}
+
+    def producer():
+        try:
+            for index in range(messages):
+                yield from sender.send(expected[index])
+                yield Timeout(interval)
+            yield from sender.drain()
+        except TransferError:
+            return
+        finally:
+            sender.close()
+        state["completed"] = True
+
+    sim.process(producer(), name="scn.tx")
+    sim.run()
+    duration = sim.now
+    return {
+        "kind": "bulk",
+        "emitted": messages,
+        "delivered": len(delivered),
+        "delivery_ratio": len(delivered) / messages,
+        "duration_ns": duration,
+        "goodput_gbps": (len(delivered) * size * 8.0 / duration
+                         if duration else 0.0),
+        "in_order": delivered == expected[: len(delivered)],
+        "completed": state["completed"] and len(delivered) == messages,
+        "retransmissions": sender.retransmissions.value,
+        "datapath": _datapath_block(tx_stream, initial),
+    }
+
+
+def _bulk_payload(index, size):
+    base = ("m%06d|" % index).encode()
+    if size <= len(base):
+        return base[:size]
+    return base + b"." * (size - len(base))
+
+
+def _drive_fanout(spec, testbed, deployment):
+    """One publisher fanned out to N sink applications (MoM category)."""
+    workload = spec["workload"]
+    sim = testbed.sim
+    messages = workload["messages"]
+    size = workload["size"]
+    sinks = workload["sinks"]
+    policy = _policy(workload)
+    pub = Session(deployment.runtime(0), "scn-pub")
+    pub_stream = pub.create_stream(policy, name=STREAM_NAME)
+    source = pub.create_source(pub_stream, channel=DATA_CHANNEL)
+    initial = pub_stream.datapath
+    hist = LogHistogram()
+    per_sink = [[] for _ in range(sinks)]
+
+    def producer():
+        for _ in range(messages):
+            buffer = yield from pub.get_buffer_wait(source, size)
+            yield from pub.emit_data(source, buffer, length=size)
+
+    def sink_proc(session, sink, deliveries):
+        while True:
+            delivery = yield from session.consume_data(sink)
+            now = sim.now
+            deliveries.append(now)
+            stamps = delivery.meta.get("trace")
+            if stamps and "emit_ns" in stamps:
+                hist.record(now - stamps["emit_ns"])
+            session.release_buffer(sink, delivery)
+
+    for index in range(sinks):
+        session = Session(deployment.runtime(1), "scn-sink%d" % index)
+        stream = session.create_stream(policy, name=STREAM_NAME)
+        sink = session.create_sink(stream, channel=DATA_CHANNEL)
+        sim.process(sink_proc(session, sink, per_sink[index]),
+                    name="scn.sink%d" % index)
+    sim.process(producer(), name="scn.pub")
+    sim.run()
+    total = sum(len(deliveries) for deliveries in per_sink)
+    duration = max((deliveries[-1] for deliveries in per_sink if deliveries),
+                   default=0.0)
+    sink_rates = [
+        len(deliveries) * size * 8.0 / deliveries[-1] if deliveries else 0.0
+        for deliveries in per_sink
+    ]
+    return {
+        "kind": "fanout",
+        "sinks": sinks,
+        "emitted": messages,
+        "delivered": total,
+        "delivery_ratio": total / (messages * sinks),
+        "duration_ns": duration,
+        "goodput_gbps": total * size * 8.0 / duration if duration else 0.0,
+        "min_sink_goodput_gbps": min(sink_rates),
+        "latency": _latency_block(hist),
+        "gaps": _gap_block(per_sink[0]),
+        "datapath": _datapath_block(pub_stream, initial),
+        "failovers": _failovers(deployment),
+    }
+
+
+def _drive_baseline(spec):
+    """Side-by-side RTT of one system vs one baseline (Fig. 7 style).
+
+    Both sides run on fresh same-seed testbeds with the same fault
+    records (a fresh schedule each — schedules arm once)."""
+    from repro.bench.harness import make_system
+
+    workload = spec["workload"]
+    means = {}
+    for field in ("system", "baseline"):
+        name = workload[field]
+        testbed = Testbed(PROFILES[spec["topology"]["profile"]],
+                          hosts=spec["topology"]["hosts"],
+                          seed=spec["seed"])
+        app = make_system(name, testbed)
+        records = _schedule_records(spec)
+        if records:
+            FaultSchedule.from_dict(records).apply(
+                testbed, getattr(app, "deployment", None))
+        rtts = app.pingpong(workload["rounds"], workload["size"])
+        means[field] = rtts.mean
+    system_ns, baseline_ns = means["system"], means["baseline"]
+    return {
+        "kind": "baseline",
+        "system": workload["system"],
+        "baseline": workload["baseline"],
+        "rounds": workload["rounds"],
+        "size": workload["size"],
+        "system_rtt_ns": system_ns,
+        "baseline_rtt_ns": baseline_ns,
+        "speedup_mean": baseline_ns / system_ns if system_ns else 0.0,
+        "slowdown_mean": system_ns / baseline_ns if baseline_ns else 0.0,
+        "faults": {"events": len(_schedule_records(spec)), "digest": None},
+    }
+
+
+_DRIVERS = {
+    "streaming": _drive_streaming,
+    "pingpong": _drive_pingpong,
+    "bulk": _drive_bulk,
+    "fanout": _drive_fanout,
+}

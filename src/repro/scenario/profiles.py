@@ -1,0 +1,60 @@
+"""Recorded impairment profiles: replayable fault traces as artifacts.
+
+The "Note of Caution" line of work (PAPERS.md) argues that edge-testbed
+fidelity claims are only worth something when the impairment conditions
+are *replayable artifacts*, not prose.  A profile here is exactly that: a
+named, checked-in list of JSON-native fault records (the
+:meth:`repro.faults.FaultSchedule.from_dict` shape) that any scenario can
+splice into its ``faults`` section with ``- profile: <name>`` — the
+schema layer expands it to concrete records at validation time, so the
+normalized spec (and therefore the sweep-cell digest) always pins the
+exact impairment sequence that ran.
+
+Times are offsets from simulation start; every profile fits comfortably
+inside the few-millisecond horizon of the corpus workloads.
+"""
+
+#: name -> {"description", "faults": [fault records]}.
+IMPAIRMENT_PROFILES = {
+    # A flaky last-hop radio link: two short loss bursts, then a hard
+    # outage and recovery — the classic edge WiFi trace shape.
+    "wifi_flaky": {
+        "description": "two loss bursts then a short hard outage",
+        "faults": [
+            {"kind": "loss_burst", "at": "150us", "for": "120us",
+             "rate": 0.25, "link": 0},
+            {"kind": "loss_burst", "at": "450us", "for": "80us",
+             "rate": 0.4, "link": 0},
+            {"kind": "link_down", "at": "700us", "for": "60us", "link": 0},
+        ],
+    },
+    # A congested uplink: the NIC's receive descriptors are squeezed
+    # while a noisy neighbour steals cycles on the receiving host.
+    "congested_uplink": {
+        "description": "receive-queue squeeze plus a noisy-neighbour CPU",
+        "faults": [
+            {"kind": "nic_queue_squeeze", "at": "100us", "for": "500us",
+             "capacity": 4, "host": 1},
+            {"kind": "cpu_slowdown", "at": "200us", "for": "400us",
+             "factor": 2.0, "host": 1},
+        ],
+    },
+    # Planned maintenance on the accelerated plane: the DPDK binding is
+    # taken down and restored; QoS-aware failover carries the traffic.
+    "edge_maintenance": {
+        "description": "accelerated datapath down/up (failover window)",
+        "faults": [
+            {"kind": "datapath_failure", "at": "400us", "for": "1ms",
+             "host": 0, "datapath": "dpdk", "reason": "maintenance"},
+        ],
+    },
+    # A wedged poll loop: the datapath stalls without failing, queues
+    # back up and drain — latency spike, no failover.
+    "pmd_hiccup": {
+        "description": "a stalled polling thread (latency spike, no loss)",
+        "faults": [
+            {"kind": "datapath_stall", "at": "300us", "for": "150us",
+             "host": 0, "datapath": "dpdk"},
+        ],
+    },
+}

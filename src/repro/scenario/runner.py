@@ -1,0 +1,168 @@
+"""Scenario execution: corpus discovery, sweep cells, suite reports.
+
+A scenario run is one sweep cell (``kind="scenario.run"``, params =
+the normalized spec), so a corpus of scenarios rides the deterministic
+parallel executor for free: sharding across workers, content-addressed
+result caching, and the bit-identical ``merged_digest`` at any worker
+count all apply unchanged.  :func:`run_suite` is the one entrypoint the
+CLI and CI go through.
+"""
+
+import os
+from hashlib import sha256
+
+from repro.core.errors import ScenarioError
+from repro.report import RunReport, canonical_json
+
+#: file suffixes recognized as scenario documents.
+SCENARIO_SUFFIXES = (".yaml", ".yml", ".json")
+
+SCENARIO_CELL_KIND = "scenario.run"
+
+
+def builtin_corpus_dir():
+    """The checked-in scenario corpus shipped inside the package."""
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+
+
+def discover_scenarios(path):
+    """Scenario files under ``path`` (a file or a directory), sorted.
+
+    The literal argument ``corpus`` (or ``corpus/``) falls back to the
+    built-in corpus when no such file exists in the working directory, so
+    ``insane scenario run corpus/`` works from anywhere."""
+    if isinstance(path, (list, tuple)):
+        found = []
+        for entry in path:
+            found.extend(discover_scenarios(entry))
+        return found
+    if not os.path.exists(path) and os.path.normpath(path) == "corpus":
+        path = builtin_corpus_dir()
+    if os.path.isfile(path):
+        return [path]
+    if not os.path.isdir(path):
+        raise ScenarioError("no scenario file or directory at %r" % (path,))
+    found = sorted(
+        os.path.join(path, name)
+        for name in os.listdir(path)
+        if name.endswith(SCENARIO_SUFFIXES)
+    )
+    if not found:
+        raise ScenarioError(
+            "no scenario files (%s) under %r"
+            % ("/".join(SCENARIO_SUFFIXES), path)
+        )
+    return found
+
+
+def load_suite(path):
+    """Load + validate every scenario under ``path``; rejects name clashes."""
+    from repro.scenario.schema import load_scenario
+
+    specs = []
+    seen = {}
+    for filename in discover_scenarios(path):
+        spec = load_scenario(filename)
+        name = spec["scenario"]
+        if name in seen:
+            raise ScenarioError(
+                "duplicate scenario name %r (also defined in %s)"
+                % (name, seen[name]), source=filename,
+            )
+        seen[name] = filename
+        specs.append(spec)
+    return specs
+
+
+def spec_digest(spec):
+    """sha256 over the canonical normalized spec."""
+    return sha256(canonical_json(spec).encode()).hexdigest()
+
+
+def metrics_digest(metrics):
+    """sha256 over the canonical metrics dict (the determinism witness)."""
+    return sha256(canonical_json(metrics).encode()).hexdigest()
+
+
+def run_scenario_cell(spec, seed=0):
+    """Execute one scenario cell; returns the JSON-native payload.
+
+    ``spec`` is re-validated inside the worker (cheap, and it guarantees
+    a hand-built cell can never smuggle an unnormalized spec past the
+    schema).  The ``seed`` param is carried in the cell for key identity;
+    the authoritative seed lives inside the spec itself.
+    """
+    from repro.scenario.compile import run_scenario
+    from repro.scenario.schema import validate_scenario
+    from repro.scenario.slo import evaluate_slos
+
+    spec = validate_scenario(spec)
+    metrics = run_scenario(spec)
+    assertions, ok = evaluate_slos(spec["slo"], metrics)
+    return {
+        "scenario": spec["scenario"],
+        "seed": spec["seed"],
+        "spec_digest": spec_digest(spec),
+        "metrics": metrics,
+        "metrics_digest": metrics_digest(metrics),
+        "slo": {"assertions": assertions, "ok": ok},
+        "ok": ok,
+    }
+
+
+def scenario_cells(specs):
+    """The specs as sweep cells (one cell per scenario)."""
+    from repro.parallel.cells import make_cell
+
+    return [
+        make_cell(SCENARIO_CELL_KIND, spec=spec, seed=spec["seed"])
+        for spec in specs
+    ]
+
+
+def run_suite(path, workers=1, cache=None, seed=None):
+    """Run every scenario under ``path`` through the sweep executor.
+
+    ``seed``, when given, overrides every scenario's own seed (the CLI's
+    ``--seed`` escape hatch for perturbation studies); the override is
+    part of each cell's identity, so it caches separately.
+
+    Returns ``(report, sweep)``: the :class:`~repro.report.RunReport`
+    (kind ``scenario.suite``) and the raw
+    :class:`~repro.parallel.SweepResult` it was built from.
+    """
+    from repro.parallel import SweepExecutor
+
+    specs = load_suite(path)
+    if seed is not None:
+        specs = [dict(spec, seed=seed) for spec in specs]
+    sweep = SweepExecutor(workers=workers, cache=cache).run(
+        scenario_cells(specs))
+    return scenario_report(sweep), sweep
+
+
+def scenario_report(sweep):
+    """Fold one scenario sweep into a ``scenario.suite`` RunReport.
+
+    ``data`` (digest-compared) carries the name-ordered per-scenario
+    payloads, the executor's merged digest, and the pass/fail roll-up;
+    execution provenance goes in non-compared ``meta``.
+    """
+    payloads = sorted(sweep.payloads(), key=lambda p: p["scenario"])
+    failed = [p["scenario"] for p in payloads if not p["ok"]]
+    return RunReport(
+        kind="scenario.suite",
+        data={
+            "scenarios": payloads,
+            "merged_digest": sweep.merged_digest(),
+            "total": len(payloads),
+            "passed": len(payloads) - len(failed),
+            "failed": failed,
+            "ok": not failed,
+        },
+        meta={
+            "workers": sweep.workers,
+            "executed": sweep.executed,
+            "cache_hits": sweep.cache_hits,
+        },
+    )

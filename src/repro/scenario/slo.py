@@ -1,0 +1,241 @@
+"""SLO assertions: validation, evaluation, and the pass/fail verdict.
+
+An SLO section maps assertion names to thresholds::
+
+    slo:
+      p99_latency_max: 80us       # ceiling, duration
+      goodput_min: 1.5            # floor, Gbps
+      delivery_ratio_min: 0.95    # floor, fraction
+      blackout_max: 400us         # ceiling, duration
+      in_order: true              # boolean
+
+Naming convention: ``*_max`` is a ceiling (observed <= threshold passes),
+``*_min`` a floor (observed >= threshold passes); a value **exactly at**
+its threshold always passes — thresholds are inclusive bounds, not open
+intervals.  Evaluation never passes silently on missing data: a latency
+assertion over an empty histogram is a *failed* assertion with an
+explicit "no samples" reason, and an assertion whose metric the workload
+did not produce is rejected already at validation time (it would be
+unfalsifiable).
+"""
+
+from repro.core.errors import ScenarioError
+
+#: assertion name -> (direction, value kind, metric path, workload kinds).
+#: direction: "max" ceiling / "min" floor / "bool" equality.
+#: value kind: "duration" (ns), "gbps", "ratio", "count", "factor", "bool".
+_LATENCY_KINDS = ("streaming", "pingpong", "fanout")
+_DELIVERY_KINDS = ("streaming", "fanout", "bulk")
+
+SLO_CATALOG = {
+    "mean_latency_max": ("max", "duration", ("latency", "mean_ns"), _LATENCY_KINDS),
+    "p50_latency_max": ("max", "duration", ("latency", "p50_ns"), _LATENCY_KINDS),
+    "p99_latency_max": ("max", "duration", ("latency", "p99_ns"), _LATENCY_KINDS),
+    "p999_latency_max": ("max", "duration", ("latency", "p999_ns"), _LATENCY_KINDS),
+    "max_latency_max": ("max", "duration", ("latency", "max_ns"), _LATENCY_KINDS),
+    "goodput_min": ("min", "gbps", ("goodput_gbps",),
+                    ("streaming", "fanout", "bulk")),
+    "sink_goodput_min": ("min", "gbps", ("min_sink_goodput_gbps",),
+                         ("fanout",)),
+    "delivery_ratio_min": ("min", "ratio", ("delivery_ratio",),
+                           _DELIVERY_KINDS),
+    "delivered_min": ("min", "count", ("delivered",), _DELIVERY_KINDS),
+    "blackout_max": ("max", "duration", ("gaps", "blackout_ns"),
+                     ("streaming", "fanout")),
+    "retransmissions_max": ("max", "count", ("retransmissions",), ("bulk",)),
+    "in_order": ("bool", "bool", ("in_order",), ("bulk",)),
+    "completed": ("bool", "bool", ("completed",), ("bulk",)),
+    "failovers_min": ("min", "count", ("failovers",),
+                      ("streaming", "pingpong", "fanout")),
+    "baseline_speedup_min": ("min", "factor", ("speedup_mean",),
+                             ("baseline",)),
+    "baseline_slowdown_max": ("max", "factor", ("slowdown_mean",),
+                              ("baseline",)),
+}
+
+SLO_NAMES = tuple(sorted(SLO_CATALOG))
+
+#: ceilings that must be mutually ordered: a tighter bound on a higher
+#: percentile than on a lower one can never hold and is a spec conflict.
+_PERCENTILE_CHAIN = ("p50_latency_max", "p99_latency_max",
+                     "p999_latency_max", "max_latency_max")
+
+
+def _normalize_threshold(name, value, kind, path, source):
+    from repro.scenario.schema import parse_duration
+
+    if kind == "duration":
+        return parse_duration(value, path, source)
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise ScenarioError("%s must be true or false, got %r"
+                                % (name, value), path=path, source=source)
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError("%s must be a number, got %r" % (name, value),
+                            path=path, source=source)
+    value = float(value) if kind != "count" else value
+    if kind == "count":
+        if not isinstance(value, int) or value < 0:
+            raise ScenarioError("%s must be a non-negative integer, got %r"
+                                % (name, value), path=path, source=source)
+        return value
+    if kind == "ratio" and not 0.0 <= value <= 1.0:
+        raise ScenarioError(
+            "%s is a fraction and must be in [0, 1], got %r" % (name, value),
+            path=path, source=source,
+        )
+    if kind in ("gbps", "factor") and value <= 0:
+        raise ScenarioError("%s must be > 0, got %r" % (name, value),
+                            path=path, source=source)
+    return value
+
+
+def validate_slo_section(section, spec, source):
+    """Normalize an ``slo`` mapping; raises on unknown/contradictory SLOs.
+
+    Conflict checks (beyond per-value ranges):
+
+    * percentile ceilings must be monotone — ``p99_latency_max`` tighter
+      than ``p50_latency_max`` can never pass;
+    * ``delivered_min`` cannot exceed the messages the workload emits;
+    * ``failovers_min`` needs a ``datapath_failure`` fault to provoke one.
+    """
+    workload = spec["workload"]
+    normalized = {}
+    for name in sorted(section):
+        path = "slo.%s" % name
+        entry = SLO_CATALOG.get(name)
+        if entry is None:
+            raise ScenarioError(
+                "unknown SLO %r (known assertions: %s)"
+                % (name, ", ".join(SLO_NAMES)), path=path, source=source,
+            )
+        _direction, kind, _metric, kinds = entry
+        if workload["kind"] not in kinds:
+            raise ScenarioError(
+                "%s does not apply to a %r workload (valid for: %s) — it "
+                "would be unfalsifiable" % (name, workload["kind"],
+                                            ", ".join(kinds)),
+                path=path, source=source,
+            )
+        normalized[name] = _normalize_threshold(name, section[name], kind,
+                                                path, source)
+
+    chain = [(name, normalized[name]) for name in _PERCENTILE_CHAIN
+             if name in normalized]
+    for (lo_name, lo_value), (hi_name, hi_value) in zip(chain, chain[1:]):
+        if lo_value > hi_value:
+            raise ScenarioError(
+                "conflicting SLOs: %s (%.0f ns) is looser than %s (%.0f ns) "
+                "— a higher percentile can never beat a lower one"
+                % (lo_name, lo_value, hi_name, hi_value),
+                path="slo.%s" % hi_name, source=source,
+            )
+    if "delivered_min" in normalized:
+        emitted = workload.get("messages")
+        if emitted is not None and normalized["delivered_min"] > emitted:
+            raise ScenarioError(
+                "conflicting SLOs: delivered_min=%d but the workload only "
+                "emits %d message(s)" % (normalized["delivered_min"], emitted),
+                path="slo.delivered_min", source=source,
+            )
+    if normalized.get("failovers_min", 0) > 0:
+        if not any(fault["kind"] == "datapath_failure"
+                   for fault in spec["faults"]):
+            raise ScenarioError(
+                "conflicting SLOs: failovers_min > 0 but no "
+                "datapath_failure fault is scheduled to provoke one",
+                path="slo.failovers_min", source=source,
+            )
+    return normalized
+
+
+def _lookup(metrics, path):
+    value = metrics
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def evaluate_slos(slo_spec, metrics):
+    """Evaluate assertions against a metrics dict; returns (assertions, ok).
+
+    ``assertions`` is a name-ordered list of JSON-native records::
+
+        {"name": ..., "threshold": ..., "observed": ..., "ok": bool,
+         "reason": ...}   # reason present only on failure
+
+    A missing metric or an empty latency histogram fails the assertion
+    loudly (explicit reason) — never silently.
+    """
+    assertions = []
+    all_ok = True
+    for name in sorted(slo_spec):
+        direction, kind, metric_path, _kinds = SLO_CATALOG[name]
+        threshold = slo_spec[name]
+        observed = _lookup(metrics, metric_path)
+        record = {"name": name, "threshold": threshold, "observed": observed}
+        reason = None
+        if metric_path[0] == "latency" \
+                and not (metrics.get("latency") or {}).get("count"):
+            observed = None
+            record["observed"] = None
+            reason = ("no latency samples recorded (empty histogram) — "
+                      "refusing to pass an SLO over no data")
+        elif observed is None:
+            reason = ("metric %s missing from the run's results"
+                      % ".".join(metric_path))
+        if reason is None:
+            if direction == "max":
+                ok = observed <= threshold
+                if not ok:
+                    reason = "observed %s exceeds the %s ceiling" % (
+                        _fmt(observed, kind), _fmt(threshold, kind))
+            elif direction == "min":
+                ok = observed >= threshold
+                if not ok:
+                    reason = "observed %s is under the %s floor" % (
+                        _fmt(observed, kind), _fmt(threshold, kind))
+            else:
+                ok = observed == threshold
+                if not ok:
+                    reason = "observed %r != required %r" % (observed,
+                                                             threshold)
+        else:
+            ok = False
+        record["ok"] = ok
+        if reason is not None:
+            record["reason"] = reason
+        assertions.append(record)
+        all_ok = all_ok and ok
+    return assertions, all_ok
+
+
+def _fmt(value, kind):
+    if kind == "duration":
+        return "%.1f us" % (value / 1000.0)
+    if kind == "gbps":
+        return "%.3f Gbps" % value
+    if kind == "ratio":
+        return "%.4f" % value
+    if kind == "factor":
+        return "%.2fx" % value
+    return str(value)
+
+
+def format_assertions(assertions, indent="  "):
+    """Human-readable one-line-per-assertion rendering."""
+    lines = []
+    for record in assertions:
+        mark = "PASS" if record["ok"] else "FAIL"
+        line = "%s%s %-24s threshold=%s observed=%s" % (
+            indent, mark, record["name"], record["threshold"],
+            record["observed"],
+        )
+        if not record["ok"]:
+            line += "  (%s)" % record.get("reason", "failed")
+        lines.append(line)
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ CELL_RUNNERS = {
     "validate.spec": "repro.validate.parallel:run_spec_cell",
     "validate.differential": "repro.validate.parallel:run_differential_cell",
     "validate.fuzz": "repro.validate.parallel:run_fuzz_cell",
+    "scenario.run": "repro.scenario.runner:run_scenario_cell",
 }
 
 

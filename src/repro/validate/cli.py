@@ -19,10 +19,13 @@ import sys
 
 
 def _cmd_differential(args):
-    if args.workers > 1:
-        from repro.validate.parallel import parallel_differential
+    if args.workers > 1 or args.json:
+        from repro.validate.parallel import (
+            differential_report,
+            parallel_differential,
+        )
 
-        checked, diverged, _sweep = parallel_differential(
+        checked, diverged, sweep = parallel_differential(
             seed=args.seed, n=args.n, workers=args.workers,
             perturb=args.perturb,
             progress=print if args.verbose else None,
@@ -33,6 +36,10 @@ def _cmd_differential(args):
             "differential: %d/%d workload(s) checked, %d divergence(s) "
             "(%d workers)" % (checked, args.n, len(diverged), args.workers)
         )
+        if args.json:
+            from repro.report import write_reports
+
+            write_reports(args.json, [differential_report(sweep)])
         return 1 if diverged else 0
     from repro.validate.differential import run_differential
 
@@ -71,10 +78,14 @@ def _cmd_properties(args):
 
 
 def _cmd_fuzz(args):
-    if args.workers > 1:
-        from repro.validate.parallel import format_fuzz_failure, parallel_fuzz
+    if args.workers > 1 or args.json:
+        from repro.validate.parallel import (
+            format_fuzz_failure,
+            fuzz_report,
+            parallel_fuzz,
+        )
 
-        checked, failures, _sweep = parallel_fuzz(
+        checked, failures, sweep = parallel_fuzz(
             seed=args.seed, n=args.n, workers=args.workers,
             differential=args.differential, do_shrink=not args.no_shrink,
             progress=print if args.verbose else None,
@@ -85,6 +96,10 @@ def _cmd_fuzz(args):
             "fuzz: %d spec(s) checked, %d failure(s) (%d workers)"
             % (checked, len(failures), args.workers)
         )
+        if args.json:
+            from repro.report import write_reports
+
+            write_reports(args.json, [fuzz_report(sweep)])
         return 1 if failures else 0
     from repro.validate.fuzz import fuzz
 
@@ -226,6 +241,9 @@ def build_parser():
         help="shard specs across N worker processes (checks all --n specs; "
              "implies --keep-going)",
     )
+    differential.add_argument("--json", metavar="PATH", default=None,
+                              help="append a validate.differential RunReport "
+                                   "to this JSON file")
     differential.add_argument("-v", "--verbose", action="store_true")
     differential.set_defaults(func=_cmd_differential)
 
@@ -251,6 +269,9 @@ def build_parser():
         "--workers", type=int, default=1, metavar="N",
         help="shard fuzzed specs across N worker processes",
     )
+    fuzz.add_argument("--json", metavar="PATH", default=None,
+                      help="append a validate.fuzz RunReport to this "
+                           "JSON file")
     fuzz.add_argument("-v", "--verbose", action="store_true")
     fuzz.set_defaults(func=_cmd_fuzz)
 

@@ -162,6 +162,52 @@ def parallel_differential(seed=0, n=50, workers=1, perturb=None, cache=None,
     return len(sweep.results), diverged, sweep
 
 
+# -- sweep -> RunReport folds -------------------------------------------------
+
+def fuzz_report(sweep):
+    """Fold a fuzz sweep into a ``validate.fuzz`` RunReport.
+
+    ``data`` (digest-compared) carries the verdict and the executor's
+    merged digest; worker count and cache hits are provenance and live in
+    non-compared ``meta``.
+    """
+    from repro.report import RunReport
+
+    payloads = [result.payload for result in sweep.results]
+    failed = sorted(p["seed"] for p in payloads if p["violations"])
+    return RunReport(
+        kind="validate.fuzz",
+        data={
+            "checked": len(payloads),
+            "failed_seeds": failed,
+            "merged_digest": sweep.merged_digest(),
+            "ok": not failed,
+        },
+        meta={"workers": sweep.workers, "executed": sweep.executed,
+              "cache_hits": sweep.cache_hits},
+    )
+
+
+def differential_report(sweep):
+    """Fold a differential-oracle sweep into a ``validate.differential``
+    RunReport (same data/meta split as :func:`fuzz_report`)."""
+    from repro.report import RunReport
+
+    payloads = [result.payload for result in sweep.results]
+    diverged = sorted(p["seed"] for p in payloads if p["diverged"])
+    return RunReport(
+        kind="validate.differential",
+        data={
+            "checked": len(payloads),
+            "diverged_seeds": diverged,
+            "merged_digest": sweep.merged_digest(),
+            "ok": not diverged,
+        },
+        meta={"workers": sweep.workers, "executed": sweep.executed,
+              "cache_hits": sweep.cache_hits},
+    )
+
+
 # -- the executor's own checker -----------------------------------------------
 
 def equivalence_cells(seed=0, n=4):

@@ -64,13 +64,14 @@ class TestJsonReport:
         tally.record(5.0)
         write_json_report(path, {"fig7": {"raw_dpdk": tally}})
         data = json.load(open(path))
-        assert data[0]["experiments"]["fig7"]["raw_dpdk"]["mean"] == 5.0
+        experiments = data[0]["data"]["experiments"]
+        assert experiments["fig7"]["raw_dpdk"]["mean"] == 5.0
 
     def test_tuple_keys_flattened(self, tmp_path):
         path = str(tmp_path / "report.json")
         write_json_report(path, {"fig8a": {("raw_dpdk", 64): 3.5}})
         data = json.load(open(path))
-        assert data[0]["experiments"]["fig8a"]["raw_dpdk/64"] == 3.5
+        assert data[0]["data"]["experiments"]["fig8a"]["raw_dpdk/64"] == 3.5
 
     def test_successive_runs_accumulate(self, tmp_path):
         path = str(tmp_path / "report.json")
@@ -78,7 +79,23 @@ class TestJsonReport:
         write_json_report(path, {"b": 2}, profile="cloud")
         data = json.load(open(path))
         assert len(data) == 2
-        assert data[1]["profile"] == "cloud"
+        assert data[1]["data"]["profile"] == "cloud"
+
+    def test_records_are_run_report_documents(self, tmp_path):
+        from repro.report import RunReport
+
+        path = str(tmp_path / "report.json")
+        written = write_json_report(path, {"a": 1}, seed=7,
+                                    sim_stats={"events": 10})
+        data = json.load(open(path))
+        loaded = RunReport.from_dict(data[0])
+        assert loaded.kind == "bench.run"
+        assert loaded.digest() == written.digest()
+        # diagnostics live in meta and never move the digest
+        assert loaded.meta["sim_stats"] == {"events": 10}
+        bare = write_json_report(str(tmp_path / "other.json"), {"a": 1},
+                                 seed=7)
+        assert bare.digest() == written.digest()
 
     def test_corrupt_file_recovered(self, tmp_path):
         path = tmp_path / "report.json"

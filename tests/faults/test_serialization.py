@@ -1,0 +1,112 @@
+"""JSON-native round trips: fault schedules and QoS policies."""
+
+import pytest
+
+from repro.core.errors import FaultInjectionError, QosValidationError
+from repro.core.qos import (
+    Acceleration,
+    QosPolicy,
+    ResourceBudget,
+    TimeSensitivity,
+)
+from repro.faults.schedule import INJECTOR_KINDS, FaultSchedule
+
+
+def full_schedule():
+    return (FaultSchedule()
+            .link_down(at=100_000, for_ns=50_000, link=0)
+            .loss_burst(at=200_000, for_ns=80_000, rate=0.25, link=1)
+            .nic_queue_squeeze(at=300_000, for_ns=60_000, capacity=4, host=1)
+            .datapath_failure(at=400_000, datapath="dpdk", host=0)
+            .datapath_stall(at=500_000, for_ns=90_000, datapath="dpdk")
+            .cpu_slowdown(at=600_000, for_ns=70_000, factor=2.0, host=1))
+
+
+class TestFaultScheduleRoundTrip:
+    def test_every_kind_round_trips(self):
+        original = full_schedule()
+        assert {i.kind for i in original} == set(INJECTOR_KINDS)
+        rebuilt = FaultSchedule.from_dict(original.to_dict())
+        assert rebuilt.describe() == original.describe()
+
+    def test_string_durations_equal_numeric(self):
+        numeric = FaultSchedule.from_dict([
+            {"kind": "loss_burst", "at": 250_000, "for": 100_000,
+             "rate": 0.2},
+            {"kind": "link_down", "at": 1_000_000, "for": 300_000},
+        ])
+        strings = FaultSchedule.from_dict([
+            {"kind": "loss_burst", "at": "250us", "for": "100us",
+             "rate": 0.2},
+            {"kind": "link_down", "at": "1ms", "for": "300us"},
+        ])
+        assert strings.describe() == numeric.describe()
+
+    def test_bare_list_and_wrapped_dict_equivalent(self):
+        records = [{"kind": "link_down", "at": 0, "for": 10_000}]
+        assert FaultSchedule.from_dict(records).describe() == \
+            FaultSchedule.from_dict({"faults": records}).describe()
+
+    def test_permanent_fault_round_trips_none_duration(self):
+        schedule = FaultSchedule.from_dict(
+            [{"kind": "loss_burst", "at": 0, "rate": 0.1}])
+        assert schedule.injectors[0].for_ns is None
+        rebuilt = FaultSchedule.from_dict(schedule.to_dict())
+        assert rebuilt.injectors[0].for_ns is None
+
+    def test_unknown_kind_names_the_record(self):
+        with pytest.raises(FaultInjectionError) as err:
+            FaultSchedule.from_dict([{"kind": "gremlins", "at": 0}])
+        assert "faults[0]" in str(err.value)
+
+    def test_unknown_field_names_the_record(self):
+        with pytest.raises(FaultInjectionError) as err:
+            FaultSchedule.from_dict(
+                [{"kind": "link_down", "at": 0, "for": 1, "power": 9}])
+        assert "power" in str(err.value)
+
+    def test_missing_at_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict([{"kind": "link_down", "for": 1000}])
+
+    def test_bad_duration_string_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict(
+                [{"kind": "link_down", "at": "soon", "for": 1000}])
+
+
+class TestQosPolicyRoundTrip:
+    ALL_POLICIES = [
+        QosPolicy(acceleration, resources, sensitivity)
+        for acceleration in Acceleration
+        for resources in ResourceBudget
+        for sensitivity in TimeSensitivity
+        # constrained only applies to accelerated streams
+        if not (acceleration is Acceleration.NONE
+                and resources is ResourceBudget.CONSTRAINED)
+    ]
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES,
+                             ids=lambda p: "-".join(
+                                 (p.acceleration.name, p.resources.name,
+                                  p.time_sensitivity.name)).lower())
+    def test_to_dict_from_dict_identity(self, policy):
+        assert QosPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_enum_names_accepted_any_case(self):
+        assert QosPolicy.from_dict(
+            {"acceleration": "ACCELERATED", "resources": "Constrained",
+             "time_sensitivity": "TIME_SENSITIVE"}
+        ) == QosPolicy.fast(constrained=True, time_sensitive=True)
+
+    def test_hyphen_underscore_interchangeable(self):
+        assert QosPolicy.from_dict(
+            {"time_sensitivity": "best_effort"}) == QosPolicy.slow()
+
+    def test_invalid_value_raises_typed(self):
+        with pytest.raises(QosValidationError):
+            QosPolicy.from_dict({"acceleration": "ludicrous"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(QosValidationError):
+            QosPolicy.from_dict("fast")

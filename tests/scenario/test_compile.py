@@ -1,0 +1,115 @@
+"""Compiled scenarios: determinism, pinning, fault wiring, single use."""
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenario.compile import compile_scenario, run_scenario
+from repro.scenario.runner import metrics_digest
+from repro.scenario.schema import validate_scenario
+
+
+def spec(**overrides):
+    document = {
+        "scenario": "compile-unit",
+        "seed": 5,
+        "workload": {"kind": "streaming", "messages": 40, "size": 256,
+                     "interval": "1us"},
+        "slo": {"delivery_ratio_min": 0.5},
+    }
+    document.update(overrides)
+    return validate_scenario(document)
+
+
+class TestDeterminism:
+    def test_same_spec_same_metrics_digest(self):
+        first = run_scenario(spec())
+        second = run_scenario(spec())
+        assert metrics_digest(first) == metrics_digest(second)
+
+    def test_different_seed_different_digest(self):
+        noisy = {"kind": "loss_burst", "at": 0, "for": "200us", "rate": 0.5}
+        first = run_scenario(spec(faults=[noisy]))
+        second = run_scenario(spec(seed=6, faults=[noisy]))
+        assert metrics_digest(first) != metrics_digest(second)
+
+    def test_compiled_scenario_is_single_use(self):
+        compiled = compile_scenario(spec())
+        compiled.run()
+        with pytest.raises(ScenarioError):
+            compiled.run()
+
+
+class TestCompilation:
+    def test_datapath_pin_respected(self):
+        document = spec().copy()
+        metrics = run_scenario(spec(
+            workload={"kind": "streaming", "messages": 20, "size": 256,
+                      "interval": "1us", "datapath": "xdp",
+                      "qos": {"acceleration": "fast",
+                              "resources": "constrained"}},
+        ))
+        assert metrics["datapath"]["initial"] == "xdp"
+        assert document["workload"].get("datapath") is None
+
+    def test_rdma_pin_provisions_rdma_nic(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "streaming", "messages": 20, "size": 256,
+                      "interval": "1us", "datapath": "rdma"},
+        ))
+        assert metrics["datapath"]["initial"] == "rdma"
+
+    def test_fault_trace_recorded_in_metrics(self):
+        metrics = run_scenario(spec(
+            faults=[{"kind": "loss_burst", "at": 0, "for": "10us",
+                     "rate": 0.2}],
+        ))
+        assert metrics["faults"]["events"] > 0
+        assert metrics["faults"]["digest"]
+
+    def test_clean_run_has_empty_fault_block(self):
+        metrics = run_scenario(spec())
+        assert metrics["faults"] == {"events": 0, "digest": None}
+
+    def test_latency_samples_match_deliveries(self):
+        metrics = run_scenario(spec())
+        assert metrics["latency"]["count"] == metrics["delivered"] > 0
+
+
+class TestWorkloadDrivers:
+    def test_pingpong_reports_rtt_histogram(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "pingpong", "rounds": 30, "size": 64},
+            slo={"p99_latency_max": "1ms"},
+        ))
+        assert metrics["kind"] == "pingpong"
+        assert metrics["latency"]["count"] == 30
+
+    def test_bulk_reports_reliability_verdict(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "bulk", "messages": 20, "size": 256,
+                      "interval": "5us", "window": 8},
+            slo={"completed": True},
+        ))
+        assert metrics["completed"] is True
+        assert metrics["in_order"] is True
+        assert metrics["retransmissions"] == 0
+
+    def test_fanout_reports_per_sink_floor(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "fanout", "messages": 30, "size": 512,
+                      "sinks": 3},
+            slo={"sink_goodput_min": 0.001},
+        ))
+        assert metrics["sinks"] == 3
+        assert metrics["min_sink_goodput_gbps"] > 0
+
+    def test_baseline_reports_speedup(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "baseline", "system": "insane_fast",
+                      "baseline": "udp_nonblocking", "rounds": 40,
+                      "size": 64},
+            slo={"baseline_speedup_min": 1.1},
+        ))
+        assert metrics["speedup_mean"] > 1.0
+        assert metrics["slowdown_mean"] == pytest.approx(
+            1.0 / metrics["speedup_mean"])

@@ -1,0 +1,91 @@
+"""The suite runner: corpus discovery, sweep integration, digests."""
+
+import os
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenario.runner import (
+    builtin_corpus_dir,
+    discover_scenarios,
+    load_suite,
+    run_suite,
+    scenario_cells,
+)
+
+#: three cheap corpus scenarios — one per datapath tier — used as the
+#: tier-1 smoke (the full 26-scenario corpus runs in the CI corpus job).
+SMOKE = [
+    os.path.join(builtin_corpus_dir(), name)
+    for name in ("pingpong-dpdk-rtt.yaml", "streaming-udp-slow.yaml",
+                 "bulk-lossy-arq.yaml")
+]
+
+
+class TestDiscovery:
+    def test_builtin_corpus_is_present_and_broad(self):
+        files = discover_scenarios(builtin_corpus_dir())
+        assert len(files) >= 20
+
+    def test_literal_corpus_falls_back_to_builtin(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert discover_scenarios("corpus") == \
+            discover_scenarios(builtin_corpus_dir())
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ScenarioError):
+            discover_scenarios("/no/such/scenarios")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ScenarioError):
+            discover_scenarios(str(tmp_path))
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        text = ("scenario: twin\nworkload: {kind: pingpong, rounds: 5}\n"
+                "slo: {p99_latency_max: 1ms}\n")
+        (tmp_path / "a.yaml").write_text(text)
+        (tmp_path / "b.yaml").write_text(text)
+        with pytest.raises(ScenarioError) as err:
+            load_suite(str(tmp_path))
+        assert "duplicate" in str(err.value)
+
+
+class TestSuiteExecution:
+    def test_smoke_scenarios_pass_their_slos(self):
+        report, sweep = run_suite(SMOKE)
+        assert report.kind == "scenario.suite"
+        assert report.data["ok"]
+        assert report.data["total"] == 3
+        assert report.data["failed"] == []
+        assert sweep.merged_digest() == report.data["merged_digest"]
+
+    def test_parallel_run_merges_bit_identically(self):
+        serial, _ = run_suite(SMOKE[:2], workers=1)
+        parallel, _ = run_suite(SMOKE[:2], workers=2)
+        assert serial.data["merged_digest"] == parallel.data["merged_digest"]
+        assert serial.digest() == parallel.digest()
+
+    def test_seed_override_moves_the_digest(self):
+        base, _ = run_suite(SMOKE[:1])
+        overridden, _ = run_suite(SMOKE[:1], seed=999)
+        assert base.data["merged_digest"] != \
+            overridden.data["merged_digest"]
+        assert overridden.data["scenarios"][0]["seed"] == 999
+
+    def test_cells_pin_the_spec_seed(self):
+        specs = load_suite(SMOKE[:1])
+        cells = scenario_cells(specs)
+        assert cells[0]["params"]["seed"] == specs[0]["seed"]
+
+    def test_failing_slo_reported_not_raised(self, tmp_path):
+        (tmp_path / "doomed.yaml").write_text(
+            "scenario: doomed\nseed: 1\n"
+            "workload: {kind: pingpong, rounds: 10}\n"
+            "slo: {p99_latency_max: 1ns}\n"
+        )
+        report, _ = run_suite(str(tmp_path))
+        assert not report.data["ok"]
+        assert report.data["failed"] == ["doomed"]
+        payload = report.data["scenarios"][0]
+        assert not payload["slo"]["assertions"][0]["ok"]

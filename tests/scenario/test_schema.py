@@ -1,0 +1,182 @@
+"""Scenario-document schema: normalization and loud, path-citing errors."""
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenario.schema import (
+    SCENARIO_SCHEMA,
+    load_scenario,
+    parse_scenario,
+    parse_size,
+    validate_scenario,
+)
+
+
+def minimal(**overrides):
+    document = {
+        "scenario": "unit-minimal",
+        "seed": 3,
+        "workload": {"kind": "streaming", "messages": 10, "size": "1KB",
+                     "interval": "2us"},
+        "slo": {"delivery_ratio_min": 0.5},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestNormalization:
+    def test_minimal_spec_normalizes(self):
+        spec = validate_scenario(minimal())
+        assert spec["schema"] == SCENARIO_SCHEMA
+        assert spec["workload"]["size"] == 1024
+        assert spec["workload"]["interval"] == 2000.0
+        # qos defaults to the fast policy, stored as enum values
+        assert spec["workload"]["qos"]["acceleration"] == "fast"
+        assert spec["topology"] == {"profile": "local", "hosts": 2,
+                                    "impairments": []}
+        assert spec["faults"] == []
+
+    def test_duration_slo_thresholds_normalized(self):
+        spec = validate_scenario(minimal(slo={"p99_latency_max": "80us"}))
+        assert spec["slo"]["p99_latency_max"] == 80_000.0
+
+    def test_normalized_spec_is_stable(self):
+        assert validate_scenario(minimal()) == validate_scenario(minimal())
+
+    def test_size_strings(self):
+        assert parse_size("64B", "p") == 64
+        assert parse_size("4KiB", "p") == 4096
+        assert parse_size(512, "p") == 512
+        with pytest.raises(ScenarioError):
+            parse_size("fast", "p")
+
+    def test_profile_replay_expands_to_records(self):
+        spec = validate_scenario(minimal(faults=[{"profile": "wifi_flaky"}]))
+        assert len(spec["faults"]) == 3
+        assert all("kind" in f and "at" in f for f in spec["faults"])
+        # expanded records are normalized (string durations -> float ns)
+        assert spec["faults"][0]["at"] == 150_000.0
+
+
+class TestErrorsCitePaths:
+    def test_bad_interval_cites_workload_interval(self):
+        bad = minimal()
+        bad["workload"]["interval"] = "sometimes"
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(bad)
+        assert err.value.path == "workload.interval"
+        assert "workload.interval" in str(err.value)
+
+    def test_source_file_named_in_message(self, tmp_path):
+        path = tmp_path / "broken.yaml"
+        path.write_text("scenario: x-1\nworkload: {kind: nope}\n"
+                        "slo: {goodput_min: 1}\n")
+        with pytest.raises(ScenarioError) as err:
+            load_scenario(str(path))
+        assert str(path) in str(err.value)
+        assert err.value.path == "workload.kind"
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(telemetry=True))
+        assert err.value.path == "telemetry"
+
+    def test_unknown_fault_kind_cites_index(self):
+        bad = minimal(faults=[{"kind": "meteor_strike", "at": 0}])
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(bad)
+        assert err.value.path == "faults[0].kind"
+
+    def test_unknown_impairment_profile(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(faults=[{"profile": "lunar_storm"}]))
+        assert err.value.path == "faults[0].profile"
+
+    def test_invalid_yaml_cites_source(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("scenario: [unclosed\n")
+        with pytest.raises(ScenarioError) as err:
+            load_scenario(str(path))
+        assert "YAML" in str(err.value)
+        assert str(path) in str(err.value)
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(schema=SCENARIO_SCHEMA + 1))
+        assert err.value.path == "schema"
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(minimal(scenario="Not A Name"))
+
+
+class TestSemanticConflicts:
+    def test_rdma_pin_on_cloud_rejected(self):
+        bad = minimal(topology={"profile": "cloud"})
+        bad["workload"]["datapath"] = "rdma"
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(bad)
+        assert err.value.path == "workload.datapath"
+
+    def test_datapath_pin_on_bulk_rejected(self):
+        bad = minimal()
+        bad["workload"] = {"kind": "bulk", "datapath": "dpdk"}
+        bad["slo"] = {"completed": True}
+        with pytest.raises(ScenarioError):
+            validate_scenario(bad)
+
+    def test_unknown_slo_listed(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(slo={"p98_latency_max": "1ms"}))
+        assert "known assertions" in str(err.value)
+
+    def test_slo_for_wrong_workload_kind(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(slo={"retransmissions_max": 3}))
+        assert "unfalsifiable" in str(err.value)
+
+    def test_percentile_chain_must_be_monotone(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(minimal(slo={"p50_latency_max": "90us",
+                                           "p99_latency_max": "10us"}))
+        assert "never beat" in str(err.value)
+
+    def test_delivered_min_capped_by_workload(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(minimal(slo={"delivered_min": 11}))
+
+    def test_failovers_need_a_datapath_failure(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(minimal(slo={"failovers_min": 1}))
+        spec = validate_scenario(minimal(
+            faults=[{"kind": "datapath_failure", "at": "100us",
+                     "datapath": "dpdk"}],
+            slo={"failovers_min": 1},
+        ))
+        assert spec["slo"]["failovers_min"] == 1
+
+    def test_missing_slo_section_rejected(self):
+        bad = minimal()
+        del bad["slo"]
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(bad)
+        assert err.value.path == "slo"
+
+
+class TestParsing:
+    def test_json_documents_accepted(self):
+        spec = parse_scenario(
+            '{"scenario": "j-1", "workload": {"kind": "pingpong"}, '
+            '"slo": {"p99_latency_max": 99000}}'
+        )
+        assert spec["scenario"] == "j-1"
+        assert spec["workload"]["rounds"] == 300
+
+    def test_yaml_documents_accepted(self):
+        spec = parse_scenario(
+            "scenario: y-1\n"
+            "workload: {kind: pingpong, size: 64B}\n"
+            "slo: {p99_latency_max: 99us}\n"
+        )
+        assert spec["workload"]["size"] == 64
+        assert spec["slo"]["p99_latency_max"] == 99_000.0

@@ -1,0 +1,85 @@
+"""SLO evaluation semantics: inclusive thresholds, loud failures."""
+
+from repro.scenario.slo import evaluate_slos, format_assertions
+
+
+def metrics(**overrides):
+    base = {
+        "kind": "streaming",
+        "delivered": 10,
+        "delivery_ratio": 0.9,
+        "goodput_gbps": 2.0,
+        "latency": {"count": 10, "mean_ns": 500.0, "p50_ns": 400.0,
+                    "p99_ns": 900.0, "p999_ns": 950.0, "max_ns": 1000.0},
+        "gaps": {"blackout_ns": 5000.0},
+    }
+    base.update(overrides)
+    return base
+
+
+def one(assertions, name):
+    return next(a for a in assertions if a["name"] == name)
+
+
+class TestThresholdSemantics:
+    def test_exactly_at_ceiling_passes(self):
+        assertions, ok = evaluate_slos({"p99_latency_max": 900.0}, metrics())
+        assert ok
+        assert one(assertions, "p99_latency_max")["ok"]
+
+    def test_exactly_at_floor_passes(self):
+        assertions, ok = evaluate_slos({"delivery_ratio_min": 0.9}, metrics())
+        assert ok
+
+    def test_one_over_the_ceiling_fails(self):
+        assertions, ok = evaluate_slos(
+            {"p99_latency_max": 899.999}, metrics())
+        assert not ok
+        record = one(assertions, "p99_latency_max")
+        assert "exceeds" in record["reason"]
+
+    def test_bool_assertion_mismatch_reports_both_sides(self):
+        assertions, ok = evaluate_slos(
+            {"completed": True},
+            {"kind": "bulk", "completed": False,
+             "latency": {"count": 1}},
+        )
+        assert not ok
+        assert "False" in one(assertions, "completed")["reason"]
+
+    def test_all_assertions_reported_in_name_order(self):
+        assertions, _ok = evaluate_slos(
+            {"goodput_min": 1.0, "delivery_ratio_min": 0.5,
+             "p50_latency_max": 1e6}, metrics())
+        assert [a["name"] for a in assertions] == sorted(
+            ["goodput_min", "delivery_ratio_min", "p50_latency_max"])
+
+
+class TestLoudFailures:
+    def test_empty_histogram_fails_not_passes(self):
+        empty = metrics(latency={"count": 0})
+        assertions, ok = evaluate_slos({"p99_latency_max": 1e9}, empty)
+        assert not ok
+        record = one(assertions, "p99_latency_max")
+        assert record["observed"] is None
+        assert "no latency samples" in record["reason"]
+
+    def test_missing_metric_fails_with_reason(self):
+        assertions, ok = evaluate_slos(
+            {"blackout_max": 1e9}, metrics(gaps={}))
+        assert not ok
+        assert "missing" in one(assertions, "blackout_max")["reason"]
+
+    def test_passing_records_carry_no_reason(self):
+        assertions, ok = evaluate_slos({"goodput_min": 1.0}, metrics())
+        assert ok
+        assert "reason" not in assertions[0]
+
+
+class TestFormatting:
+    def test_format_marks_pass_and_fail(self):
+        assertions, _ok = evaluate_slos(
+            {"goodput_min": 1.0, "p99_latency_max": 1.0}, metrics())
+        text = format_assertions(assertions)
+        assert "PASS" in text and "FAIL" in text
+        assert "p99_latency_max" in text

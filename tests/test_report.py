@@ -1,0 +1,79 @@
+"""The unified RunReport result object: digests, schema, persistence."""
+
+import json
+
+import pytest
+
+from repro.report import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    canonical_json,
+    write_reports,
+)
+
+
+class TestDigest:
+    def test_meta_never_moves_the_digest(self):
+        bare = RunReport(kind="t", data={"x": 1})
+        decorated = RunReport(kind="t", data={"x": 1},
+                              meta={"workers": 16, "host": "somewhere"})
+        assert bare.digest() == decorated.digest()
+        assert bare == decorated
+
+    def test_data_moves_the_digest(self):
+        assert RunReport(kind="t", data={"x": 1}).digest() != \
+            RunReport(kind="t", data={"x": 2}).digest()
+
+    def test_kind_moves_the_digest(self):
+        assert RunReport(kind="a", data={}).digest() != \
+            RunReport(kind="b", data={}).digest()
+
+    def test_digest_input_is_key_order_independent(self):
+        assert RunReport(kind="t", data={"a": 1, "b": 2}).digest() == \
+            RunReport(kind="t", data={"b": 2, "a": 1}).digest()
+
+
+class TestRoundTrip:
+    def test_dict_and_json_round_trips(self):
+        report = RunReport(kind="t", data={"x": [1, 2]}, meta={"w": 4})
+        assert RunReport.from_dict(report.to_dict()) == report
+        loaded = RunReport.from_json(report.to_json())
+        assert loaded.digest() == report.digest()
+        assert loaded.meta == {"w": 4}
+
+    def test_newer_schema_rejected_loudly(self):
+        document = RunReport(kind="t", data={}).to_dict()
+        document["schema"] = RUN_REPORT_SCHEMA + 1
+        with pytest.raises(ValueError) as err:
+            RunReport.from_dict(document)
+        assert "newer" in str(err.value)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RunReport.from_dict({"kind": "t"})
+        with pytest.raises(ValueError):
+            RunReport.from_dict("not a dict")
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestWriteReports:
+    def test_successive_writes_accumulate(self, tmp_path):
+        path = str(tmp_path / "reports.json")
+        write_reports(path, [RunReport(kind="a", data={})])
+        write_reports(path, [RunReport(kind="b", data={})])
+        stored = json.load(open(path))
+        assert [d["kind"] for d in stored] == ["a", "b"]
+
+    def test_corrupt_file_replaced(self, tmp_path):
+        path = tmp_path / "reports.json"
+        path.write_text("{broken")
+        write_reports(str(path), [RunReport(kind="a", data={})])
+        assert len(json.load(open(str(path)))) == 1
+
+    def test_plain_dicts_pass_through(self, tmp_path):
+        path = str(tmp_path / "reports.json")
+        write_reports(path, [{"legacy": True}])
+        assert json.load(open(path)) == [{"legacy": True}]
