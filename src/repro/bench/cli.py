@@ -61,11 +61,12 @@ EXPERIMENTS = {
     "validate": lambda args: run_validate(seed=args.seed, quick=args.quick),
     "breakdown": lambda args: run_breakdown_cmd(args),
     "profile": lambda args: run_profile_cmd(args),
+    "capacity": lambda args: run_capacity_cmd(args),
 }
 
-#: meta-tools excluded from ``insane-bench all`` (they measure the harness,
-#: not the paper)
-NOT_IN_ALL = ("profile",)
+#: meta-tools excluded from ``insane-bench all`` (they measure the harness
+#: or plan capacity, not the paper)
+NOT_IN_ALL = ("profile", "capacity")
 
 
 def run_profile_cmd(args):
@@ -86,6 +87,52 @@ def run_profile_cmd(args):
                   else QUICK_MESSAGES),
         seed=args.seed,
     )
+
+
+def _parse_clients(text):
+    """``--clients`` CSV -> sorted tuple of positive ints, loudly."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit("capacity: --clients must be a comma-separated "
+                         "list of integers, got %r" % (text,))
+    if not counts or any(count < 1 for count in counts):
+        raise SystemExit("capacity: --clients needs at least one positive "
+                         "client count, got %r" % (text,))
+    return counts
+
+
+def run_capacity_cmd(args):
+    """Closed-loop capacity sweep; see :mod:`repro.loadgen.capacity`.
+
+    Runs the client-count grid on one pinned datapath through the sweep
+    executor, prints the per-N table with the latency-throughput knee and
+    the fitted capacity model, and (with ``--report``) writes the
+    standalone ``bench.capacity`` :class:`~repro.report.RunReport`.
+    """
+    from repro.loadgen.capacity import format_capacity, run_capacity
+
+    clients = (_parse_clients(args.clients) if args.clients
+               else None)
+    try:
+        report, _ = run_capacity(
+            args.datapath,
+            **({"clients": clients} if clients else {}),
+            profile=args.profile, workers=args.workers, cache=args.cache,
+            seed=args.seed, think_ns=args.think * 1000.0,
+            think_dist=args.think_dist, epsilon=args.epsilon,
+            outstanding=args.outstanding,
+        )
+    except ValueError as exc:
+        raise SystemExit("capacity: %s" % exc)
+    print(format_capacity(report))
+    print("  report digest %s" % report.digest())
+    if args.report:
+        from repro.report import write_reports
+
+        write_reports(args.report, [report])
+        print("  capacity report written to %s" % args.report)
+    return report.to_dict()
 
 
 def run_breakdown_cmd(args):
@@ -276,6 +323,27 @@ def main(argv=None):
     parser.add_argument("--top", type=int, default=25, metavar="N",
                         help="profile only: functions in the cumulative-"
                              "time table")
+    parser.add_argument("--datapath", metavar="NAME", default="kernel_udp",
+                        help="capacity only: datapath to pin "
+                             "(kernel_udp, xdp, dpdk, rdma)")
+    parser.add_argument("--clients", metavar="N,N,...", default=None,
+                        help="capacity only: comma-separated client counts "
+                             "to sweep (default 1,2,4,8,16)")
+    parser.add_argument("--think", type=float, default=10.0, metavar="US",
+                        help="capacity only: mean client think time in "
+                             "microseconds")
+    parser.add_argument("--think-dist", choices=("fixed", "exponential"),
+                        default="exponential",
+                        help="capacity only: think-time distribution")
+    parser.add_argument("--epsilon", type=float, default=0.05,
+                        help="capacity only: interactive-law residual "
+                             "bound per accepted window")
+    parser.add_argument("--outstanding", type=int, default=1, metavar="W",
+                        help="capacity only: per-client outstanding-"
+                             "request window")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="capacity only: write the bench.capacity "
+                             "RunReport to this JSON file")
     args = parser.parse_args(argv)
 
     args.cache = make_cache(args)

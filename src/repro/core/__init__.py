@@ -25,11 +25,14 @@ from repro.core.errors import (
     FailoverError,
     FaultInjectionError,
     InsaneError,
+    InteractiveLawError,
+    LoadgenError,
     NoDatapathError,
     PoolExhaustedError,
     QosValidationError,
     ScenarioError,
     SessionError,
+    StabilityError,
     TransferError,
     UtcpError,
 )
@@ -47,6 +50,7 @@ from repro.core.control import FailoverEvent, HealthMonitor
 from repro.core.memory import Buffer, MemoryManager, SlotPool
 from repro.core.runtime import InsaneDeployment, InsaneRuntime
 from repro.core.session import Session
+from repro.core.window import OutstandingWindow
 
 __all__ = [
     "Acceleration",
@@ -63,9 +67,12 @@ __all__ = [
     "InsaneDeployment",
     "InsaneError",
     "InsaneRuntime",
+    "InteractiveLawError",
+    "LoadgenError",
     "MappingDecision",
     "MemoryManager",
     "NoDatapathError",
+    "OutstandingWindow",
     "PoolExhaustedError",
     "QosPolicy",
     "QosPolicyBuilder",
@@ -73,6 +80,7 @@ __all__ = [
     "Session",
     "SessionError",
     "SlotPool",
+    "StabilityError",
     "TimeSensitivity",
     "TransferError",
     "UtcpError",

@@ -127,6 +127,36 @@ class ScenarioError(InsaneError, ValueError):
         self.source = source
 
 
+class LoadgenError(InsaneError):
+    """A closed-loop load-generation run could not produce trusted stats."""
+
+    code = 70
+
+
+class StabilityError(LoadgenError):
+    """No acceptable stable measurement region was found.
+
+    Raised by the windowed measurement layer when the warmup/stable
+    window plan yields too few windows that agree with each other (or no
+    completions at all) — accepting such a run would report noise as a
+    steady-state figure.
+    """
+
+    code = 71
+
+
+class InteractiveLawError(LoadgenError):
+    """The interactive response-time law failed inside a stable window.
+
+    Every closed-loop run self-checks ``|N - X*(R+Z)| / N <= epsilon``
+    per accepted window; a violation means the simulator's own
+    accounting (clients, throughput, response and think times) is
+    inconsistent and none of the run's numbers should be trusted.
+    """
+
+    code = 72
+
+
 #: name -> paper-style integer code, the full error-code space of the API.
 ERROR_CODES = {
     "INSANE_OK": INSANE_OK,
@@ -142,4 +172,7 @@ ERROR_CODES = {
     "TransferError": TransferError.code,
     "UtcpError": UtcpError.code,
     "ScenarioError": ScenarioError.code,
+    "LoadgenError": LoadgenError.code,
+    "StabilityError": StabilityError.code,
+    "InteractiveLawError": InteractiveLawError.code,
 }

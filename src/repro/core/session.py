@@ -142,6 +142,19 @@ class Session:
     def close_sink(self, sink):
         sink.close()
 
+    def outstanding_window(self, limit):
+        """A bounded in-flight request window scoped to this session.
+
+        Closed-loop clients acquire one slot per emit and release it when
+        the matching response is consumed; ``acquire`` blocks while
+        ``limit`` requests are outstanding.  See
+        :class:`repro.core.window.OutstandingWindow`.
+        """
+        self._check_open()
+        from repro.core.window import OutstandingWindow
+
+        return OutstandingWindow(self, limit)
+
     # -- source data plane -------------------------------------------------------------
 
     def get_buffer(self, source, size):

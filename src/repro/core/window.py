@@ -1,0 +1,96 @@
+"""Bounded outstanding-request windows for closed-loop clients.
+
+A closed-loop client keeps at most ``limit`` requests in flight: it
+*acquires* a window slot before every emit and *releases* it when the
+matching response is consumed.  The window is the session-level hook the
+load generator (:mod:`repro.loadgen`) drives — the accounting lives here,
+next to the client library, so any application written against the INSANE
+API can bound its own outstanding work the same way.
+
+Slots hand over FIFO: a blocked ``acquire`` is woken by the next
+``release`` and inherits its slot directly (``in_flight`` never dips),
+so the bound is exact at every instant and wake-up order is
+deterministic.
+"""
+
+from collections import deque
+
+from repro.core.errors import SessionError
+from repro.simnet import Signal, Wait
+
+
+class OutstandingWindow:
+    """A counting bound on in-flight requests, FIFO hand-off on release.
+
+    Use from inside a simulated process::
+
+        window = session.outstanding_window(limit=4)
+        yield from window.acquire()     # blocks while 4 are in flight
+        ... emit ...
+        # later, when the response is consumed:
+        window.release()
+    """
+
+    __slots__ = ("session", "sim", "limit", "in_flight", "peak",
+                 "acquired_total", "blocked_total", "_waiters")
+
+    def __init__(self, session, limit):
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise SessionError(
+                "outstanding window limit must be an integer >= 1, got %r"
+                % (limit,)
+            )
+        self.session = session
+        self.sim = session.sim
+        self.limit = limit
+        self.in_flight = 0
+        #: high-water mark of concurrently outstanding requests.
+        self.peak = 0
+        #: total successful acquires (== requests admitted).
+        self.acquired_total = 0
+        #: acquires that had to block because the window was full.
+        self.blocked_total = 0
+        self._waiters = deque()
+
+    def acquire(self):
+        """Take one slot; blocks (generator) while the window is full.
+
+        Use ``yield from window.acquire()``.
+        """
+        if self.in_flight < self.limit:
+            self.in_flight += 1
+        else:
+            self.blocked_total += 1
+            signal = Signal(self.sim)
+            self._waiters.append(signal)
+            # the releasing side hands its slot straight to us, so
+            # in_flight stays constant across the hand-off
+            yield Wait(signal)
+        self.acquired_total += 1
+        if self.in_flight > self.peak:
+            self.peak = self.in_flight
+        return self.in_flight
+
+    def release(self):
+        """Return one slot; wakes the oldest blocked ``acquire`` if any."""
+        if self.in_flight < 1:
+            raise SessionError(
+                "outstanding window released more slots than were acquired"
+            )
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self.in_flight -= 1
+
+    @property
+    def available(self):
+        """Slots free right now."""
+        return self.limit - self.in_flight
+
+    def __len__(self):
+        return self.in_flight
+
+    def __repr__(self):
+        return "OutstandingWindow(limit=%d, in_flight=%d, peak=%d)" % (
+            self.limit, self.in_flight, self.peak,
+        )

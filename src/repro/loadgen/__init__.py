@@ -1,0 +1,54 @@
+"""Closed-loop load generation, windowed statistics, capacity planning.
+
+The quantitative backbone the ROADMAP calls for: instead of open-loop
+fixed-message-count runs, this package models ``N`` interactive clients
+with think time and a bounded outstanding-request window
+(:mod:`repro.loadgen.client`), measures only a stability-tested stable
+region of warmup/stable/cooldown windows (:mod:`repro.loadgen.windows`),
+self-checks every run against the interactive response-time law
+``N = X * (R + Z)``, and sweeps client counts per datapath to locate the
+latency-throughput knee and fit a capacity model
+(:mod:`repro.loadgen.capacity` — the ``insane bench capacity`` command).
+"""
+
+from repro.loadgen.capacity import (
+    CAPACITY_CELL_KIND,
+    DEFAULT_CLIENTS,
+    capacity_cells,
+    find_knee,
+    fit_capacity_model,
+    format_capacity,
+    normalize_datapath,
+    run_capacity,
+    run_closed_loop_cell,
+)
+from repro.loadgen.client import THINK_DISTRIBUTIONS, run_closed_loop, think_sampler
+from repro.loadgen.scenario import drive_closed_loop
+from repro.loadgen.windows import (
+    WindowPlan,
+    WindowedRecorder,
+    accept_stable,
+    check_interactive_law,
+    law_residual,
+)
+
+__all__ = [
+    "CAPACITY_CELL_KIND",
+    "DEFAULT_CLIENTS",
+    "THINK_DISTRIBUTIONS",
+    "WindowPlan",
+    "WindowedRecorder",
+    "accept_stable",
+    "capacity_cells",
+    "check_interactive_law",
+    "drive_closed_loop",
+    "find_knee",
+    "fit_capacity_model",
+    "format_capacity",
+    "law_residual",
+    "normalize_datapath",
+    "run_capacity",
+    "run_closed_loop",
+    "run_closed_loop_cell",
+    "think_sampler",
+]

@@ -1,0 +1,202 @@
+"""The closed-loop client model, driven on the simulated INSANE stack.
+
+Open-loop benchmarks (everything in :mod:`repro.bench`) push a fixed
+message count as fast as the stack admits it; a *closed-loop* workload
+instead models ``N`` interactive clients.  Each client cycles forever::
+
+    acquire window slot(s) -> emit burst of W requests -> await the W
+    responses -> think Z -> repeat
+
+``W`` is the session-level outstanding-request window
+(:meth:`repro.core.Session.outstanding_window`): one slot is acquired per
+emit and released per consumed response, so at most ``W`` requests of a
+client are ever in flight.  Think time ``Z`` is fixed or exponential,
+drawn from a per-client rng seeded by ``(seed, client index)`` — never
+from shared state, so runs are bit-identical regardless of interleaving.
+
+Responses are echoed by one server process per client channel on the
+second host.  Every request's latency lands in the windowed measurement
+layer (:mod:`repro.loadgen.windows`), which also receives one record per
+completed cycle (response phase + think phase) — the inputs of the
+interactive-law self-check.  :func:`run_closed_loop` returns a
+JSON-native metrics dict; it *raises* (never returns) when the run has
+no acceptable stable region or fails the law check.
+"""
+
+import random
+from collections import deque
+
+from repro.core import QosPolicy, Session
+from repro.loadgen.windows import (
+    NS_PER_S,
+    WindowPlan,
+    WindowedRecorder,
+    accept_stable,
+    check_interactive_law,
+)
+from repro.obs import LogHistogram
+from repro.simnet import Timeout
+
+#: stream name + first client channel; fixed so metrics digests never
+#: depend on driver internals.
+STREAM_NAME = "loadgen"
+BASE_CHANNEL = 64
+
+THINK_DISTRIBUTIONS = ("fixed", "exponential")
+
+
+def think_sampler(distribution, mean_ns, seed, index):
+    """A zero-argument think-time sampler for client ``index``.
+
+    Each client owns a private :class:`random.Random` seeded from the
+    run seed and the client index, so the think stream is a pure
+    function of ``(seed, index)`` — independent of scheduling order.
+    """
+    if distribution not in THINK_DISTRIBUTIONS:
+        raise ValueError("think distribution must be one of %s, got %r"
+                         % (THINK_DISTRIBUTIONS, distribution))
+    if mean_ns < 0:
+        raise ValueError("mean think time must be >= 0 ns")
+    if distribution == "fixed" or mean_ns == 0:
+        return lambda: mean_ns
+    rng = random.Random("loadgen:%d:%d" % (seed, index))
+    rate = 1.0 / mean_ns
+    return lambda: rng.expovariate(rate)
+
+
+def run_closed_loop(testbed, deployment, *, clients, think_ns=10_000.0,
+                    think_dist="exponential", size=64, outstanding=1,
+                    plan=None, policy=None, seed=0, epsilon=0.05,
+                    stability_tol=0.25, min_windows=1, check_law=True):
+    """Drive ``clients`` closed-loop clients; returns the metrics dict.
+
+    ``plan`` is the :class:`~repro.loadgen.windows.WindowPlan` (defaults
+    apply when omitted); the simulation runs exactly ``plan.total_ns``
+    of virtual time — clients cycle forever and are cut off by the
+    deadline, so there is no fixed message count anywhere.
+
+    Raises :class:`~repro.core.errors.StabilityError` when no stable
+    region passes the window-to-window test and
+    :class:`~repro.core.errors.InteractiveLawError` when any accepted
+    window violates ``|N - X*(R+Z)|/N <= epsilon`` (disable the hard
+    failure with ``check_law=False``; the residuals are still reported).
+    """
+    if clients < 1:
+        raise ValueError("need at least one client, got %r" % (clients,))
+    if outstanding < 1:
+        raise ValueError("outstanding window must be >= 1, got %r"
+                         % (outstanding,))
+    plan = plan or WindowPlan()
+    policy = policy or QosPolicy.fast()
+    sim = testbed.sim
+    recorder = WindowedRecorder(plan)
+
+    client_session = Session(deployment.runtime(0), "loadgen-client")
+    server_session = Session(deployment.runtime(1), "loadgen-server")
+    client_stream = client_session.create_stream(policy, name=STREAM_NAME)
+    server_stream = server_session.create_stream(policy, name=STREAM_NAME)
+    initial_datapath = client_stream.datapath
+
+    def client_proc(index):
+        request_channel = BASE_CHANNEL + 2 * index
+        reply_channel = BASE_CHANNEL + 2 * index + 1
+        source = client_session.create_source(client_stream, request_channel)
+        sink = client_session.create_sink(client_stream, reply_channel)
+        window = client_session.outstanding_window(outstanding)
+        think = think_sampler(think_dist, think_ns, seed, index)
+        emit_times = deque()
+        while True:
+            cycle_start = sim.now
+            for _ in range(outstanding):
+                yield from window.acquire()
+                buffer = yield from client_session.get_buffer_wait(
+                    source, size)
+                emit_times.append(sim.now)
+                yield from client_session.emit_data(
+                    source, buffer, length=size)
+            for _ in range(outstanding):
+                delivery = yield from client_session.consume_data(sink)
+                recorder.record_response(sim.now,
+                                         sim.now - emit_times.popleft())
+                client_session.release_buffer(sink, delivery)
+                window.release()
+            response_ns = sim.now - cycle_start
+            think_draw = think()
+            if think_draw:
+                yield Timeout(think_draw)
+            recorder.record_cycle(sim.now, response_ns, think_draw)
+
+    def echo_proc(index):
+        request_channel = BASE_CHANNEL + 2 * index
+        reply_channel = BASE_CHANNEL + 2 * index + 1
+        sink = server_session.create_sink(server_stream, request_channel)
+        source = server_session.create_source(server_stream, reply_channel)
+        while True:
+            delivery = yield from server_session.consume_data(sink)
+            server_session.release_buffer(sink, delivery)
+            buffer = yield from server_session.get_buffer_wait(source, size)
+            yield from server_session.emit_data(source, buffer, length=size)
+
+    for index in range(clients):
+        sim.process(echo_proc(index), name="loadgen.echo%d" % index)
+    for index in range(clients):
+        sim.process(client_proc(index), name="loadgen.client%d" % index)
+    sim.run(until=plan.total_ns)
+
+    summaries = recorder.summaries()
+    accepted = accept_stable(summaries, tol=stability_tol,
+                             min_windows=min_windows)
+    law = check_interactive_law(summaries, accepted, clients,
+                                epsilon=epsilon,
+                                raise_on_violation=check_law)
+    stable = _stable_block(recorder, summaries, accepted)
+    return {
+        "kind": "closed_loop",
+        "clients": clients,
+        "outstanding": outstanding,
+        "think_ns": float(think_ns),
+        "think_dist": think_dist,
+        "size": size,
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "windows": summaries,
+        "accepted_windows": accepted,
+        "discarded_responses": recorder.discarded_responses,
+        "stable": stable,
+        "law": law,
+        "datapath": {
+            "initial": initial_datapath,
+            "final": client_stream.datapath,
+            "degraded": client_stream.degraded,
+        },
+    }
+
+
+def _stable_block(recorder, summaries, accepted):
+    """Aggregate statistics over the accepted stable region."""
+    merged = LogHistogram.merged(
+        recorder.histogram(index) for index in accepted)
+    duration_ns = recorder.plan.window_ns * len(accepted)
+    by_index = {summary["index"]: summary for summary in summaries}
+    responses = sum(by_index[i]["responses"] for i in accepted)
+    cycles = sum(by_index[i]["cycles"] for i in accepted)
+    think_total = sum(
+        by_index[i]["mean_think_ns"] * by_index[i]["cycles"]
+        for i in accepted if by_index[i]["cycles"]
+    )
+    return {
+        "windows": len(accepted),
+        "duration_ns": duration_ns,
+        "responses": responses,
+        "throughput_rps": responses / (duration_ns / NS_PER_S),
+        "cycles": cycles,
+        "mean_think_ns": think_total / cycles if cycles else None,
+        "latency": {
+            "count": merged.count,
+            "mean_ns": merged.mean,
+            "p50_ns": merged.percentile(50),
+            "p99_ns": merged.percentile(99),
+            "p999_ns": merged.percentile(99.9),
+            "max_ns": merged.maximum,
+        },
+    }

@@ -1,0 +1,277 @@
+"""Windowed steady-state measurement: warmup / stable / cooldown.
+
+Open-loop fixed-message-count benchmarks report one number over the whole
+run — ramp-up and drain included.  The closed-loop harness instead runs
+for a planned span of simulated time split into phases::
+
+    |-- warmup --|-- w0 --|-- w1 --| ... |-- w(k-1) --|-- cooldown --|
+
+Only the k *stable* windows are measured (per-window
+:class:`~repro.obs.LogHistogram` latency, completion throughput, cycle
+and think-time sums); warmup and cooldown samples are counted but
+discarded.  Before any number is reported, the windows must pass a
+window-to-window stability test (:func:`accept_stable`) — each accepted
+window's throughput and mean latency must sit within a tolerance band
+around the across-window medians, in the style of the Queueing
+middleware's stable-window methodology.  Runs whose windows disagree
+raise :class:`~repro.core.errors.StabilityError` instead of averaging
+noise.
+
+The layer also owns the harness's self-check: the interactive
+response-time law ``N = X * (R + Z)``.  Per accepted window it is an
+identity over complete client cycles (every client is always either in
+its response phase or thinking), so the residual measures nothing but
+boundary effects — a residual above epsilon means the harness's own
+bookkeeping is wrong, and :func:`check_interactive_law` fails loudly
+(:class:`~repro.core.errors.InteractiveLawError`).
+"""
+
+from repro.core.errors import InteractiveLawError, StabilityError
+from repro.obs import LogHistogram
+
+NS_PER_S = 1e9
+
+
+class WindowPlan:
+    """The phase layout of one closed-loop run, all durations in ns."""
+
+    __slots__ = ("warmup_ns", "window_ns", "windows", "cooldown_ns")
+
+    def __init__(self, warmup_ns=400_000.0, window_ns=2_000_000.0,
+                 windows=3, cooldown_ns=100_000.0):
+        if warmup_ns < 0 or cooldown_ns < 0:
+            raise ValueError("warmup/cooldown must be >= 0 ns")
+        if window_ns <= 0:
+            raise ValueError("window_ns must be > 0, got %r" % (window_ns,))
+        if windows < 1:
+            raise ValueError("need at least one stable window, got %r"
+                             % (windows,))
+        self.warmup_ns = float(warmup_ns)
+        self.window_ns = float(window_ns)
+        self.windows = int(windows)
+        self.cooldown_ns = float(cooldown_ns)
+
+    @property
+    def stable_ns(self):
+        return self.window_ns * self.windows
+
+    @property
+    def total_ns(self):
+        return self.warmup_ns + self.stable_ns + self.cooldown_ns
+
+    def index(self, now):
+        """The stable-window index covering instant ``now``.
+
+        ``None`` during warmup and cooldown — those samples are observed
+        but never measured.
+        """
+        offset = now - self.warmup_ns
+        if offset < 0:
+            return None
+        index = int(offset // self.window_ns)
+        return index if index < self.windows else None
+
+    def start_ns(self, index):
+        return self.warmup_ns + index * self.window_ns
+
+    def to_dict(self):
+        return {
+            "warmup_ns": self.warmup_ns,
+            "window_ns": self.window_ns,
+            "windows": self.windows,
+            "cooldown_ns": self.cooldown_ns,
+        }
+
+
+class _WindowStats:
+    """Accumulators for one stable window."""
+
+    __slots__ = ("hist", "responses", "cycles", "response_ns", "think_ns")
+
+    def __init__(self, hist_lo, hist_hi):
+        self.hist = LogHistogram(lo=hist_lo, hi=hist_hi)
+        self.responses = 0
+        self.cycles = 0
+        self.response_ns = 0.0
+        self.think_ns = 0.0
+
+
+class WindowedRecorder:
+    """Routes observations into the window their completion instant hits.
+
+    Two granularities feed it: :meth:`record_response` per request
+    (latency histogram + throughput) and :meth:`record_cycle` per client
+    cycle (response phase + think phase, recorded at think end — the
+    inputs of the interactive-law identity).
+    """
+
+    def __init__(self, plan, hist_lo=10.0, hist_hi=1e9):
+        self.plan = plan
+        self._stats = [_WindowStats(hist_lo, hist_hi)
+                       for _ in range(plan.windows)]
+        #: responses landing in warmup/cooldown (observed, not measured).
+        self.discarded_responses = 0
+        self.discarded_cycles = 0
+
+    def record_response(self, now, latency_ns):
+        index = self.plan.index(now)
+        if index is None:
+            self.discarded_responses += 1
+            return
+        stats = self._stats[index]
+        stats.hist.record(latency_ns)
+        stats.responses += 1
+
+    def record_cycle(self, now, response_ns, think_ns):
+        index = self.plan.index(now)
+        if index is None:
+            self.discarded_cycles += 1
+            return
+        stats = self._stats[index]
+        stats.cycles += 1
+        stats.response_ns += response_ns
+        stats.think_ns += think_ns
+
+    def histogram(self, index):
+        """The live per-window latency histogram (for merging)."""
+        return self._stats[index].hist
+
+    def summaries(self):
+        """Per-window JSON-native summaries, in window order."""
+        window_s = self.plan.window_ns / NS_PER_S
+        out = []
+        for index, stats in enumerate(self._stats):
+            hist = stats.hist
+            cycles = stats.cycles
+            out.append({
+                "index": index,
+                "start_ns": self.plan.start_ns(index),
+                "duration_ns": self.plan.window_ns,
+                "responses": stats.responses,
+                "throughput_rps": stats.responses / window_s,
+                "cycles": cycles,
+                "mean_response_ns": (stats.response_ns / cycles
+                                     if cycles else None),
+                "mean_think_ns": stats.think_ns / cycles if cycles else None,
+                "latency": {
+                    "count": hist.count,
+                    "mean_ns": hist.mean,
+                    "p50_ns": hist.percentile(50),
+                    "p99_ns": hist.percentile(99),
+                    "max_ns": hist.maximum,
+                },
+            })
+        return out
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def accept_stable(summaries, tol=0.25, min_windows=1):
+    """Indices of windows accepted as the stable region.
+
+    Acceptance rule: a window must have completions, and both its
+    throughput and its mean latency must sit within ``tol`` (relative)
+    of the across-window medians.  Fewer than ``min_windows`` survivors
+    raise :class:`StabilityError` with the per-window numbers — a run
+    that never settled must fail, not report its noise.
+    """
+    candidates = [s for s in summaries
+                  if s["responses"] > 0 and s["cycles"] > 0]
+    if not candidates:
+        raise StabilityError(
+            "no stable window recorded a single completed cycle — the run "
+            "is too short (or the clients deadlocked); lengthen the "
+            "windows or reduce load"
+        )
+    median_x = _median([s["throughput_rps"] for s in candidates])
+    median_r = _median([s["latency"]["mean_ns"] for s in candidates])
+    accepted = []
+    for summary in candidates:
+        x_ok = abs(summary["throughput_rps"] - median_x) <= tol * median_x
+        r_ok = abs(summary["latency"]["mean_ns"] - median_r) \
+            <= tol * median_r
+        if x_ok and r_ok:
+            accepted.append(summary["index"])
+    if len(accepted) < min_windows:
+        detail = ", ".join(
+            "w%d: X=%.0f rps R=%.0f ns" % (s["index"], s["throughput_rps"],
+                                           s["latency"]["mean_ns"])
+            for s in summaries
+        )
+        raise StabilityError(
+            "only %d/%d window(s) within %.0f%% of the medians "
+            "(X=%.0f rps, R=%.0f ns) — no trustworthy stable region [%s]"
+            % (len(accepted), len(summaries), tol * 100.0, median_x,
+               median_r, detail)
+        )
+    return accepted
+
+
+def law_residual(summary, clients):
+    """``|N - X*(R+Z)| / N`` for one window summary (None without cycles).
+
+    ``X`` is the *cycle* completion rate and ``R``/``Z`` the mean
+    response/think phases of those cycles, so the identity holds for any
+    outstanding-window size — a client is one customer regardless of how
+    many requests each of its cycles pipelines.
+    """
+    cycles = summary["cycles"]
+    if not cycles:
+        return None
+    duration_s = summary["duration_ns"] / NS_PER_S
+    x_cycle = cycles / duration_s
+    r_plus_z_s = (summary["mean_response_ns"]
+                  + summary["mean_think_ns"]) / NS_PER_S
+    implied = x_cycle * r_plus_z_s
+    return abs(clients - implied) / clients
+
+
+def check_interactive_law(summaries, accepted, clients, epsilon=0.05,
+                          raise_on_violation=True):
+    """Evaluate the interactive law over every accepted window.
+
+    Returns a JSON-native block::
+
+        {"clients": N, "epsilon": e, "ok": bool, "max_residual": r,
+         "residuals": [{"index": i, "residual": r_i}, ...]}
+
+    With ``raise_on_violation`` (the default), a residual above epsilon
+    raises :class:`InteractiveLawError` naming the worst window — the
+    self-check every closed-loop run must pass before its numbers mean
+    anything.
+    """
+    by_index = {summary["index"]: summary for summary in summaries}
+    residuals = []
+    worst = None
+    for index in accepted:
+        residual = law_residual(by_index[index], clients)
+        if residual is None:
+            continue
+        residuals.append({"index": index, "residual": residual})
+        if worst is None or residual > worst["residual"]:
+            worst = residuals[-1]
+    max_residual = worst["residual"] if worst else 0.0
+    ok = max_residual <= epsilon
+    if not ok and raise_on_violation:
+        summary = by_index[worst["index"]]
+        raise InteractiveLawError(
+            "interactive law violated in window %d: |N - X*(R+Z)|/N = "
+            "%.4f > epsilon %.4f (N=%d, cycles=%d, R=%.0f ns, Z=%.0f ns) "
+            "— the harness's own accounting is inconsistent"
+            % (worst["index"], worst["residual"], epsilon, clients,
+               summary["cycles"], summary["mean_response_ns"],
+               summary["mean_think_ns"])
+        )
+    return {
+        "clients": clients,
+        "epsilon": epsilon,
+        "ok": ok,
+        "max_residual": max_residual,
+        "residuals": residuals,
+    }

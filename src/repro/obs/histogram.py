@@ -95,6 +95,31 @@ class LogHistogram:
                 self.maximum = other.maximum
         return self
 
+    @classmethod
+    def merged(cls, histograms):
+        """A fresh histogram accumulating ``histograms`` (same layout).
+
+        The window measurement layer folds per-window histograms into one
+        stable-region aggregate with this; the inputs are left untouched.
+        Raises ``ValueError`` on an empty iterable or mismatched bucket
+        layouts — silently merging nothing (or the wrong buckets) would
+        fabricate a statistic.
+        """
+        histograms = list(histograms)
+        if not histograms:
+            raise ValueError("cannot merge zero histograms")
+        first = histograms[0]
+        out = cls.__new__(cls)
+        out.edges = list(first.edges)
+        out.counts = [0] * len(first.counts)
+        out.count = 0
+        out.total = 0.0
+        out.minimum = None
+        out.maximum = None
+        for histogram in histograms:
+            out.merge(histogram)
+        return out
+
     def cumulative_buckets(self):
         """``(upper_edge, cumulative_count)`` pairs, Prometheus-style.
 

@@ -61,8 +61,10 @@ class CompiledScenario:
         self.workload = spec["workload"]
         self.kind = self.workload["kind"]
         self._ran = False
-        if self.kind == "baseline":
-            # baseline comparisons build one stack per system inside run()
+        if self.kind in ("baseline", "closed_loop"):
+            # baseline comparisons build one stack per system, closed-loop
+            # runs one isolated stack per swept client count — both inside
+            # run(), so nothing to pre-build here
             self.testbed = None
             self.deployment = None
             self.schedule = None
@@ -93,6 +95,10 @@ class CompiledScenario:
         self._ran = True
         if self.kind == "baseline":
             return _drive_baseline(self.spec)
+        if self.kind == "closed_loop":
+            from repro.loadgen.scenario import drive_closed_loop
+
+            return drive_closed_loop(self.spec)
         trace = None
         if len(self.schedule):
             trace = self.schedule.apply(self.testbed, self.deployment)

@@ -51,8 +51,10 @@ DATAPATHS = ("udp", "xdp", "dpdk", "rdma")
 #: topology profiles (the paper's two testbeds).
 TOPOLOGY_PROFILES = ("local", "cloud")
 
-#: workload kinds, one per service category (paper §2 traffic classes).
-WORKLOAD_KINDS = ("streaming", "pingpong", "bulk", "fanout", "baseline")
+#: workload kinds, one per service category (paper §2 traffic classes),
+#: plus the closed-loop interactive model of ``repro.loadgen``.
+WORKLOAD_KINDS = ("streaming", "pingpong", "bulk", "fanout", "baseline",
+                  "closed_loop")
 
 _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
 
@@ -220,6 +222,9 @@ _WORKLOAD_FIELDS = {
     "bulk": ("kind", "messages", "size", "interval", "window", "qos"),
     "fanout": ("kind", "messages", "size", "sinks", "qos", "datapath"),
     "baseline": ("kind", "system", "baseline", "rounds", "size"),
+    "closed_loop": ("kind", "clients", "think", "think_dist", "size",
+                    "outstanding", "warmup", "window", "windows",
+                    "cooldown", "epsilon", "qos", "datapath"),
 }
 
 #: systems a baseline workload may name (bench harness Fig. 7 set).
@@ -227,6 +232,31 @@ BASELINE_SYSTEMS = (
     "udp_blocking", "udp_nonblocking", "catnap", "insane_slow",
     "catnip", "insane_fast", "raw_dpdk",
 )
+
+
+def _validate_clients(value, source):
+    """``clients``: one count (single point) or a strictly-increasing
+    list of counts (an in-scenario capacity sweep)."""
+    path = "workload.clients"
+    if not isinstance(value, list):
+        return _check_int(value, path, source, lo=1, what="clients")
+    if len(value) < 2:
+        raise ScenarioError(
+            "a clients list is a capacity sweep and needs at least 2 "
+            "counts (use a plain integer for a single point)",
+            path=path, source=source,
+        )
+    counts = [
+        _check_int(entry, "%s[%d]" % (path, index), source, lo=1,
+                   what="clients")
+        for index, entry in enumerate(value)
+    ]
+    if any(b <= a for a, b in zip(counts, counts[1:])):
+        raise ScenarioError(
+            "a clients sweep must be strictly increasing, got %r" % (value,),
+            path=path, source=source,
+        )
+    return counts
 
 
 def _validate_workload(section, source):
@@ -239,6 +269,16 @@ def _validate_workload(section, source):
             "unknown workload kind %r (choose from %s)"
             % (kind, ", ".join(WORKLOAD_KINDS)),
             path="workload.kind", source=source,
+        )
+    if kind == "closed_loop" and "messages" in section:
+        # checked before the unknown-field sweep so the spec error is the
+        # specific one: a closed-loop run is time-bounded, never
+        # count-bounded — the two terminations contradict each other
+        raise ScenarioError(
+            "a closed_loop workload is bounded by its measurement windows, "
+            "not a message count — drop 'messages' (clients cycle until "
+            "warmup + windows + cooldown elapse)",
+            path="workload.messages", source=source,
         )
     _reject_unknown(section, _WORKLOAD_FIELDS[kind], "workload", source)
     out = {"kind": kind}
@@ -273,6 +313,40 @@ def _validate_workload(section, source):
         count_field("messages", 300)
         size_field(1024)
         count_field("sinks", 4)
+        out["qos"] = _validate_qos(section.get("qos"), "workload.qos", source)
+    elif kind == "closed_loop":
+        out["clients"] = _validate_clients(section.get("clients", 4), source)
+        out["think"] = parse_duration(section.get("think", 10_000.0),
+                                      "workload.think", source)
+        think_dist = section.get("think_dist", "exponential")
+        if think_dist not in ("fixed", "exponential"):
+            raise ScenarioError(
+                "unknown think_dist %r (choose from fixed, exponential)"
+                % (think_dist,), path="workload.think_dist", source=source,
+            )
+        out["think_dist"] = think_dist
+        size_field(64)
+        count_field("outstanding", 1)
+        out["warmup"] = parse_duration(section.get("warmup", 400_000.0),
+                                       "workload.warmup", source)
+        out["window"] = parse_duration(
+            section.get("window", 2_000_000.0), "workload.window", source)
+        if out["window"] <= 0:
+            raise ScenarioError("window must be > 0 (it divides the stable "
+                                "region)", path="workload.window",
+                                source=source)
+        count_field("windows", 3)
+        out["cooldown"] = parse_duration(
+            section.get("cooldown", 100_000.0), "workload.cooldown", source)
+        epsilon = section.get("epsilon", 0.05)
+        if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)) \
+                or not 0.0 < float(epsilon) < 1.0:
+            raise ScenarioError(
+                "epsilon (the interactive-law residual tolerance) must be "
+                "a number in (0, 1), got %r" % (epsilon,),
+                path="workload.epsilon", source=source,
+            )
+        out["epsilon"] = float(epsilon)
         out["qos"] = _validate_qos(section.get("qos"), "workload.qos", source)
     else:  # baseline
         for field, default in (("system", "insane_fast"),

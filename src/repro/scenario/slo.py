@@ -23,7 +23,8 @@ from repro.core.errors import ScenarioError
 
 #: assertion name -> (direction, value kind, metric path, workload kinds).
 #: direction: "max" ceiling / "min" floor / "bool" equality.
-#: value kind: "duration" (ns), "gbps", "ratio", "count", "factor", "bool".
+#: value kind: "duration" (ns), "gbps", "rps", "ratio", "count",
+#: "factor", "bool".
 _LATENCY_KINDS = ("streaming", "pingpong", "fanout")
 _DELIVERY_KINDS = ("streaming", "fanout", "bulk")
 
@@ -51,6 +52,15 @@ SLO_CATALOG = {
                              ("baseline",)),
     "baseline_slowdown_max": ("max", "factor", ("slowdown_mean",),
                               ("baseline",)),
+    "stable_p99_latency_max": ("max", "duration",
+                               ("stable", "latency", "p99_ns"),
+                               ("closed_loop",)),
+    "stable_throughput_min": ("min", "rps", ("stable", "throughput_rps"),
+                              ("closed_loop",)),
+    "law_residual_max": ("max", "ratio", ("law", "max_residual"),
+                         ("closed_loop",)),
+    "knee_clients_min": ("min", "count", ("capacity", "knee_clients"),
+                         ("closed_loop",)),
 }
 
 SLO_NAMES = tuple(sorted(SLO_CATALOG))
@@ -85,7 +95,7 @@ def _normalize_threshold(name, value, kind, path, source):
             "%s is a fraction and must be in [0, 1], got %r" % (name, value),
             path=path, source=source,
         )
-    if kind in ("gbps", "factor") and value <= 0:
+    if kind in ("gbps", "factor", "rps") and value <= 0:
         raise ScenarioError("%s must be > 0, got %r" % (name, value),
                             path=path, source=source)
     return value
@@ -139,6 +149,22 @@ def validate_slo_section(section, spec, source):
                 "conflicting SLOs: delivered_min=%d but the workload only "
                 "emits %d message(s)" % (normalized["delivered_min"], emitted),
                 path="slo.delivered_min", source=source,
+            )
+    if "knee_clients_min" in normalized:
+        clients = workload.get("clients")
+        if not isinstance(clients, list):
+            raise ScenarioError(
+                "knee_clients_min needs a clients *sweep* to locate a knee "
+                "in; this workload runs a single client count — make "
+                "clients a list", path="slo.knee_clients_min", source=source,
+            )
+        if normalized["knee_clients_min"] > max(clients):
+            raise ScenarioError(
+                "conflicting SLOs: knee_clients_min=%d but the sweep only "
+                "reaches %d clients — the knee can never be above the "
+                "largest swept count" % (normalized["knee_clients_min"],
+                                         max(clients)),
+                path="slo.knee_clients_min", source=source,
             )
     if normalized.get("failovers_min", 0) > 0:
         if not any(fault["kind"] == "datapath_failure"
@@ -223,6 +249,8 @@ def _fmt(value, kind):
         return "%.4f" % value
     if kind == "factor":
         return "%.2fx" % value
+    if kind == "rps":
+        return "%.0f req/s" % value
     return str(value)
 
 

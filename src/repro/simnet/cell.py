@@ -44,6 +44,7 @@ CELL_RUNNERS = {
     "validate.differential": "repro.validate.parallel:run_differential_cell",
     "validate.fuzz": "repro.validate.parallel:run_fuzz_cell",
     "scenario.run": "repro.scenario.runner:run_scenario_cell",
+    "loadgen.closed_loop": "repro.loadgen.capacity:run_closed_loop_cell",
 }
 
 

@@ -1,0 +1,91 @@
+"""Session-level outstanding-request windows: exact bound, FIFO hand-off."""
+
+import pytest
+
+from repro.core import OutstandingWindow, Session
+from repro.core.errors import SessionError
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.simnet import Timeout
+
+
+def make_session(seed=5):
+    testbed = Testbed.local(seed=seed)
+    deployment = InsaneDeployment(testbed)
+    return testbed.sim, Session(deployment.runtime(0), "win-test")
+
+
+class TestLimitValidation:
+    @pytest.mark.parametrize("limit", (0, -1, True, 1.5, "4", None))
+    def test_bad_limits_rejected(self, limit):
+        _sim, session = make_session()
+        with pytest.raises(SessionError):
+            session.outstanding_window(limit)
+
+    def test_session_hook_returns_window(self):
+        _sim, session = make_session()
+        window = session.outstanding_window(3)
+        assert isinstance(window, OutstandingWindow)
+        assert window.limit == 3
+        assert window.available == 3
+        assert len(window) == 0
+
+
+class TestAcquireRelease:
+    def test_uncontended_acquires_never_block(self):
+        sim, session = make_session()
+        window = session.outstanding_window(2)
+
+        def proc():
+            yield from window.acquire()
+            yield from window.acquire()
+            yield Timeout(1)
+            window.release()
+            window.release()
+
+        sim.process(proc())
+        sim.run()
+        assert window.in_flight == 0
+        assert window.peak == 2
+        assert window.acquired_total == 2
+        assert window.blocked_total == 0
+
+    def test_blocked_acquires_wake_fifo_with_slot_handoff(self):
+        sim, session = make_session()
+        window = session.outstanding_window(2)
+        order = []
+
+        def holder():
+            yield from window.acquire()
+            yield from window.acquire()
+            yield Timeout(100)
+            window.release()
+            yield Timeout(100)
+            window.release()
+
+        def waiter(name, delay):
+            yield Timeout(delay)
+            yield from window.acquire()
+            # the hand-off must never let in_flight exceed the limit
+            assert window.in_flight <= window.limit
+            order.append((name, sim.now))
+            window.release()
+
+        sim.process(holder())
+        sim.process(waiter("first", 10))
+        sim.process(waiter("second", 20))
+        sim.run()
+        assert [name for name, _ in order] == ["first", "second"]
+        # both wake at the first release: first by hand-off from the
+        # holder, second by hand-off from first's immediate release
+        assert [now for _, now in order] == [100.0, 100.0]
+        assert window.in_flight == 0
+        assert window.peak == 2
+        assert window.blocked_total == 2
+        assert window.acquired_total == 4
+
+    def test_over_release_raises(self):
+        _sim, session = make_session()
+        window = session.outstanding_window(1)
+        with pytest.raises(SessionError):
+            window.release()

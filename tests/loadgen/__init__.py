@@ -1,0 +1,1 @@
+"""Closed-loop load-generation and capacity-planning tests."""

@@ -1,0 +1,101 @@
+"""Capacity sweeps: grid cells, the knee, the model, and the report."""
+
+import pytest
+
+from repro.loadgen.capacity import (
+    capacity_cells,
+    find_knee,
+    fit_capacity_model,
+    format_capacity,
+    normalize_datapath,
+    run_capacity,
+)
+
+TINY = dict(warmup_ns=100_000.0, window_ns=400_000.0, windows=3,
+            cooldown_ns=50_000.0, epsilon=0.08, think_dist="fixed")
+
+
+def synthetic_points():
+    """A textbook sweep: linear ramp, knee, then queueing-delay wall."""
+    rows = [
+        (1, 40_000.0, 14_000.0),
+        (2, 80_000.0, 14_500.0),
+        (4, 150_000.0, 16_000.0),
+        (8, 200_000.0, 30_000.0),
+    ]
+    return [
+        {"clients": n, "throughput_rps": x, "mean_ns": r,
+         "p50_ns": r, "p99_ns": 2 * r,
+         "power_rps_per_s": x / (r / 1e9),
+         "law_max_residual": 0.01, "accepted_windows": 3}
+        for n, x, r in rows
+    ]
+
+
+class TestDatapathNames:
+    def test_kernel_udp_alias_maps_to_registry_name(self):
+        assert normalize_datapath("kernel_udp") == "udp"
+        assert normalize_datapath("udp") == "udp"
+        assert normalize_datapath("rdma") == "rdma"
+
+    def test_unknown_datapath_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_datapath("tcp")
+
+
+class TestCells:
+    def test_grid_is_sorted_and_deduplicated(self):
+        cells = capacity_cells("kernel_udp", clients=(8, 2, 2, 4), seed=3)
+        assert [c["params"]["clients"] for c in cells] == [2, 4, 8]
+        assert all(c["kind"] == "loadgen.closed_loop" for c in cells)
+        assert all(c["params"]["datapath"] == "udp" for c in cells)
+
+
+class TestKneeAndModel:
+    def test_knee_maximizes_power(self):
+        knee = find_knee(synthetic_points())
+        assert knee["clients"] == 4
+
+    def test_knee_ties_break_to_fewer_clients(self):
+        points = synthetic_points()
+        points[3]["power_rps_per_s"] = points[2]["power_rps_per_s"]
+        assert find_knee(points)["clients"] == 4
+
+    def test_model_intersects_the_asymptotes(self):
+        model = fit_capacity_model(synthetic_points(), think_ns=10_000.0)
+        assert model["r0_ns"] == 14_000.0
+        assert model["x_max_rps"] == 200_000.0
+        # n_star = X_max * (R0 + Z) = 2e5/s * 24us
+        assert model["n_star"] == pytest.approx(4.8)
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([])
+        with pytest.raises(ValueError):
+            fit_capacity_model([], think_ns=0.0)
+
+
+class TestRunCapacity:
+    def test_report_carries_points_knee_model_and_digest(self):
+        report, sweep = run_capacity("kernel_udp", clients=(1, 2, 4),
+                                     seed=9, **TINY)
+        assert report.kind == "bench.capacity"
+        data = report.data
+        assert data["datapath"] == "udp"
+        assert [p["clients"] for p in data["points"]] == [1, 2, 4]
+        assert data["knee"]["clients"] in (1, 2, 4)
+        assert data["model"]["n_star"] > 0
+        assert data["merged_digest"] == sweep.merged_digest()
+        assert all(p["law_max_residual"] <= 0.08 for p in data["points"])
+
+    def test_same_seed_sweeps_are_report_identical(self):
+        a, _ = run_capacity("kernel_udp", clients=(1, 2), seed=9, **TINY)
+        b, _ = run_capacity("kernel_udp", clients=(1, 2), seed=9, **TINY)
+        assert a.digest() == b.digest()
+
+    def test_format_marks_the_knee(self):
+        report, _ = run_capacity("kernel_udp", clients=(1, 2), seed=9,
+                                 **TINY)
+        rendered = format_capacity(report)
+        assert "<-- knee" in rendered
+        assert "model:" in rendered

@@ -1,0 +1,95 @@
+"""The closed-loop client model end to end on the simulated stack."""
+
+from hashlib import sha256
+
+import pytest
+
+from repro.loadgen.capacity import build_stack, run_closed_loop_cell
+from repro.loadgen.client import run_closed_loop, think_sampler
+from repro.loadgen.windows import WindowPlan
+from repro.report import canonical_json
+
+#: a small-but-stable plan: ~tens of cycles per window at 10us think.
+TINY = dict(warmup_ns=100_000.0, window_ns=400_000.0, windows=3,
+            cooldown_ns=50_000.0, epsilon=0.08)
+
+
+def tiny_run(clients=4, datapath="udp", **overrides):
+    params = dict(TINY, datapath=datapath, clients=clients,
+                  think_dist="fixed", seed=11)
+    params.update(overrides)
+    return run_closed_loop_cell(**params)
+
+
+class TestThinkSampler:
+    def test_fixed_distribution_is_constant(self):
+        sample = think_sampler("fixed", 500.0, seed=0, index=0)
+        assert [sample() for _ in range(3)] == [500.0, 500.0, 500.0]
+
+    def test_exponential_stream_is_per_client_deterministic(self):
+        a = think_sampler("exponential", 500.0, seed=3, index=1)
+        b = think_sampler("exponential", 500.0, seed=3, index=1)
+        other = think_sampler("exponential", 500.0, seed=3, index=2)
+        draws_a = [a() for _ in range(5)]
+        assert draws_a == [b() for _ in range(5)]
+        assert draws_a != [other() for _ in range(5)]
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            think_sampler("uniform", 500.0, seed=0, index=0)
+        with pytest.raises(ValueError):
+            think_sampler("fixed", -1.0, seed=0, index=0)
+
+
+class TestClosedLoopRun:
+    def test_run_produces_stable_metrics_and_law_block(self):
+        metrics = tiny_run()
+        assert metrics["kind"] == "closed_loop"
+        assert metrics["clients"] == 4
+        assert metrics["accepted_windows"]
+        assert metrics["stable"]["responses"] > 0
+        assert metrics["stable"]["latency"]["p99_ns"] >= \
+            metrics["stable"]["latency"]["p50_ns"]
+        assert metrics["law"]["ok"] is True
+        assert metrics["law"]["max_residual"] <= 0.05
+
+    @pytest.mark.parametrize("datapath", ("udp", "xdp", "dpdk", "rdma"))
+    def test_datapath_pin_is_honored(self, datapath):
+        metrics = tiny_run(clients=2, datapath=datapath)
+        assert metrics["datapath"]["pinned"] == datapath
+        assert metrics["datapath"]["initial"] == datapath
+        assert metrics["datapath"]["final"] == datapath
+
+    def test_outstanding_window_pipelines_requests(self):
+        single = tiny_run(clients=2, outstanding=1)
+        pipelined = tiny_run(clients=2, outstanding=4)
+        # the law holds at cycle granularity for any window size
+        assert pipelined["law"]["ok"] is True
+        # a 4-deep window moves more requests per cycle
+        assert pipelined["stable"]["responses"] > single["stable"]["responses"]
+
+    def test_same_seed_runs_are_digest_identical(self):
+        a = tiny_run(think_dist="exponential")
+        b = tiny_run(think_dist="exponential")
+        digests = [sha256(canonical_json(m).encode()).hexdigest()
+                   for m in (a, b)]
+        assert digests[0] == digests[1]
+
+    def test_different_seeds_diverge(self):
+        a = tiny_run(think_dist="exponential", seed=11)
+        b = tiny_run(think_dist="exponential", seed=12)
+        assert canonical_json(a) != canonical_json(b)
+
+    def test_input_validation(self):
+        testbed, deployment = build_stack("udp")
+        with pytest.raises(ValueError):
+            run_closed_loop(testbed, deployment, clients=0)
+        testbed, deployment = build_stack("udp")
+        with pytest.raises(ValueError):
+            run_closed_loop(testbed, deployment, clients=1, outstanding=0)
+
+    def test_plan_echoed_into_metrics(self):
+        metrics = tiny_run()
+        layout = {key: value for key, value in TINY.items()
+                  if key != "epsilon"}
+        assert metrics["plan"] == WindowPlan(**layout).to_dict()

@@ -1,0 +1,63 @@
+"""Metamorphic properties of the closed-loop harness.
+
+These tests assert *relations between runs* instead of absolute numbers,
+so they hold on any calibration of the simulated stack:
+
+* think-time dilation: doubling Z at fixed N cannot increase stable
+  throughput (X = N / (R + Z), and R never shrinks when load drops
+  below saturation's R floor);
+* post-knee futility: client counts past the latency-throughput knee
+  cannot improve p50 latency — extra customers past saturation buy
+  queueing delay, not speed.
+"""
+
+import pytest
+
+from repro.loadgen.capacity import find_knee, point_from_metrics, run_closed_loop_cell
+
+TINY = dict(warmup_ns=100_000.0, window_ns=400_000.0, windows=3,
+            cooldown_ns=50_000.0, epsilon=0.08, think_dist="fixed", seed=5)
+
+#: relative slack for discrete-event sampling noise at window edges.
+SLACK = 1.02
+
+
+def run_point(clients, think_ns, datapath="udp"):
+    return run_closed_loop_cell(datapath=datapath, clients=clients,
+                                think_ns=think_ns, **TINY)
+
+
+class TestThinkDilation:
+    @pytest.mark.parametrize("clients", (2, 8))
+    def test_doubling_think_never_increases_throughput(self, clients):
+        base = run_point(clients, think_ns=10_000.0)
+        dilated = run_point(clients, think_ns=20_000.0)
+        assert dilated["stable"]["throughput_rps"] <= \
+            base["stable"]["throughput_rps"] * SLACK
+
+    def test_think_dilation_composes_across_a_4x_span(self):
+        rates = [run_point(4, think_ns=z)["stable"]["throughput_rps"]
+                 for z in (5_000.0, 10_000.0, 20_000.0)]
+        assert rates[1] <= rates[0] * SLACK
+        assert rates[2] <= rates[1] * SLACK
+
+
+class TestPostKneeFutility:
+    def test_clients_past_the_knee_do_not_improve_p50(self):
+        points = [point_from_metrics(run_point(n, think_ns=10_000.0))
+                  for n in (2, 8, 32)]
+        knee = find_knee(points)
+        beyond = [p for p in points if p["clients"] > knee["clients"]]
+        assert beyond, "the grid must reach past the knee for this check"
+        for point in beyond:
+            assert point["p50_ns"] * SLACK >= knee["p50_ns"]
+
+    def test_throughput_saturates_rather_than_collapses(self):
+        # past the knee, throughput may flatten but a deep collapse
+        # (<60% of the knee's rate) would mean the model is wrong
+        points = [point_from_metrics(run_point(n, think_ns=10_000.0))
+                  for n in (2, 8, 32)]
+        knee = find_knee(points)
+        worst = min(p["throughput_rps"] for p in points
+                    if p["clients"] >= knee["clients"])
+        assert worst >= 0.6 * knee["throughput_rps"]

@@ -1,0 +1,156 @@
+"""Windowed measurement: phase routing, stability gate, interactive law."""
+
+import pytest
+
+from repro.core.errors import InteractiveLawError, StabilityError
+from repro.loadgen.windows import (
+    WindowPlan,
+    WindowedRecorder,
+    accept_stable,
+    check_interactive_law,
+    law_residual,
+)
+
+
+def plan():
+    return WindowPlan(warmup_ns=100.0, window_ns=1000.0, windows=3,
+                      cooldown_ns=50.0)
+
+
+class TestWindowPlan:
+    def test_phase_arithmetic(self):
+        p = plan()
+        assert p.stable_ns == 3000.0
+        assert p.total_ns == 3150.0
+        assert p.start_ns(0) == 100.0
+        assert p.start_ns(2) == 2100.0
+
+    def test_index_routes_each_phase(self):
+        p = plan()
+        assert p.index(50.0) is None          # warmup
+        assert p.index(100.0) == 0
+        assert p.index(1099.0) == 0
+        assert p.index(1100.0) == 1
+        assert p.index(3099.0) == 2
+        assert p.index(3100.0) is None        # cooldown
+
+    @pytest.mark.parametrize("kwargs", (
+        {"warmup_ns": -1.0}, {"cooldown_ns": -1.0},
+        {"window_ns": 0.0}, {"windows": 0},
+    ))
+    def test_bad_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowPlan(**kwargs)
+
+    def test_to_dict_round_trips_the_layout(self):
+        assert plan().to_dict() == {"warmup_ns": 100.0, "window_ns": 1000.0,
+                                    "windows": 3, "cooldown_ns": 50.0}
+
+
+class TestRecorder:
+    def test_warmup_and_cooldown_samples_discarded(self):
+        recorder = WindowedRecorder(plan())
+        recorder.record_response(50.0, 10.0)      # warmup
+        recorder.record_response(3120.0, 10.0)    # cooldown
+        recorder.record_cycle(50.0, 10.0, 5.0)
+        recorder.record_response(200.0, 10.0)     # window 0
+        assert recorder.discarded_responses == 2
+        assert recorder.discarded_cycles == 1
+        assert recorder.summaries()[0]["responses"] == 1
+        assert recorder.summaries()[1]["responses"] == 0
+
+    def test_summaries_carry_throughput_and_cycle_means(self):
+        recorder = WindowedRecorder(plan())
+        for now in (200.0, 400.0, 600.0, 800.0):
+            recorder.record_response(now, 100.0)
+            recorder.record_cycle(now, 100.0, 150.0)
+        summary = recorder.summaries()[0]
+        assert summary["responses"] == 4
+        assert summary["throughput_rps"] == pytest.approx(4 / 1e-6)
+        assert summary["mean_response_ns"] == pytest.approx(100.0)
+        assert summary["mean_think_ns"] == pytest.approx(150.0)
+        assert summary["latency"]["count"] == 4
+
+
+def uniform_summaries(throughputs, latencies):
+    """Hand-built window summaries for the acceptance/law tests."""
+    out = []
+    for index, (responses, latency) in enumerate(zip(throughputs, latencies)):
+        out.append({
+            "index": index,
+            "start_ns": 0.0,
+            "duration_ns": 1e6,
+            "responses": responses,
+            "throughput_rps": responses / 1e-3,
+            "cycles": responses,
+            "mean_response_ns": latency,
+            "mean_think_ns": 0.0,
+            "latency": {"count": responses, "mean_ns": latency,
+                        "p50_ns": latency, "p99_ns": latency,
+                        "max_ns": latency},
+        })
+    return out
+
+
+class TestAcceptStable:
+    def test_agreeing_windows_all_accepted(self):
+        summaries = uniform_summaries((100, 102, 98), (50.0, 51.0, 49.0))
+        assert accept_stable(summaries) == [0, 1, 2]
+
+    def test_outlier_window_dropped_not_averaged(self):
+        summaries = uniform_summaries((100, 101, 300), (50.0, 50.0, 50.0))
+        assert accept_stable(summaries) == [0, 1]
+
+    def test_all_disagreeing_windows_raise(self):
+        summaries = uniform_summaries((10, 500, 4000), (5.0, 500.0, 9000.0))
+        with pytest.raises(StabilityError):
+            accept_stable(summaries, tol=0.1, min_windows=2)
+
+    def test_empty_run_raises(self):
+        summaries = uniform_summaries((0, 0), (0.0, 0.0))
+        with pytest.raises(StabilityError):
+            accept_stable(summaries)
+
+
+class TestInteractiveLaw:
+    def test_exact_identity_has_zero_residual(self):
+        # 4 clients, each cycling every 40us in a 1ms window: X=1e5/s,
+        # R+Z=40us, N = X*(R+Z) exactly
+        summary = uniform_summaries((100,), (30_000.0,))[0]
+        summary["mean_think_ns"] = 10_000.0
+        assert law_residual(summary, 4) == pytest.approx(0.0)
+
+    def test_residual_scales_with_the_mismatch(self):
+        summary = uniform_summaries((100,), (30_000.0,))[0]
+        summary["mean_think_ns"] = 10_000.0
+        # claiming 5 clients when the cycles account for 4 -> 20% off
+        assert law_residual(summary, 5) == pytest.approx(0.2)
+
+    def test_cycleless_window_has_no_residual(self):
+        summary = uniform_summaries((0,), (0.0,))[0]
+        assert law_residual(summary, 4) is None
+
+    def test_check_passes_and_reports_block(self):
+        summaries = uniform_summaries((100, 100), (30_000.0, 30_000.0))
+        for summary in summaries:
+            summary["mean_think_ns"] = 10_000.0
+        law = check_interactive_law(summaries, [0, 1], 4, epsilon=0.01)
+        assert law["ok"] is True
+        assert law["max_residual"] == pytest.approx(0.0)
+        assert [r["index"] for r in law["residuals"]] == [0, 1]
+
+    def test_violation_raises_naming_the_worst_window(self):
+        summaries = uniform_summaries((100, 100), (30_000.0, 60_000.0))
+        for summary in summaries:
+            summary["mean_think_ns"] = 10_000.0
+        with pytest.raises(InteractiveLawError) as excinfo:
+            check_interactive_law(summaries, [0, 1], 4, epsilon=0.05)
+        assert "window 1" in str(excinfo.value)
+
+    def test_violation_reported_softly_when_asked(self):
+        summaries = uniform_summaries((100,), (60_000.0,))
+        summaries[0]["mean_think_ns"] = 10_000.0
+        law = check_interactive_law(summaries, [0], 4, epsilon=0.05,
+                                    raise_on_violation=False)
+        assert law["ok"] is False
+        assert law["max_residual"] > 0.05

@@ -99,3 +99,65 @@ class TestMergeAndExport:
         snapshot = histogram.to_dict()
         assert snapshot["count"] == 3
         assert sum(count for _edge, count in snapshot["buckets"]) == 3
+
+
+class TestWindowEdgeCases:
+    """The cases the windowed loadgen layer leans on: empty windows,
+    single-sample windows, and cross-window merges."""
+
+    def test_merging_an_empty_window_is_identity(self):
+        empty, full = LogHistogram(), LogHistogram()
+        for value in (100, 200, 400):
+            full.record(value)
+        before = (list(full.counts), full.count, full.total,
+                  full.minimum, full.maximum)
+        full.merge(empty)
+        assert (list(full.counts), full.count, full.total,
+                full.minimum, full.maximum) == before
+        # and the empty side stays answerable, not crashy
+        assert empty.percentile(99) == 0.0
+
+    def test_single_sample_window_collapses_to_that_sample(self):
+        histogram = LogHistogram()
+        histogram.record(777.0)
+        assert histogram.count == 1
+        assert histogram.mean == 777.0
+        assert histogram.percentile(0) == histogram.percentile(100) == 777.0
+        assert histogram.minimum == histogram.maximum == 777.0
+
+    def test_cross_window_merge_keeps_percentiles_monotone(self):
+        low, high = LogHistogram(), LogHistogram()
+        for value in range(10, 100, 3):
+            low.record(float(value))
+        for value in range(1000, 10000, 77):
+            high.record(float(value))
+        low.merge(high)
+        quantiles = [low.percentile(p) for p in (1, 25, 50, 75, 99, 100)]
+        assert quantiles == sorted(quantiles)
+        assert low.minimum == 10.0
+        assert low.percentile(100) == low.maximum
+
+    def test_merged_classmethod_matches_sequential_merge(self):
+        windows = []
+        sequential = LogHistogram()
+        for base in (10, 100, 1000):
+            window = LogHistogram()
+            for value in (base, base * 2, base * 5):
+                window.record(float(value))
+                sequential.record(float(value))
+            windows.append(window)
+        merged = LogHistogram.merged(iter(windows))
+        assert merged.counts == sequential.counts
+        assert merged.count == sequential.count
+        assert merged.total == sequential.total
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
+        # merging never mutates the inputs
+        assert windows[0].count == 3
+
+    def test_merged_rejects_empty_input_and_layout_mismatch(self):
+        with pytest.raises(ValueError):
+            LogHistogram.merged([])
+        with pytest.raises(ValueError):
+            LogHistogram.merged([LogHistogram(lo=10, hi=100),
+                                 LogHistogram(lo=10, hi=1000)])

@@ -1,0 +1,168 @@
+"""The ``closed_loop`` scenario workload: schema, SLOs, and end-to-end."""
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenario.compile import run_scenario
+from repro.scenario.schema import validate_scenario
+from repro.scenario.slo import evaluate_slos
+
+#: small windows so the e2e runs stay fast; fixed think for tight law
+#: residuals at this window length.
+TINY_WORKLOAD = {
+    "kind": "closed_loop",
+    "clients": 4,
+    "think_dist": "fixed",
+    "warmup": "100us",
+    "window": "400us",
+    "windows": 3,
+    "cooldown": "50us",
+    "epsilon": 0.08,
+}
+
+
+def closed_loop(workload=None, slo=None, **overrides):
+    document = {
+        "scenario": "unit-closed-loop",
+        "seed": 13,
+        "workload": dict(TINY_WORKLOAD, **(workload or {})),
+        "slo": slo or {"law_residual_max": 0.05},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestSchema:
+    def test_defaults_normalize(self):
+        spec = validate_scenario(closed_loop())
+        workload = spec["workload"]
+        assert workload["clients"] == 4
+        assert workload["think"] == 10_000.0
+        assert workload["think_dist"] == "fixed"
+        assert workload["size"] == 64
+        assert workload["outstanding"] == 1
+        assert workload["warmup"] == 100_000.0
+        assert workload["window"] == 400_000.0
+        assert workload["windows"] == 3
+        assert workload["cooldown"] == 50_000.0
+        assert workload["epsilon"] == 0.08
+        assert workload["qos"]["acceleration"] == "fast"
+
+    def test_epsilon_bounds_checked(self):
+        for bad in (0, 1.0, -0.1, True, "5%"):
+            with pytest.raises(ScenarioError):
+                validate_scenario(closed_loop(workload={"epsilon": bad}))
+
+    def test_normalized_spec_revalidates_unchanged(self):
+        spec = validate_scenario(closed_loop())
+        assert validate_scenario(spec) == spec
+
+    def test_messages_rejected_with_dotted_path(self):
+        # regression: a closed-loop run is time-bounded; a fixed message
+        # count contradicts the window plan and must be named precisely
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(closed_loop(workload={"messages": 400}))
+        assert "workload.messages" in str(excinfo.value)
+        assert "unknown field" not in str(excinfo.value)
+
+    def test_clients_sweep_must_be_increasing_list(self):
+        spec = validate_scenario(closed_loop(workload={"clients": [2, 4, 8]}))
+        assert spec["workload"]["clients"] == [2, 4, 8]
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(workload={"clients": [4]}))
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(workload={"clients": [4, 4]}))
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(workload={"clients": [8, 2]}))
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(workload={"clients": 0}))
+
+    def test_think_dist_validated(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(closed_loop(workload={"think_dist": "pareto"}))
+        assert "workload.think_dist" in str(excinfo.value)
+
+    def test_datapath_pin_allowed(self):
+        spec = validate_scenario(closed_loop(workload={"datapath": "xdp"}))
+        assert spec["workload"]["datapath"] == "xdp"
+
+
+class TestSlos:
+    def test_capacity_slos_normalize(self):
+        slo = {"stable_p99_latency_max": "40us", "stable_throughput_min": 1000,
+               "law_residual_max": 0.05}
+        spec = validate_scenario(closed_loop(slo=slo))
+        assert spec["slo"]["stable_p99_latency_max"] == 40_000.0
+        assert spec["slo"]["stable_throughput_min"] == 1000.0
+
+    def test_capacity_slos_rejected_on_other_kinds(self):
+        document = closed_loop(slo={"stable_throughput_min": 1000})
+        document["workload"] = {"kind": "pingpong", "rounds": 10}
+        with pytest.raises(ScenarioError):
+            validate_scenario(document)
+
+    def test_knee_floor_needs_a_sweep(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(closed_loop(slo={"knee_clients_min": 2,
+                                               "law_residual_max": 0.05}))
+        assert "slo.knee_clients_min" in str(excinfo.value)
+
+    def test_knee_floor_cannot_exceed_the_grid(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(
+                workload={"clients": [2, 4]},
+                slo={"knee_clients_min": 8},
+            ))
+
+    def test_throughput_floor_must_be_positive(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(closed_loop(slo={"stable_throughput_min": 0}))
+
+
+class TestEndToEnd:
+    def test_single_point_run_passes_its_slos(self):
+        spec = validate_scenario(closed_loop(slo={
+            "law_residual_max": 0.05,
+            "stable_throughput_min": 1000,
+        }))
+        metrics = run_scenario(spec)
+        assert metrics["kind"] == "closed_loop"
+        assert metrics["law"]["ok"] is True
+        assert "capacity" not in metrics
+        assertions, ok = evaluate_slos(spec["slo"], metrics)
+        assert ok, assertions
+
+    def test_sweep_run_reports_knee_and_asserts_at_it(self):
+        spec = validate_scenario(closed_loop(
+            workload={"clients": [1, 2, 4]},
+            slo={"knee_clients_min": 1, "law_residual_max": 0.05},
+        ))
+        metrics = run_scenario(spec)
+        capacity = metrics["capacity"]
+        assert [p["clients"] for p in capacity["points"]] == [1, 2, 4]
+        assert capacity["knee_clients"] == capacity["knee"]["clients"]
+        assert capacity["model"]["n_star"] > 0
+        # headline blocks come from the knee point
+        knee = capacity["knee"]
+        assert metrics["stable"]["throughput_rps"] == knee["throughput_rps"]
+        assertions, ok = evaluate_slos(spec["slo"], metrics)
+        assert ok, assertions
+
+    def test_faults_apply_to_closed_loop_stacks(self):
+        # a uniform cpu slowdown across the whole run: it slows every
+        # window alike (stability holds) and drops nothing (the law
+        # identity survives), but the harness must feel it
+        slowed_spec = validate_scenario(closed_loop(
+            faults=[{"kind": "cpu_slowdown", "at": 0, "for": "2ms",
+                     "factor": 2.0, "host": 1}],
+            slo={"law_residual_max": 0.05},
+        ))
+        clean_spec = validate_scenario(closed_loop(
+            slo={"law_residual_max": 0.05}))
+        slowed = run_scenario(slowed_spec)
+        clean = run_scenario(clean_spec)
+        assert slowed["faults"]["events"] >= 1
+        assert slowed["faults"]["digest"] is not None
+        assert slowed["law"]["ok"] is True
+        assert slowed["stable"]["latency"]["mean_ns"] > \
+            clean["stable"]["latency"]["mean_ns"]
