@@ -62,11 +62,12 @@ EXPERIMENTS = {
     "breakdown": lambda args: run_breakdown_cmd(args),
     "profile": lambda args: run_profile_cmd(args),
     "capacity": lambda args: run_capacity_cmd(args),
+    "city": lambda args: run_city_cmd(args),
 }
 
 #: meta-tools excluded from ``insane-bench all`` (they measure the harness
-#: or plan capacity, not the paper)
-NOT_IN_ALL = ("profile", "capacity")
+#: or plan capacity/scale, not the paper)
+NOT_IN_ALL = ("profile", "capacity", "city")
 
 
 def run_profile_cmd(args):
@@ -133,6 +134,51 @@ def run_capacity_cmd(args):
         write_reports(args.report, [report])
         print("  capacity report written to %s" % args.report)
     return report.to_dict()
+
+
+def _parse_partitions(text):
+    """``--partitions`` CSV -> sorted tuple of positive ints, loudly."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit("city: --partitions must be a comma-separated "
+                         "list of integers, got %r" % (text,))
+    if not counts or any(count < 1 for count in counts):
+        raise SystemExit("city: --partitions needs at least one positive "
+                         "partition count, got %r" % (text,))
+    return counts
+
+
+def run_city_cmd(args):
+    """City-scale generated-topology sweep; see :mod:`repro.bench.city`.
+
+    Runs one generated city at each requested partition count through the
+    sweep executor, prints the partition table (digests must be
+    bit-identical across counts or the bench refuses to report), and
+    (with ``--report``) writes the ``bench.city``
+    :class:`~repro.report.RunReport`.
+    """
+    from repro.bench.city import format_city, run_city_bench
+    from repro.core.errors import TopologyError
+
+    partitions = (_parse_partitions(args.partitions)
+                  if args.partitions else (1, 2, 4))
+    try:
+        report, _sweep, rows = run_city_bench(
+            args.topology, partitions=partitions, datapath=args.datapath,
+            nodes=args.nodes, workers=args.workers, cache=args.cache,
+            seed=args.seed,
+        )
+    except (TopologyError, ValueError) as exc:
+        raise SystemExit("city: %s" % exc)
+    print(format_city(rows))
+    print("  report digest %s" % report.digest())
+    if args.report:
+        from repro.report import write_reports
+
+        write_reports(args.report, [report])
+        print("  city report written to %s" % args.report)
+    return {row["partitions"]: row for row in rows}
 
 
 def run_breakdown_cmd(args):
@@ -342,8 +388,17 @@ def main(argv=None):
                         help="capacity only: per-client outstanding-"
                              "request window")
     parser.add_argument("--report", metavar="PATH", default=None,
-                        help="capacity only: write the bench.capacity "
+                        help="capacity/city only: write the standalone "
                              "RunReport to this JSON file")
+    parser.add_argument("--topology", metavar="NAME", default="smoke64",
+                        help="city only: generated-topology preset "
+                             "(smoke64, city256, metro1k)")
+    parser.add_argument("--partitions", metavar="N,N,...", default=None,
+                        help="city only: comma-separated partition counts "
+                             "to sweep (default 1,2,4)")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="city only: override the preset's edge-host "
+                             "count")
     args = parser.parse_args(argv)
 
     args.cache = make_cache(args)

@@ -11,6 +11,7 @@ whatever that site offers.
 
 from repro.cloud.container import Container, ContainerSpec, ContainerState
 from repro.cloud.orchestrator import EdgeOrchestrator, PlacementError
+from repro.cloud.placement import RegionPlacer
 
 __all__ = [
     "Container",
@@ -18,4 +19,5 @@ __all__ = [
     "ContainerState",
     "EdgeOrchestrator",
     "PlacementError",
+    "RegionPlacer",
 ]

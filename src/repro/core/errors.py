@@ -127,6 +127,20 @@ class ScenarioError(InsaneError, ValueError):
         self.source = source
 
 
+class TopologyError(InsaneError, ValueError):
+    """A topology is mis-wired: an unreachable host, a switch table that
+    routes a destination back out its ingress port, or a generated-fabric
+    spec that cannot be built.
+
+    Raised at *bind/build time* — a frame silently dropped at runtime
+    because a forwarding table never learned its destination is a wiring
+    bug, not traffic, and must fail the build loudly instead.  Also a
+    ``ValueError`` so callers validating specs generically keep working.
+    """
+
+    code = 61
+
+
 class LoadgenError(InsaneError):
     """A closed-loop load-generation run could not produce trusted stats."""
 
@@ -172,6 +186,7 @@ ERROR_CODES = {
     "TransferError": TransferError.code,
     "UtcpError": UtcpError.code,
     "ScenarioError": ScenarioError.code,
+    "TopologyError": TopologyError.code,
     "LoadgenError": LoadgenError.code,
     "StabilityError": StabilityError.code,
     "InteractiveLawError": InteractiveLawError.code,

@@ -1,0 +1,32 @@
+"""Space-partitioned conservative-sync execution of generated cities.
+
+One :class:`~repro.simnet.engine.Simulator` per partition, each owning a
+region-subset of a generated city (:mod:`repro.hw.generate`), synchronized
+with the Chandy–Misra–Bryant null-message protocol.  The lookahead is the
+city's inter-region trunk propagation delay, so the protocol is
+deadlock-free by construction, and the correctness contract is exact:
+the merged delivery/drop record of a partitioned run is **bit-identical**
+to the serial run of the same spec (``insane validate partitioned``
+checks it, as does the ``partition-smoke`` CI job).
+"""
+
+from repro.dist.partition import partition_regions, region_owner
+from repro.dist.sync import (
+    check_partition_equivalence,
+    city_digest,
+    merge_partition_records,
+    run_city_cell,
+    run_city_partitioned,
+    run_city_serial,
+)
+
+__all__ = [
+    "check_partition_equivalence",
+    "city_digest",
+    "merge_partition_records",
+    "partition_regions",
+    "region_owner",
+    "run_city_cell",
+    "run_city_partitioned",
+    "run_city_serial",
+]

@@ -1,0 +1,59 @@
+"""Cutting a generated city into per-partition region subsets.
+
+The cut runs along region boundaries: a partition owns whole regions —
+their hosts, their ToR, and the core trunk ports facing them — so the
+only traffic crossing a cut is inter-region trunk traffic, which carries
+the full trunk propagation delay.  That delay is the conservative
+lookahead of :mod:`repro.dist.sync`; cutting anywhere finer (inside a
+region) would shrink the lookahead to the access-link delay and drown
+the protocol in null messages.
+"""
+
+
+def _topology_error(message):
+    from repro.core.errors import TopologyError
+
+    return TopologyError(message)
+
+
+def partition_regions(regions, partitions):
+    """Assign ``regions`` region indices to ``partitions`` contiguous blocks.
+
+    Returns a list of sorted region-index lists, one per partition, sizes
+    differing by at most one.  Contiguity keeps the assignment a pure
+    function of the two counts — no rng, no spec content — so every
+    partition (and the serial reference) derives the identical cut.
+    """
+    if not isinstance(partitions, int) or isinstance(partitions, bool):
+        raise _topology_error("partitions must be an integer, got %r"
+                              % (partitions,))
+    if partitions < 1:
+        raise _topology_error("partitions must be >= 1, got %d" % partitions)
+    if partitions > regions:
+        raise _topology_error(
+            "cannot cut %d region(s) into %d partitions — a partition "
+            "must own at least one whole region" % (regions, partitions)
+        )
+    base, extra = divmod(regions, partitions)
+    out = []
+    cursor = 0
+    for index in range(partitions):
+        count = base + (1 if index < extra else 0)
+        out.append(list(range(cursor, cursor + count)))
+        cursor += count
+    return out
+
+
+def region_owner(assignment):
+    """region index -> partition index, from a :func:`partition_regions`
+    assignment (or any disjoint region grouping)."""
+    owner = {}
+    for index, regions in enumerate(assignment):
+        for region in regions:
+            if region in owner:
+                raise _topology_error(
+                    "region %d assigned to partitions %d and %d"
+                    % (region, owner[region], index)
+                )
+            owner[region] = index
+    return owner

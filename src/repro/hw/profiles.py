@@ -76,6 +76,9 @@ class TestbedProfile:
     nic_rx_ring_slots: int = 1024
     link_propagation_ns: float = 100.0    # per cable segment
     switch_forward_ns: float = 0.0        # store-and-forward + lookup, per traversal
+    #: drop a frame that would wait longer than this in a switch output
+    #: queue (deep-buffer default matching the historical hard-coded value)
+    switch_port_queue_ns: float = 2_000_000.0
     has_switch: bool = False
     mtu: int = 1500
     jumbo_mtu: int = 9000

@@ -58,6 +58,9 @@ class Testbed:
                 Link(self.sim, host.nic, port, profile.link_propagation_ns)
             )
             self.switch.bind(host.ip, port)
+        # a host the fabric cannot reach is a wiring bug, surfaced at
+        # build time instead of as silent runtime drops
+        self.switch.check_reachable(host.ip for host in self.hosts)
 
     def host(self, index):
         return self.hosts[index]

@@ -43,7 +43,21 @@ WIRE_OVERHEAD = ETHERNET_OVERHEAD + IP_UDP_HEADER
 _packet_counter = [0]
 
 
-def reset_packet_counter():
+#: stride between per-partition sequence bases: partition ``i`` of a
+#: partitioned run counts from ``i * PARTITION_SEQ_STRIDE``, so ids stay
+#: globally unique across the whole logical run (2**48 packets per
+#: partition is unreachable in practice).
+PARTITION_SEQ_STRIDE = 1 << 48
+
+
+def partition_seq_base(index):
+    """The packet-sequence base of partition ``index`` of a logical run."""
+    if index < 0:
+        raise ValueError("partition index must be >= 0, got %r" % (index,))
+    return index * PARTITION_SEQ_STRIDE
+
+
+def reset_packet_counter(base=0):
     """Reset the global packet sequence counter (and drain the free-list).
 
     Packet ``seq`` numbers are process-global, so two experiment cells run
@@ -53,8 +67,13 @@ def reset_packet_counter():
     cell's observable behaviour is identical wherever it executes.  The
     packet pool is re-blanked for the same reason: a cell starts from
     factory-fresh records whether or not another cell ran first.
+
+    ``base`` offsets the counter: the partitions of one space-partitioned
+    run (:mod:`repro.dist`) each reset to :func:`partition_seq_base` of
+    their partition index, so the ids minted by different partitions of
+    the *same* logical run never collide.
     """
-    _packet_counter[0] = 0
+    _packet_counter[0] = base
     PACKET_POOL.reset()
 
 

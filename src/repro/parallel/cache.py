@@ -58,15 +58,35 @@ def cache_key(cell, profile=None, version=None):
     profile-less experiment builds); pass a
     :class:`~repro.hw.profiles.TestbedProfile` explicitly for perturbed
     or ad-hoc profiles.
+
+    Cells with a ``params["topology"]`` (generated-city cells) fold the
+    *resolved* spec content into the key: a preset named ``"smoke64"``
+    hashes by what the preset currently expands to, so editing the
+    generator spec invalidates every entry keyed through the old
+    content — the cell JSON alone would look unchanged and serve stale
+    hits.  The spec also names the profile such cells actually run on.
     """
+    params = cell.get("params") or {}
+    topology = params.get("topology")
+    topo_digest = None
+    if topology is not None:
+        from repro.hw.generate import resolve_topology, topology_digest
+
+        spec = resolve_topology(topology)
+        topo_digest = topology_digest(spec)
+        if profile is None:
+            profile = PROFILES[spec["profile"]]
     if profile is None:
-        name = (cell.get("params") or {}).get("profile", "local")
+        name = params.get("profile", "local")
         profile = PROFILES[name]
     h = hashlib.sha256()
     h.update(cell_key(cell).encode())
     h.update(b"\x00")
     h.update(profile_digest(profile).encode())
     h.update(b"\x00")
+    if topo_digest is not None:
+        h.update(topo_digest.encode())
+        h.update(b"\x00")
     h.update((version or repro.__version__).encode())
     h.update(b"\x00")
     h.update(str(CACHE_SCHEMA).encode())

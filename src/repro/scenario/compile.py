@@ -61,10 +61,11 @@ class CompiledScenario:
         self.workload = spec["workload"]
         self.kind = self.workload["kind"]
         self._ran = False
-        if self.kind in ("baseline", "closed_loop"):
+        if self.kind in ("baseline", "closed_loop", "city"):
             # baseline comparisons build one stack per system, closed-loop
-            # runs one isolated stack per swept client count — both inside
-            # run(), so nothing to pre-build here
+            # runs one isolated stack per swept client count, and a city
+            # builds its own (possibly partitioned) simulators — all
+            # inside run(), so nothing to pre-build here
             self.testbed = None
             self.deployment = None
             self.schedule = None
@@ -99,6 +100,8 @@ class CompiledScenario:
             from repro.loadgen.scenario import drive_closed_loop
 
             return drive_closed_loop(self.spec)
+        if self.kind == "city":
+            return _drive_city(self.spec)
         trace = None
         if len(self.schedule):
             trace = self.schedule.apply(self.testbed, self.deployment)
@@ -158,6 +161,59 @@ def _policy(workload):
 
 
 # -- workload drivers ----------------------------------------------------------
+
+def _drive_city(spec):
+    """A generated city, optionally space-partitioned (:mod:`repro.dist`).
+
+    The scenario's top-level seed governs generation; a workload datapath
+    pin overrides the spec's.  ``topology.partitions > 1`` runs the
+    conservative-sync engine (inline transport — a scenario cell may
+    already be inside a sweep worker) and the digest it reports is, by
+    the partitioning contract, the serial run's digest.
+    """
+    from repro.dist.sync import run_city_partitioned, run_city_serial
+    from repro.hw.generate import CITY_EPOCH_NS, city_plan, resolve_topology
+
+    topology = spec["topology"]
+    city = dict(topology["spec"])
+    city["seed"] = spec["seed"]
+    pin = spec["workload"].get("datapath")
+    if pin is not None:
+        city["datapath"] = pin
+    city = resolve_topology(city)
+    partitions = topology["partitions"]
+    if partitions <= 1:
+        run = run_city_serial(city)
+    else:
+        run = run_city_partitioned(city, partitions, transport="inline")
+    plan = city_plan(city)
+    paced = LogHistogram()
+    rpc = LogHistogram()
+    for flow_id, k, delivered in run["records"]["deliveries"]:
+        flow = plan["flows"][flow_id]
+        base = CITY_EPOCH_NS + flow["phase_ns"] + k * city["interval_ns"]
+        sample = delivered - base
+        (paced if flow["kind"] == "paced" else rpc).record(sample)
+    expected = len(plan["flows"]) * city["messages"]
+    delivered_count = len(run["records"]["deliveries"])
+    counters = run["records"]["counters"]
+    return {
+        "latency": _latency_block(paced),
+        "rpc_rtt": _latency_block(rpc),
+        "delivered": delivered_count,
+        "expected": expected,
+        "delivery_ratio": (delivered_count / expected) if expected else 0.0,
+        "dropped": sum(value for key, value in counters.items()
+                       if key.endswith("dropped")),
+        "core_forwarded": run["records"]["core_forwarded"],
+        "partition": {
+            "partitions": run["partitions"],
+            "transport": run["transport"],
+            "digest": run["digest"],
+            "events": run["events"],
+        },
+    }
+
 
 def _drive_streaming(spec, testbed, deployment):
     """A paced one-way stream: the paper's sensor/telemetry category."""

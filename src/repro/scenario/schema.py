@@ -52,9 +52,10 @@ DATAPATHS = ("udp", "xdp", "dpdk", "rdma")
 TOPOLOGY_PROFILES = ("local", "cloud")
 
 #: workload kinds, one per service category (paper §2 traffic classes),
-#: plus the closed-loop interactive model of ``repro.loadgen``.
+#: plus the closed-loop interactive model of ``repro.loadgen`` and the
+#: frame-level city workload of generated topologies (``repro.dist``).
 WORKLOAD_KINDS = ("streaming", "pingpong", "bulk", "fanout", "baseline",
-                  "closed_loop")
+                  "closed_loop", "city")
 
 _NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
 
@@ -161,6 +162,69 @@ def _check_int(value, path, source, lo=1, what="value"):
 
 # -- section validators --------------------------------------------------------
 
+def _validate_generated_topology(section, source):
+    """A generator-backed topology: ``kind: generated`` plus a preset
+    name or an inline city spec (see :mod:`repro.hw.generate`), and the
+    partition count :mod:`repro.dist` executes it across."""
+    _reject_unknown(section, ("kind", "preset", "spec", "partitions"),
+                    "topology", source)
+    kind = section.get("kind", "generated")
+    if kind != "generated":
+        raise ScenarioError(
+            "unknown topology kind %r (only 'generated' topologies carry "
+            "a kind; testbed topologies use profile/hosts)" % (kind,),
+            path="topology.kind", source=source,
+        )
+    preset = section.get("preset")
+    raw = section.get("spec")
+    if (preset is None) == (raw is None):
+        raise ScenarioError(
+            "a generated topology names a preset OR gives an inline spec "
+            "(exactly one of topology.preset / topology.spec)",
+            path="topology", source=source,
+        )
+    if preset is not None and not isinstance(preset, str):
+        raise ScenarioError("preset must be a preset name string, got %r"
+                            % (preset,), path="topology.preset",
+                            source=source)
+    if raw is not None:
+        if not isinstance(raw, dict):
+            raise ScenarioError("spec must be a mapping of generator "
+                                "parameters", path="topology.spec",
+                                source=source)
+        if "seed" in raw:
+            raise ScenarioError(
+                "the scenario's top-level seed governs generation — drop "
+                "topology.spec.seed", path="topology.spec.seed",
+                source=source,
+            )
+    partitions = _check_int(section.get("partitions", 1),
+                            "topology.partitions", source, lo=1,
+                            what="partitions")
+    from repro.core.errors import TopologyError
+    from repro.hw.generate import resolve_topology
+
+    try:
+        resolved = resolve_topology(preset if preset is not None else raw)
+    except TopologyError as exc:
+        raise ScenarioError(str(exc), path="topology", source=source) \
+            from None
+    if partitions > resolved["regions"]:
+        raise ScenarioError(
+            "cannot run %d region(s) across %d partitions — a partition "
+            "owns at least one whole region"
+            % (resolved["regions"], partitions),
+            path="topology.partitions", source=source,
+        )
+    # the stored spec is seed-less: the scenario's top-level seed is
+    # injected at compile time, and a seed-free spec re-validates
+    # unchanged (the seed rejection above would otherwise trip on our
+    # own normalized output inside run_scenario_cell).
+    resolved = {key: value for key, value in resolved.items()
+                if key != "seed"}
+    return {"kind": "generated", "spec": resolved, "partitions": partitions}
+
+
 def _validate_topology(section, source):
     if section is None:
         section = {}
@@ -168,6 +232,8 @@ def _validate_topology(section, source):
         raise ScenarioError("topology must be a mapping, got %s"
                             % type(section).__name__,
                             path="topology", source=source)
+    if "kind" in section or "preset" in section or "spec" in section:
+        return _validate_generated_topology(section, source)
     _reject_unknown(section, ("profile", "hosts", "impairments"),
                     "topology", source)
     profile = section.get("profile", "local")
@@ -225,6 +291,9 @@ _WORKLOAD_FIELDS = {
     "closed_loop": ("kind", "clients", "think", "think_dist", "size",
                     "outstanding", "warmup", "window", "windows",
                     "cooldown", "epsilon", "qos", "datapath"),
+    # generation parameters (messages, size, interval, classes) live in
+    # the generated topology's spec; the workload only pins a datapath
+    "city": ("kind", "datapath"),
 }
 
 #: systems a baseline workload may name (bench harness Fig. 7 set).
@@ -348,7 +417,7 @@ def _validate_workload(section, source):
             )
         out["epsilon"] = float(epsilon)
         out["qos"] = _validate_qos(section.get("qos"), "workload.qos", source)
-    else:  # baseline
+    elif kind == "baseline":
         for field, default in (("system", "insane_fast"),
                                ("baseline", "udp_nonblocking")):
             name = section.get(field, default)
@@ -361,6 +430,7 @@ def _validate_workload(section, source):
             out[field] = name
         count_field("rounds", 300)
         size_field(64)
+    # else: city — nothing beyond the shared datapath pin below
 
     datapath = section.get("datapath")
     if datapath is not None:
@@ -496,8 +566,27 @@ def validate_scenario(document, source=None):
         "faults": _validate_faults(document.get("faults"), source),
     }
     spec["slo"] = _validate_slo(document.get("slo"), spec, source)
-    if spec["workload"].get("datapath") == "rdma" \
-            and spec["topology"]["profile"] == "cloud":
+    generated = spec["topology"].get("kind") == "generated"
+    if (spec["workload"]["kind"] == "city") != generated:
+        raise ScenarioError(
+            "a city workload runs on a generated topology and vice versa "
+            "— pair workload.kind: city with topology.kind: generated",
+            path="workload.kind", source=source,
+        )
+    if generated and spec["faults"]:
+        raise ScenarioError(
+            "fault injection targets testbed links; generated topologies "
+            "do not take a faults section (drop it, or use a testbed "
+            "topology)", path="faults", source=source,
+        )
+    if generated:
+        profile_name = spec["topology"]["spec"]["profile"]
+        effective_datapath = spec["workload"].get(
+            "datapath", spec["topology"]["spec"]["datapath"])
+    else:
+        profile_name = spec["topology"]["profile"]
+        effective_datapath = spec["workload"].get("datapath")
+    if effective_datapath == "rdma" and profile_name == "cloud":
         # the cloud profile models RoCE-less NICs; keep the pin honest
         raise ScenarioError(
             "the cloud topology profile has no RDMA-capable NIC; pin rdma "

@@ -25,8 +25,8 @@ from repro.core.errors import ScenarioError
 #: direction: "max" ceiling / "min" floor / "bool" equality.
 #: value kind: "duration" (ns), "gbps", "rps", "ratio", "count",
 #: "factor", "bool".
-_LATENCY_KINDS = ("streaming", "pingpong", "fanout")
-_DELIVERY_KINDS = ("streaming", "fanout", "bulk")
+_LATENCY_KINDS = ("streaming", "pingpong", "fanout", "city")
+_DELIVERY_KINDS = ("streaming", "fanout", "bulk", "city")
 
 SLO_CATALOG = {
     "mean_latency_max": ("max", "duration", ("latency", "mean_ns"), _LATENCY_KINDS),

@@ -45,6 +45,7 @@ CELL_RUNNERS = {
     "validate.fuzz": "repro.validate.parallel:run_fuzz_cell",
     "scenario.run": "repro.scenario.runner:run_scenario_cell",
     "loadgen.closed_loop": "repro.loadgen.capacity:run_closed_loop_cell",
+    "bench.city": "repro.dist.sync:run_city_cell",
 }
 
 

@@ -8,6 +8,8 @@ Subcommands::
     insane-validate fuzz         --seed 0 --n 25 [--differential] [--workers 4]
     insane-validate golden       [--regen [--force]] [--path FILE]
     insane-validate parallel     --workers 2 [--n 4] [--cache-dir DIR]
+    insane-validate partitioned  [--topology smoke64] [--partitions 2,4]
+                                 [--transport process|inline] [--json PATH]
     insane-validate repro        --seed 17 [--json SPEC_JSON]
 
 Also reachable as ``python -m repro.validate`` and as the ``validate``
@@ -186,6 +188,55 @@ def _cmd_parallel(args):
     return 1 if problems else 0
 
 
+def _cmd_partitioned(args):
+    """Serial vs space-partitioned city runs, digest-for-digest.
+
+    Runs a generated city once serially, then once per requested
+    partition count through :mod:`repro.dist`, and requires every merged
+    digest to equal the serial one bit for bit.  This is the CI
+    partition-smoke entrypoint.
+    """
+    from repro.dist.sync import check_partition_equivalence
+
+    counts = tuple(int(part) for part in args.partitions.split(","))
+    problems, details = check_partition_equivalence(
+        args.topology, partitions=counts, transport=args.transport
+    )
+    serial = details["serial"]
+    print(
+        "serial:          digest %s  delivered %d  events %d"
+        % (serial["digest"][:16], serial["delivered"], serial["events"])
+    )
+    for run in details["partitioned"]:
+        print(
+            "partitioned x%d: digest %s  (%s)  %s"
+            % (run["partitions"], run["digest"][:16], run["transport"],
+               "== serial" if run["digest"] == serial["digest"]
+               else "DIVERGED")
+        )
+    for problem in problems:
+        print("  - %s" % problem)
+    if args.json:
+        from repro.report import RunReport, write_reports
+
+        write_reports(args.json, [RunReport(
+            kind="validate.partitioned",
+            data={
+                "ok": not problems,
+                "problems": problems,
+                "serial": serial,
+                "partitioned": details["partitioned"],
+            },
+            meta={"topology": args.topology, "transport": args.transport},
+        )])
+    print(
+        "partitioned: %s"
+        % ("every digest identical to serial" if not problems
+           else "%d problem(s)" % len(problems))
+    )
+    return 1 if problems else 0
+
+
 def _cmd_repro(args):
     from repro.validate.differential import compare_spec
     from repro.validate.properties import property_report
@@ -295,6 +346,24 @@ def build_parser():
                           help="persist the cache here (default: a "
                                "throwaway temp dir)")
     parallel.set_defaults(func=_cmd_parallel)
+
+    partitioned = sub.add_parser(
+        "partitioned",
+        help="check serial == space-partitioned city digests, bit for bit",
+    )
+    partitioned.add_argument("--topology", default="smoke64",
+                             help="city preset name (see repro.hw.generate)")
+    partitioned.add_argument("--partitions", default="2,4",
+                             metavar="N[,N...]",
+                             help="comma-separated partition counts to check")
+    partitioned.add_argument("--transport", choices=("process", "inline"),
+                             default="process",
+                             help="worker processes (default) or the "
+                                  "in-process scheduler")
+    partitioned.add_argument("--json", metavar="PATH", default=None,
+                             help="append a validate.partitioned RunReport "
+                                  "to this JSON file")
+    partitioned.set_defaults(func=_cmd_partitioned)
 
     repro = sub.add_parser(
         "repro", help="re-run one workload spec and report everything"

@@ -1,0 +1,44 @@
+"""Region-to-partition assignment: contiguous, total, loudly validated."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.dist import partition_regions, region_owner
+
+
+class TestPartitionRegions:
+    def test_even_split_is_contiguous_blocks(self):
+        assert partition_regions(8, 4) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_uneven_split_spreads_the_remainder(self):
+        blocks = partition_regions(7, 3)
+        assert [region for block in blocks for region in block] == list(range(7))
+        sizes = [len(block) for block in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_one_partition_owns_everything(self):
+        assert partition_regions(4, 1) == [[0, 1, 2, 3]]
+
+    @pytest.mark.parametrize("regions,partitions", [
+        (4, 5),    # more partitions than regions
+        (4, 0),
+        (0, 1),
+        (4, -1),
+    ])
+    def test_bad_counts_raise(self, regions, partitions):
+        with pytest.raises(TopologyError):
+            partition_regions(regions, partitions)
+
+
+class TestRegionOwner:
+    def test_inverts_the_assignment(self):
+        assignment = partition_regions(5, 2)
+        owner = region_owner(assignment)
+        assert sorted(owner) == [0, 1, 2, 3, 4]
+        for index, block in enumerate(assignment):
+            for region in block:
+                assert owner[region] == index
+
+    def test_overlapping_assignment_raises(self):
+        with pytest.raises(TopologyError):
+            region_owner([[0, 1], [1, 2]])

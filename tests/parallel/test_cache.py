@@ -78,6 +78,45 @@ class TestCacheKey:
         assert cache_key(cell, version="0.0.0-other") != current
 
 
+class TestGeneratedTopologyKey:
+    """Cells carrying a ``topology`` param fold the *resolved* generator
+    spec into their key, so editing a preset's content — with the preset
+    name, and therefore the cell JSON, unchanged — still misses."""
+
+    def city_cell(self, topology="smoke64"):
+        return make_cell("bench.city", topology=topology, partitions=2,
+                         datapath="udp", seed=0)
+
+    def test_key_goes_stale_on_preset_content_edit(self, monkeypatch):
+        from repro.hw.generate import CITY_PRESETS
+
+        cell = self.city_cell()
+        before = cache_key(cell)
+        edited = dict(CITY_PRESETS["smoke64"])
+        edited["messages"] = edited.get("messages", 8) + 1
+        monkeypatch.setitem(CITY_PRESETS, "smoke64", edited)
+        assert cache_key(cell) != before
+
+    def test_key_separates_distinct_inline_specs(self):
+        a = self.city_cell({"hosts": 16, "regions": 4})
+        b = self.city_cell({"hosts": 16, "regions": 4, "messages": 4})
+        assert cache_key(a) != cache_key(b)
+
+    def test_preset_and_its_expansion_share_a_topology_digest(self):
+        from repro.hw.generate import CITY_PRESETS, topology_digest
+
+        assert topology_digest("smoke64") \
+            == topology_digest(dict(CITY_PRESETS["smoke64"]))
+
+    def test_key_uses_the_spec_profile_not_local(self):
+        """bench.city cells carry no params['profile']; the key must hash
+        the profile the city actually runs on (from the spec, default
+        'cloud'), not the 'local' fallback."""
+        cell = self.city_cell()
+        assert cache_key(cell) == cache_key(cell, profile=PROFILES["cloud"])
+        assert cache_key(cell) != cache_key(cell, profile=PROFILES["local"])
+
+
 class TestCacheStore:
     def test_put_then_get_roundtrips(self, tmp_path):
         cache = ResultCache(root=str(tmp_path))

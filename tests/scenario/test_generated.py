@@ -1,0 +1,141 @@
+"""Generated (city) topologies in the scenario DSL: schema and end-to-end."""
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenario.compile import run_scenario
+from repro.scenario.schema import validate_scenario
+from repro.scenario.slo import evaluate_slos
+
+TINY_SPEC = {"hosts": 16, "regions": 4, "messages": 2}
+
+
+def city(**overrides):
+    document = {
+        "scenario": "unit-city",
+        "seed": 11,
+        "topology": {"kind": "generated", "spec": dict(TINY_SPEC),
+                     "partitions": 2},
+        "workload": {"kind": "city"},
+        "slo": {"delivery_ratio_min": 1.0},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestSchema:
+    def test_inline_spec_normalizes_resolved_and_seedless(self):
+        spec = validate_scenario(city())
+        topology = spec["topology"]
+        assert topology["kind"] == "generated"
+        assert topology["partitions"] == 2
+        assert topology["spec"]["hosts"] == 16
+        # defaults filled in by the generator...
+        assert topology["spec"]["classes"] == 3
+        # ...but the seed stays out: the scenario's top-level seed governs
+        assert "seed" not in topology["spec"]
+
+    def test_normalized_spec_revalidates_unchanged(self):
+        spec = validate_scenario(city())
+        assert validate_scenario(spec) == spec
+
+    def test_preset_form_resolves(self):
+        spec = validate_scenario(city(
+            topology={"kind": "generated", "preset": "smoke64"}
+        ))
+        assert spec["topology"]["spec"]["hosts"] == 64
+        assert spec["topology"]["partitions"] == 1
+
+    def test_datapath_pin_accepted(self):
+        spec = validate_scenario(city(
+            workload={"kind": "city", "datapath": "dpdk"}
+        ))
+        assert spec["workload"]["datapath"] == "dpdk"
+
+    @pytest.mark.parametrize("topology", [
+        {"kind": "generated"},                                # neither
+        {"kind": "generated", "preset": "smoke64",
+         "spec": dict(TINY_SPEC)},                            # both
+        {"kind": "layered", "preset": "smoke64"},             # unknown kind
+        {"kind": "generated", "preset": "atlantis"},          # unknown preset
+        {"kind": "generated",
+         "spec": dict(TINY_SPEC, seed=3)},                    # spec seed
+        {"kind": "generated", "spec": dict(TINY_SPEC),
+         "partitions": 5},                                    # > regions
+        {"kind": "generated", "spec": dict(TINY_SPEC),
+         "partitions": 0},
+        {"kind": "generated", "spec": dict(TINY_SPEC),
+         "impairments": []},                                  # testbed field
+    ])
+    def test_bad_generated_topologies_raise(self, topology):
+        with pytest.raises(ScenarioError):
+            validate_scenario(city(topology=topology))
+
+    def test_city_workload_requires_a_generated_topology(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(city(topology={"profile": "cloud", "hosts": 4}))
+
+    def test_generated_topology_requires_a_city_workload(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(city(
+                workload={"kind": "streaming", "messages": 10, "size": 64,
+                          "interval": "2us"},
+                slo={"delivery_ratio_min": 0.5},
+            ))
+
+    def test_faults_rejected_on_generated_topologies(self):
+        with pytest.raises(ScenarioError) as err:
+            validate_scenario(city(
+                faults=[{"kind": "link_down", "at": "1ms", "for": "1ms"}]
+            ))
+        assert "generated" in str(err.value)
+
+    def test_rdma_pin_rejected_on_the_default_cloud_profile(self):
+        with pytest.raises(ScenarioError):
+            validate_scenario(city(
+                workload={"kind": "city", "datapath": "rdma"}
+            ))
+        # on the local profile the pin is honest
+        spec = validate_scenario(city(
+            topology={"kind": "generated",
+                      "spec": dict(TINY_SPEC, profile="local")},
+            workload={"kind": "city", "datapath": "rdma"},
+        ))
+        assert spec["workload"]["datapath"] == "rdma"
+
+
+class TestEndToEnd:
+    def test_partitioned_scenario_delivers_and_passes_slos(self):
+        spec = validate_scenario(city(slo={
+            "delivery_ratio_min": 1.0,
+            "p99_latency_max": "500us",
+        }))
+        metrics = run_scenario(spec)
+        assert metrics["delivery_ratio"] == 1.0
+        assert metrics["partition"]["partitions"] == 2
+        assert metrics["latency"]["count"] > 0
+        assertions, ok = evaluate_slos(spec["slo"], metrics)
+        assert ok, assertions
+
+    def test_partitioned_metrics_equal_serial_metrics(self):
+        serial_doc = city()
+        serial_doc["topology"]["partitions"] = 1
+        serial = run_scenario(validate_scenario(serial_doc))
+        parted = run_scenario(validate_scenario(city()))
+        assert parted["partition"]["digest"] == serial["partition"]["digest"]
+        # digest equality is records equality; the derived metrics follow
+        assert parted["latency"] == serial["latency"]
+        assert parted["rpc_rtt"] == serial["rpc_rtt"]
+
+    def test_scenario_seed_moves_the_digest(self):
+        a = run_scenario(validate_scenario(city()))
+        b = run_scenario(validate_scenario(city(seed=12)))
+        assert a["partition"]["digest"] != b["partition"]["digest"]
+
+    def test_runner_cell_revalidates_and_runs(self):
+        from repro.scenario.runner import run_scenario_cell
+
+        spec = validate_scenario(city())
+        payload = run_scenario_cell(spec, seed=spec["seed"])
+        assert payload["ok"]
+        assert payload["metrics"]["delivery_ratio"] == 1.0
