@@ -7,15 +7,29 @@ on the hashed channel.  INSANE forwards messages to every reachable runtime
 with matching subscribers and delivers them locally over shared memory.
 """
 
-import zlib
+from hashlib import sha256
 
 from repro.core import QosPolicy, Session
 from repro.simnet import Counter, Timeout
 
 
+class TopicCollisionError(RuntimeError):
+    """Two distinct topic names hashed to the same channel id."""
+
+
 def topic_id(topic):
-    """Hash a topic name to an INSANE channel id (stable across hosts)."""
-    return zlib.crc32(topic.encode("utf-8")) & 0x7FFFFFFF
+    """Hash a topic name to an INSANE channel id (stable across hosts).
+
+    sha256-derived, truncated to 63 bits.  The original crc32 mapping
+    lived in a 2^31 space where distinct topics collide with near
+    certainty at ~10^5-10^6 topics (birthday bound ~2^15.5), silently
+    cross-delivering between them; at 63 bits a million topics collide
+    with probability ~5e-8.  Residual collisions are still detected and
+    raised per participant (see :meth:`LunarMom._channel_for`).
+    """
+    return int.from_bytes(
+        sha256(topic.encode("utf-8")).digest()[:8], "big"
+    ) >> 1
 
 
 class LunarMom:
@@ -37,6 +51,7 @@ class LunarMom:
         self.stream = self.session.create_stream(policy, name=stream_name)
         self._sources = {}
         self._subscriptions = []
+        self._channel_topics = {}  # channel id -> topic name (collision guard)
         self.published = Counter("lunar.published")
         self.delivered = Counter("lunar.delivered")
 
@@ -64,8 +79,24 @@ class LunarMom:
         self.published.value += 1
         return emit_id
 
-    def _source_for(self, topic):
+    def _channel_for(self, topic):
+        """``topic_id`` plus the detect-and-raise collision guard: a
+        channel id claimed by a *different* topic name on this participant
+        would silently cross-deliver — refuse loudly instead."""
         channel = topic_id(topic)
+        claimed = self._channel_topics.get(channel)
+        if claimed is None:
+            self._channel_topics[channel] = topic
+        elif claimed != topic:
+            raise TopicCollisionError(
+                "topic %r hashes to channel %d already claimed by %r — "
+                "messages would cross-deliver between distinct topics"
+                % (topic, channel, claimed)
+            )
+        return channel
+
+    def _source_for(self, topic):
+        channel = self._channel_for(topic)
         source = self._sources.get(channel)
         if source is None:
             source = self.session.create_source(self.stream, channel)
@@ -77,7 +108,7 @@ class LunarMom:
     def subscribe(self, topic, callback):
         """``lunar_subscribe``: deliver every message on ``topic`` to
         ``callback(topic, payload_memoryview)``."""
-        channel = topic_id(topic)
+        channel = self._channel_for(topic)
         sink = self.session.create_sink(self.stream, channel)
         self._subscriptions.append(sink)
         self.sim.process(

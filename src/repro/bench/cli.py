@@ -63,11 +63,49 @@ EXPERIMENTS = {
     "profile": lambda args: run_profile_cmd(args),
     "capacity": lambda args: run_capacity_cmd(args),
     "city": lambda args: run_city_cmd(args),
+    "fanout": lambda args: run_fanout_cmd(args),
 }
 
 #: meta-tools excluded from ``insane-bench all`` (they measure the harness
 #: or plan capacity/scale, not the paper)
-NOT_IN_ALL = ("profile", "capacity", "city")
+NOT_IN_ALL = ("profile", "capacity", "city", "fanout")
+
+
+def run_fanout_cmd(args):
+    """Million-subscriber hybrid fan-out; see :mod:`repro.bench.fanout`.
+
+    Runs the hybrid-fidelity fan-out (hot packet-accurate cohort + fluid
+    cold tail) and, unless ``--no-differential``, the fluid-vs-DES
+    differential on sampled sub-scenarios so the printed result and the
+    ``bench.fanout`` RunReport carry the measured error bound.
+    """
+    from repro.bench.fanout import format_fanout, run_fanout_bench
+
+    if args.subscribers < 1:
+        raise SystemExit("fanout: --subscribers must be >= 1")
+    if not 0.0 <= args.hot_fraction <= 1.0:
+        raise SystemExit("fanout: --hot-fraction must be in [0, 1]")
+    datapath = None if args.datapath == "kernel_udp" else args.datapath
+    report, metrics, diff = run_fanout_bench(
+        subscribers=args.subscribers,
+        messages=args.fanout_messages,
+        hot_fraction=args.hot_fraction,
+        promote_threshold_hz=args.promote_threshold,
+        epsilon=args.error_bound,
+        seed=args.seed, profile=args.profile, datapath=datapath,
+        differential=not args.no_differential,
+    )
+    print(format_fanout(report))
+    print("  report digest %s" % report.digest())
+    if args.report:
+        from repro.report import write_reports
+
+        write_reports(args.report, [report])
+        print("  fanout report written to %s" % args.report)
+    if diff is not None and not diff["ok"]:
+        raise SystemExit("fanout: fluid tier exceeded the declared error "
+                         "bound (epsilon %.2f)" % diff["epsilon"])
+    return report.to_dict()
 
 
 def run_profile_cmd(args):
@@ -399,7 +437,28 @@ def main(argv=None):
     parser.add_argument("--nodes", type=int, default=None, metavar="N",
                         help="city only: override the preset's edge-host "
                              "count")
+    parser.add_argument("--subscribers", type=int, default=1_000_000,
+                        metavar="N",
+                        help="fanout only: subscriber population size")
+    parser.add_argument("--hot-fraction", type=float, default=1e-4,
+                        metavar="F",
+                        help="fanout only: fraction kept packet-accurate "
+                             "(the rest rides the fluid tier)")
+    parser.add_argument("--promote-threshold", type=float, default=None,
+                        metavar="HZ",
+                        help="fanout only: message rate above which cold "
+                             "subscribers promote to packet-accurate DES")
+    parser.add_argument("--error-bound", type=float, default=0.15,
+                        metavar="EPS",
+                        help="fanout only: declared relative p50/p99 error "
+                             "bound for the DES-vs-hybrid differential")
+    parser.add_argument("--no-differential", action="store_true",
+                        help="fanout only: skip the DES-vs-hybrid "
+                             "differential")
     args = parser.parse_args(argv)
+    # fanout paces per the envelope, so its natural message count is far
+    # below the throughput default; honor an explicit --messages only
+    args.fanout_messages = args.messages if args.messages is not None else 64
 
     args.cache = make_cache(args)
     args.quick = not args.full

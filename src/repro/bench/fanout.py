@@ -1,0 +1,96 @@
+"""The million-subscriber fan-out benchmark (``insane bench fanout``).
+
+Runs one publisher against a very large subscriber population on the
+hybrid-fidelity engine (:mod:`repro.fluid`): a small hot fraction stays
+packet-accurate while the cold tail rides a fluid rate-envelope
+aggregate, so the full run costs minutes of wall clock, not days.  The
+run is paired with the fluid-vs-DES differential
+(:mod:`repro.validate.fanout`) on sampled small sub-scenarios, so the
+emitted ``bench.fanout`` :class:`~repro.report.RunReport` carries its
+own error bound: exact delivered counts, conserved wire frames, and the
+measured p50/p99 deviation against the declared ε.
+"""
+
+import time
+
+from repro.fluid import calibrate_envelope, run_hybrid_fanout
+from repro.report import RunReport
+from repro.validate.fanout import run_fanout_differential
+
+DIFFERENTIAL_SUBSCRIBERS = (64, 256, 1024)
+
+
+def run_fanout_bench(subscribers=1_000_000, messages=64, size=1024,
+                     hot_fraction=1e-4, promote_threshold_hz=None,
+                     epsilon=0.15, seed=0, profile="local", datapath=None,
+                     differential=True,
+                     diff_subscribers=DIFFERENTIAL_SUBSCRIBERS,
+                     diff_messages=24):
+    """Run the benchmark; returns ``(RunReport, metrics, diff)``."""
+    start = time.perf_counter()
+    envelope = calibrate_envelope(profile=profile, size=size,
+                                  datapath=datapath, seed=seed + 7919)
+    metrics = run_hybrid_fanout(
+        subscribers, messages=messages, size=size,
+        hot_fraction=hot_fraction,
+        promote_threshold_hz=promote_threshold_hz,
+        profile=profile, seed=seed, datapath=datapath, envelope=envelope)
+    fanout_wall = time.perf_counter() - start
+    diff = None
+    if differential:
+        diff = run_fanout_differential(
+            subscribers=diff_subscribers, messages=diff_messages, size=size,
+            hot_fraction=max(hot_fraction, 0.05), epsilon=epsilon,
+            seed=seed, profile=profile, datapath=datapath,
+            envelope=envelope)
+    wall = time.perf_counter() - start
+    report = RunReport(
+        kind="bench.fanout",
+        data={"fanout": metrics, "differential": diff},
+        meta={"wall_s": round(wall, 3),
+              "fanout_wall_s": round(fanout_wall, 3)},
+    )
+    return report, metrics, diff
+
+
+def format_fanout(report):
+    """Human-readable summary of a ``bench.fanout`` report."""
+    metrics = report.data["fanout"]
+    diff = report.data["differential"]
+    latency = metrics["latency"]
+    lines = [
+        "fan-out: %d subscribers (%d hot, %d fluid), %d messages, "
+        "%s mode" % (metrics["subscribers"], metrics["hot"],
+                     metrics["cold"], metrics["emitted"], metrics["mode"]),
+        "  delivered %d / %d (ratio %.6f)"
+        % (metrics["delivered"], metrics["expected"],
+           metrics["delivery_ratio"]),
+        "  latency p50 %.1f us  p99 %.1f us  (count %d)"
+        % (latency["p50_ns"] / 1000.0, latency["p99_ns"] / 1000.0,
+           latency["count"]),
+        "  goodput %.3f Gbps over a %.3f ms delivery window"
+        % (metrics["goodput_gbps"], metrics["duration_ns"] / 1e6),
+        "  wire: %d simulated + %d fluid-accounted tx frames"
+        % (metrics["wire"]["tx_frames"], metrics["wire"]["fluid_tx_frames"]),
+    ]
+    if metrics["fluid"]:
+        fluid = metrics["fluid"]
+        lines.append(
+            "  fluid tier: %s, %d drain ticks @ %.0f us, "
+            "%d promoted / %d demoted"
+            % (fluid["mode"], fluid["drain_ticks"],
+               fluid["drain_interval_ns"] / 1000.0,
+               fluid["promotions"], fluid["demotions"]))
+    if diff is not None:
+        lines.append(
+            "  error bound (vs full DES, epsilon %.2f): delivered %s, "
+            "wire %s, max p50 err %.2f%%, max p99 err %.2f%% => %s"
+            % (diff["epsilon"],
+               "exact" if diff["delivered_exact"] else "MISMATCH",
+               "conserved" if diff["wire_conserved"] else "VIOLATED",
+               100.0 * diff["max_p50_rel_err"],
+               100.0 * diff["max_p99_rel_err"],
+               "OK" if diff["ok"] else "FAILED"))
+    lines.append("  wall %.2f s (fan-out run %.2f s)"
+                 % (report.meta["wall_s"], report.meta["fanout_wall_s"]))
+    return "\n".join(lines)

@@ -545,6 +545,11 @@ class DatapathBinding:
         cache = self._rx_cost_cache
         sinks_get = self.runtime._sinks.get
         l2_excess = self.runtime.sink_ring_count > self.l2_budget
+        # fluid-tier weighting: an aggregate endpoint stands for many cold
+        # subscribers, so the fan-out charge uses the *effective* sink
+        # count (len + modelled extras).  The dict is empty unless a fluid
+        # aggregate is registered — the packet-accurate path is untouched.
+        fluid_weights = self.runtime._fluid_weights
         per_packet_sinks = []
         for packet in batch:
             # pure function of (payload_len, burst): memoized, same value
@@ -559,8 +564,12 @@ class DatapathBinding:
             sinks = None
             if meta is not None:
                 sinks = sinks_get((meta[0], meta[1]))
-                if sinks is not None and (len(sinks) > 1 or l2_excess):
-                    cost += self._fanout_cost(len(sinks))
+                if sinks is not None:
+                    effective = len(sinks)
+                    if fluid_weights:
+                        effective += fluid_weights.get((meta[0], meta[1]), 0)
+                    if effective > 1 or l2_excess:
+                        cost += self._fanout_cost(effective)
             per_packet_sinks.append(sinks)
         yield Timeout(self.host.jitter(cost))
         dispatch = self._dispatch
@@ -724,6 +733,11 @@ class InsaneRuntime:
         self._shared_thread = None
         self._sinks = {}           # ChannelKey -> [SinkEndpoint]
         self.sink_ring_count = 0
+        #: ChannelKey -> extra effective sink count contributed by fluid
+        #: aggregates (weight - 1 each); empty unless the fluid tier is in
+        #: use, and rx_pass charges fan-out as if the modelled subscribers
+        #: were individually registered (L2 pressure model included)
+        self._fluid_weights = {}
         self.warnings = []
         self._outcomes = {}
         self._sessions = {}
@@ -950,6 +964,62 @@ class InsaneRuntime:
 
     def register_sink_key(self, stream, channel, app_id, datapath="udp"):
         return self.register_sink(ChannelKey(stream, channel), app_id, datapath=datapath)
+
+    # -- fluid aggregate endpoints (repro.fluid) --------------------------------
+
+    def register_fluid_sink(self, key, absorber, weight, app_id,
+                            datapath="udp"):
+        """Register a fluid aggregate as one weighted sink endpoint.
+
+        ``absorber`` is a ring-duck (``try_put(delivery)`` absorbs the
+        token and returns True) standing for ``weight`` cold subscribers.
+        The runtime subscribes it on the control plane like any sink, and
+        accounts the modelled population in :attr:`sink_ring_count` (so
+        the L2 ring-pressure model sees the same state as a full-DES run
+        with ``weight`` registered rings) and in the per-channel fan-out
+        weight used by ``rx_pass``.
+        """
+        if weight < 1:
+            raise ValueError("fluid sink weight must be >= 1, got %r"
+                             % (weight,))
+        self.memory.attach(app_id)
+        endpoint = SinkEndpoint(self, key, app_id, absorber,
+                                datapath=datapath)
+        self._sinks.setdefault(key, []).append(endpoint)
+        self.sink_ring_count += weight
+        self._fluid_weights[key] = (
+            self._fluid_weights.get(key, 0) + (weight - 1)
+        )
+        self.control.subscribe(key, self, datapath=datapath)
+        return endpoint
+
+    def set_fluid_weight(self, endpoint, old_weight, new_weight):
+        """Re-weight a fluid endpoint (promotion/demotion moves
+        subscribers between the fluid aggregate and real DES sinks)."""
+        if new_weight < 1:
+            raise ValueError("fluid sink weight must be >= 1, got %r"
+                             % (new_weight,))
+        delta = new_weight - old_weight
+        self.sink_ring_count += delta
+        self._fluid_weights[endpoint.key] = (
+            self._fluid_weights.get(endpoint.key, 0) + delta
+        )
+
+    def unregister_fluid_sink(self, endpoint, weight):
+        """Remove a fluid endpoint registered with ``weight``."""
+        endpoints = self._sinks.get(endpoint.key)
+        if endpoints and endpoint in endpoints:
+            endpoints.remove(endpoint)
+            self.sink_ring_count -= weight
+            extra = self._fluid_weights.get(endpoint.key, 0) - (weight - 1)
+            if extra:
+                self._fluid_weights[endpoint.key] = extra
+            else:
+                self._fluid_weights.pop(endpoint.key, None)
+            self.control.unsubscribe(endpoint.key, self,
+                                     datapath=endpoint.datapath)
+            if not endpoints:
+                self._sinks.pop(endpoint.key, None)
 
     def unregister_sink(self, endpoint):
         endpoints = self._sinks.get(endpoint.key)

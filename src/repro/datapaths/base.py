@@ -45,12 +45,27 @@ class Datapath:
         self._legacy = getattr(host.sim, "legacy_stack", False)
         self.tx_packets = Counter("%s.%s.tx" % (host.name, self.info.name))
         self.rx_packets = Counter("%s.%s.rx" % (host.name, self.info.name))
+        # fluid-tier accounting (repro.fluid): packets the aggregate model
+        # carried analytically instead of as per-packet events; separate
+        # from the event-driven counters so conservation across fidelity
+        # modes is checkable
+        self.fluid_tx_packets = Counter(
+            "%s.%s.fluid_tx" % (host.name, self.info.name))
+        self.fluid_rx_packets = Counter(
+            "%s.%s.fluid_rx" % (host.name, self.info.name))
         #: fault-injection state (repro.faults): a failed datapath drops
         #: every frame handed to it instead of reaching the NIC.
         self.failed = False
         self.failed_drops = Counter("%s.%s.failed_drops" % (host.name, self.info.name))
         if self._legacy:
             self.transmit = self._transmit_legacy
+
+    def account_fluid(self, tx=0, rx=0):
+        """Account modelled (not simulated) packets through this plugin."""
+        if tx:
+            self.fluid_tx_packets.value += tx
+        if rx:
+            self.fluid_rx_packets.value += rx
 
     # -- fault injection ---------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""Promotion/demotion between the fluid and packet-accurate tiers.
+
+The controller watches the aggregate's EWMA message rate at every drain
+tick and moves subscribers across the fidelity boundary with hysteresis:
+
+* **promote** — the rate has stayed above ``promote_threshold_hz`` for
+  ``dwell_ticks`` consecutive ticks: move a batch of cold subscribers to
+  real (packet-accurate) sinks.  A hot flow's subscribers then see true
+  per-event latency, drops and jitter.
+* **demote** — the rate has stayed below ``demote_ratio`` × threshold
+  for ``dwell_ticks``: fold previously-promoted subscribers back into
+  the aggregate.  Only promoted sinks are eligible (the caller's initial
+  hot cohort is pinned), and the caller refuses to demote a sink whose
+  ring still holds deliveries, so no in-flight message is lost.
+
+The dead band between the two thresholds (hysteresis) plus the dwell
+requirement keeps a flow hovering near the threshold from flapping.
+
+The controller is mechanism-free: the driver supplies ``on_promote(n)``
+(create up to ``n`` real sinks, return how many it made) and
+``on_demote(n)`` (retire up to ``n`` promoted sinks, return how many).
+Both callbacks run inside the drain callback — a single simulated
+instant — so the weight shift and the sink registry change are atomic
+and delivered counts stay exact across the transition.
+"""
+
+
+class FidelityController:
+    """Hysteresis rate controller for one :class:`FluidAggregate`."""
+
+    def __init__(self, aggregate, promote_threshold_hz, on_promote,
+                 on_demote, demote_ratio=0.5, promote_batch=None,
+                 dwell_ticks=2, min_cold=1):
+        if promote_threshold_hz is None or promote_threshold_hz <= 0:
+            raise ValueError("promote_threshold_hz must be > 0, got %r"
+                             % (promote_threshold_hz,))
+        if not 0.0 < demote_ratio < 1.0:
+            raise ValueError("demote_ratio must be in (0, 1), got %r"
+                             % (demote_ratio,))
+        if dwell_ticks < 1:
+            raise ValueError("dwell_ticks must be >= 1")
+        if min_cold < 1:
+            # the weighted endpoint needs >= 1 modelled subscriber; a
+            # fully-promoted channel is just a plain DES fan-out
+            raise ValueError("min_cold must be >= 1")
+        self.aggregate = aggregate
+        self.threshold_hz = promote_threshold_hz
+        self.demote_hz = promote_threshold_hz * demote_ratio
+        self.on_promote = on_promote
+        self.on_demote = on_demote
+        self.batch = promote_batch or max(1, aggregate.subscribers // 100)
+        self.dwell_ticks = dwell_ticks
+        self.min_cold = min_cold
+        self.promotions = 0
+        self.demotions = 0
+        self._ticks_above = 0
+        self._ticks_below = 0
+        aggregate.controller = self
+
+    def on_tick(self, now, rate_hz):
+        aggregate = self.aggregate
+        if rate_hz > self.threshold_hz:
+            self._ticks_above += 1
+            self._ticks_below = 0
+            if self._ticks_above >= self.dwell_ticks:
+                room = aggregate.subscribers - self.min_cold
+                want = min(self.batch, room)
+                if want > 0:
+                    moved = self.on_promote(want)
+                    if moved:
+                        aggregate.set_subscribers(
+                            aggregate.subscribers - moved)
+                        self.promotions += moved
+        elif rate_hz < self.demote_hz:
+            self._ticks_below += 1
+            self._ticks_above = 0
+            if self._ticks_below >= self.dwell_ticks:
+                moved = self.on_demote(self.batch)
+                if moved:
+                    aggregate.set_subscribers(
+                        aggregate.subscribers + moved)
+                    self.demotions += moved
+        else:
+            # dead band: decay both streaks so a hovering rate neither
+            # promotes nor demotes
+            self._ticks_above = 0
+            self._ticks_below = 0
+
+    def stats(self):
+        return {
+            "promote_threshold_hz": self.threshold_hz,
+            "demote_threshold_hz": self.demote_hz,
+            "batch": self.batch,
+            "dwell_ticks": self.dwell_ticks,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+        }

@@ -1,0 +1,196 @@
+"""Rate envelopes: the fluid tier's analytic stand-in for per-packet DES.
+
+A flow modelled at fluid fidelity is not a stream of packet events but a
+*rate envelope*: per-stage service times calibrated against the
+packet-accurate engine, from which arrival instants and latencies are
+derived analytically.  Calibration runs the same traced one-message
+pipeline the Fig. 6 breakdown uses (:mod:`repro.bench.breakdown` /
+``repro.obs``): a short paced 1-publisher/1-sink DES probe with
+per-packet tracing on, decomposed into the paper's four components via
+the lifecycle stamps (``emit_ns`` → ``nic_handoff`` → ``nic_rx_arrival``
+→ ``runtime_rx`` → consume).  The envelope therefore inherits every
+profile scalar — stage costs, DMA, propagation, the L2 ring-pressure
+cliff — without re-deriving them by hand.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import QosPolicy, Session
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import InsaneDeployment
+from repro.hw import Testbed
+from repro.hw.profiles import PROFILES
+from repro.simnet import Tally, Timeout
+
+#: the Fig. 6 decomposition, one-way (bench.breakdown doubles these for
+#: its RTT presentation; the fluid tier wants the one-way values)
+STAGES = ("send", "network", "receive", "data_processing")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One flow's calibrated rate envelope (all times one-way, ns)."""
+
+    profile: str
+    datapath: str
+    size: int
+    #: emit → consume-return, mean over the probe
+    one_way_ns: float
+    #: analytic (jitter-free) sink-side IPC pickup charge
+    ipc_half_ns: float
+    #: per-stage means: {"send", "network", "receive", "data_processing"}
+    stage_ns: dict = field(default_factory=dict)
+    #: receiver fan-out scalars (mirrors DatapathBinding._fanout_cost)
+    fanout_per_sink_ns: float = 0.0
+    l2_ring_budget: int = 0
+    l2_penalty_ns: float = 0.0
+    #: probe length the means were averaged over
+    messages: int = 0
+
+    def fanout_service_ns(self, subscribers, ring_count=None):
+        """Receiver-side fan-out service time for one message delivered
+        to ``subscribers`` local sinks — the analytic mirror of
+        ``DatapathBinding._fanout_cost`` including the L2 ring-pressure
+        penalty (``ring_count`` defaults to one ring per subscriber)."""
+        if subscribers <= 0:
+            return 0.0
+        rings = subscribers if ring_count is None else ring_count
+        cost = (subscribers - 1) * self.fanout_per_sink_ns
+        excess = rings - self.l2_ring_budget
+        if excess > 0:
+            cost += excess * self.l2_penalty_ns
+        return cost
+
+    def service_ns(self, subscribers):
+        """Receiver service time for one message: RX pipeline plus the
+        fan-out to ``subscribers`` sink rings."""
+        return self.stage_ns.get("receive", 0.0) \
+            + self.fanout_service_ns(subscribers)
+
+    def safe_interval_ns(self, subscribers, headroom=2.0):
+        """An emit interval that keeps a ``subscribers``-wide fan-out
+        drop-free: ``headroom`` × the slower of the sender's and the
+        receiver's per-message service time (floored at 1 µs so tiny
+        fan-outs stay paced rather than bursty)."""
+        service = self.service_ns(subscribers)
+        send = self.stage_ns.get("send", 0.0)
+        return max(headroom * service, headroom * send, 1000.0)
+
+    def to_dict(self):
+        return {
+            "profile": self.profile,
+            "datapath": self.datapath,
+            "size": self.size,
+            "one_way_ns": self.one_way_ns,
+            "ipc_half_ns": self.ipc_half_ns,
+            "stage_ns": dict(self.stage_ns),
+            "fanout_per_sink_ns": self.fanout_per_sink_ns,
+            "l2_ring_budget": self.l2_ring_budget,
+            "l2_penalty_ns": self.l2_penalty_ns,
+            "messages": self.messages,
+        }
+
+
+def _resolve_policy(qos):
+    if qos is None:
+        return QosPolicy.fast()
+    if isinstance(qos, QosPolicy):
+        return qos
+    return QosPolicy.from_dict(qos)
+
+
+def calibrate_envelope(profile="local", size=1024, datapath=None, qos=None,
+                       messages=64, seed=7919, gap_ns=30_000.0):
+    """Calibrate an :class:`Envelope` with a traced DES probe.
+
+    Runs a paced one-way 1→1 flow (the :mod:`repro.bench.breakdown`
+    measurement shape) on a fresh 2-host testbed and averages the
+    lifecycle-stamp decomposition.  ``datapath`` pins the technology the
+    probe (and the flow it stands for) rides; ``qos`` is a policy dict or
+    :class:`QosPolicy` (defaults to INSANE fast)."""
+    prof = PROFILES[profile]
+    if datapath == "rdma" and not prof.rdma_nic:
+        # scenario convention: an explicit rdma pin is the what-if that
+        # enables the RNIC the recorded testbeds lack
+        prof = prof.replace(rdma_nic=True)
+    testbed = Testbed(prof, hosts=2, seed=seed)
+    sim = testbed.sim
+    config = RuntimeConfig(trace=True)
+    if datapath is not None:
+        config.mapping_strategy = \
+            lambda policy, available, _pin=datapath: _pin
+    deployment = InsaneDeployment(testbed, config=config)
+    policy = _resolve_policy(qos)
+    tx = Session(deployment.runtime(0), "env-tx")
+    rx = Session(deployment.runtime(1), "env-rx")
+    tx_stream = tx.create_stream(policy, name="envelope")
+    rx_stream = rx.create_stream(policy, name="envelope")
+    source = tx.create_source(tx_stream, channel=1)
+    sink = rx.create_sink(rx_stream, channel=1)
+    tallies = {stage: Tally(stage) for stage in STAGES}
+    one_way = Tally("one_way")
+
+    def producer():
+        for _ in range(messages):
+            buffer = yield from tx.get_buffer_wait(source, size)
+            yield from tx.emit_data(source, buffer, length=size)
+            yield Timeout(gap_ns)  # paced: isolate per-message pipeline
+
+    def consumer():
+        for _ in range(messages):
+            delivery = yield from rx.consume_data(sink)
+            done = sim.now
+            trace = delivery.meta.get("trace")
+            if trace and "emit_ns" in trace:
+                tallies["send"].record(
+                    trace["nic_handoff"] - trace["emit_ns"])
+                tallies["network"].record(
+                    trace["nic_rx_arrival"] - trace["nic_handoff"])
+                tallies["receive"].record(
+                    trace["runtime_rx"] - trace["nic_rx_arrival"])
+                tallies["data_processing"].record(
+                    done - trace["runtime_rx"])
+                one_way.record(done - trace["emit_ns"])
+            rx.release_buffer(sink, delivery)
+
+    sim.process(consumer(), name="env.consumer")
+    sim.process(producer(), name="env.producer")
+    sim.run()
+    if one_way.count == 0:
+        raise RuntimeError(
+            "envelope calibration probe delivered nothing "
+            "(profile=%r datapath=%r)" % (profile, datapath))
+    return Envelope(
+        profile=profile,
+        datapath=tx_stream.datapath,
+        size=size,
+        one_way_ns=one_way.mean,
+        ipc_half_ns=prof.stage("insane_ipc").cost(0, burst=1) / 2.0,
+        stage_ns={stage: tallies[stage].mean for stage in STAGES},
+        fanout_per_sink_ns=prof.scalar("insane_fanout_per_sink_ns"),
+        l2_ring_budget=prof.scalar("insane_l2_ring_budget"),
+        l2_penalty_ns=prof.scalar("insane_l2_penalty_ns"),
+        messages=one_way.count,
+    )
+
+
+def envelope_from_breakdown(components_us, profile="local", datapath="dpdk",
+                            size=64, messages=0):
+    """Build an :class:`Envelope` from a :func:`repro.bench.breakdown.
+    run_breakdown` result (``{component: mean_us_per_rtt}``; the RTT
+    convention doubles each one-way component, so this halves them)."""
+    prof = PROFILES[profile]
+    stage_ns = {stage: components_us[stage] * 1000.0 / 2.0
+                for stage in STAGES}
+    return Envelope(
+        profile=profile,
+        datapath=datapath,
+        size=size,
+        one_way_ns=sum(stage_ns.values()),
+        ipc_half_ns=prof.stage("insane_ipc").cost(0, burst=1) / 2.0,
+        stage_ns=stage_ns,
+        fanout_per_sink_ns=prof.scalar("insane_fanout_per_sink_ns"),
+        l2_ring_budget=prof.scalar("insane_l2_ring_budget"),
+        l2_penalty_ns=prof.scalar("insane_l2_penalty_ns"),
+        messages=messages,
+    )

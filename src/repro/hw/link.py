@@ -23,6 +23,10 @@ class Link:
         #: (fault injection: link flap); every frame is then lost.
         self.up = True
         self.lost_frames = Counter("link.lost_frames")
+        #: frames the fluid tier (repro.fluid) carried analytically rather
+        #: than as simulated events; event-driven counters stay untouched
+        #: so conservation across fidelity modes is checkable
+        self.fluid_frames = Counter("link.fluid_frames")
         #: attached :class:`repro.trace.WireTap` instances
         self.taps = []
         end_a.egress = self
@@ -76,6 +80,10 @@ class Link:
                 sim._executed += 1  # parity with the elided receive hop
                 return
         sim.schedule(self.propagation_ns, receiver.receive, frame)
+
+    def account_fluid(self, frames):
+        """Account ``frames`` modelled (not simulated) crossings."""
+        self.fluid_frames.value += frames
 
     # -- fault injection ---------------------------------------------------
 

@@ -41,6 +41,14 @@ class Nic:
         self.tx_frames = Counter(self.name + ".tx_frames")
         self.rx_frames = Counter(self.name + ".rx_frames")
         self.rx_dropped = Counter(self.name + ".rx_dropped")
+        # fluid-tier accounting (repro.fluid): frames the aggregate model
+        # carried analytically instead of as simulated events.  Kept apart
+        # from the event-driven counters so conservation is checkable:
+        # full-DES tx_frames == hybrid (tx_frames + fluid_tx_frames).
+        self.fluid_tx_frames = Counter(self.name + ".fluid_tx_frames")
+        self.fluid_rx_frames = Counter(self.name + ".fluid_rx_frames")
+        self.fluid_tx_bytes = 0.0
+        self.fluid_rx_bytes = 0.0
         self._tx_free_at = 0.0
         # hot-path scalars, hoisted out of the per-packet profile lookups
         self._bandwidth_gbps = profile.nic_bandwidth_gbps
@@ -100,6 +108,16 @@ class Nic:
         packet.stamp("nic_tx_departure", departure)
         self.sim.schedule_at(departure, self.egress.carry, frame, self)
         return departure
+
+    def account_fluid_tx(self, frames, byte_count=0.0):
+        """Account ``frames`` modelled (not simulated) outgoing frames."""
+        self.fluid_tx_frames.value += frames
+        self.fluid_tx_bytes += byte_count
+
+    def account_fluid_rx(self, frames, byte_count=0.0):
+        """Account ``frames`` modelled (not simulated) incoming frames."""
+        self.fluid_rx_frames.value += frames
+        self.fluid_rx_bytes += byte_count
 
     # -- receive -----------------------------------------------------------
 

@@ -378,12 +378,37 @@ def _bulk_payload(index, size):
 
 
 def _drive_fanout(spec, testbed, deployment):
-    """One publisher fanned out to N sink applications (MoM category)."""
+    """One publisher fanned out to N sink applications (MoM category).
+
+    With ``subscribers`` in the workload the fan-out runs at hybrid
+    fidelity on the fluid engine (a hot fraction packet-accurate, the
+    cold tail a rate-envelope aggregate — DESIGN.md §15), reusing this
+    compiler's pre-built stack; with ``sinks`` every sink is a real
+    packet-accurate session.
+    """
     workload = spec["workload"]
+    if "subscribers" in workload:
+        from repro.fluid.fanout import drive_fanout_scenario
+
+        return drive_fanout_scenario(spec, testbed, deployment,
+                                     stream_name=STREAM_NAME,
+                                     channel=DATA_CHANNEL)
     sim = testbed.sim
     messages = workload["messages"]
     size = workload["size"]
     sinks = workload["sinks"]
+    if messages < 1:
+        raise ScenarioError(
+            "a fanout workload needs messages >= 1 (the delivery ratio "
+            "divides by messages x sinks)",
+            path="workload.messages", source=spec["scenario"],
+        )
+    if sinks < 1:
+        raise ScenarioError(
+            "a fanout workload needs sinks >= 1 (the delivery ratio "
+            "divides by messages x sinks)",
+            path="workload.sinks", source=spec["scenario"],
+        )
     policy = _policy(workload)
     pub = Session(deployment.runtime(0), "scn-pub")
     pub_stream = pub.create_stream(policy, name=STREAM_NAME)
@@ -416,10 +441,17 @@ def _drive_fanout(spec, testbed, deployment):
     sim.process(producer(), name="scn.pub")
     sim.run()
     total = sum(len(deliveries) for deliveries in per_sink)
-    duration = max((deliveries[-1] for deliveries in per_sink if deliveries),
-                   default=0.0)
+    # goodput is measured over the first→last delivery window, not from
+    # t=0: the old form divided by the absolute end time, so any idle
+    # prefix (a fault delaying the first delivery, a slow datapath bind)
+    # silently deflated every rate in the report
+    firsts = [deliveries[0] for deliveries in per_sink if deliveries]
+    lasts = [deliveries[-1] for deliveries in per_sink if deliveries]
+    duration = (max(lasts) - min(firsts)) if firsts else 0.0
     sink_rates = [
-        len(deliveries) * size * 8.0 / deliveries[-1] if deliveries else 0.0
+        (len(deliveries) - 1) * size * 8.0
+        / (deliveries[-1] - deliveries[0])
+        if len(deliveries) > 1 and deliveries[-1] > deliveries[0] else 0.0
         for deliveries in per_sink
     ]
     return {
@@ -429,7 +461,8 @@ def _drive_fanout(spec, testbed, deployment):
         "delivered": total,
         "delivery_ratio": total / (messages * sinks),
         "duration_ns": duration,
-        "goodput_gbps": total * size * 8.0 / duration if duration else 0.0,
+        "goodput_gbps": total * size * 8.0 / duration if duration > 0
+        else 0.0,
         "min_sink_goodput_gbps": min(sink_rates),
         "latency": _latency_block(hist),
         "gaps": _gap_block(per_sink[0]),

@@ -282,11 +282,63 @@ def _validate_qos(value, path, source):
     return policy.to_dict()
 
 
+_FIDELITY_FIELDS = ("hot_fraction", "promote_threshold", "drain_interval")
+
+
+def _validate_fidelity(value, path, source):
+    """The hybrid fan-out's fidelity split (repro.fluid).
+
+    ``hot_fraction`` of the subscribers stay packet-accurate;
+    ``promote_threshold`` (messages/s) arms the promotion controller;
+    ``drain_interval`` overrides the fluid aggregate's drain period.
+    """
+    if not isinstance(value, dict):
+        raise ScenarioError("fidelity must be a mapping",
+                            path=path, source=source)
+    _reject_unknown(value, _FIDELITY_FIELDS, "workload.fidelity", source)
+    out = {}
+    if "hot_fraction" in value:
+        fraction = value["hot_fraction"]
+        if isinstance(fraction, bool) or \
+                not isinstance(fraction, (int, float)) or \
+                not 0.0 <= float(fraction) <= 1.0:
+            raise ScenarioError(
+                "hot_fraction (the packet-accurate share of the "
+                "subscribers) must be a number in [0, 1], got %r"
+                % (fraction,),
+                path="%s.hot_fraction" % path, source=source,
+            )
+        out["hot_fraction"] = float(fraction)
+    if "promote_threshold" in value:
+        threshold = value["promote_threshold"]
+        if isinstance(threshold, bool) or \
+                not isinstance(threshold, (int, float)) or \
+                float(threshold) <= 0.0:
+            raise ScenarioError(
+                "promote_threshold (messages/s above which cold "
+                "subscribers promote to packet-accurate DES) must be a "
+                "number > 0, got %r" % (threshold,),
+                path="%s.promote_threshold" % path, source=source,
+            )
+        out["promote_threshold"] = float(threshold)
+    if "drain_interval" in value:
+        out["drain_interval"] = parse_duration(
+            value["drain_interval"], "%s.drain_interval" % path, source)
+        if out["drain_interval"] <= 0:
+            raise ScenarioError(
+                "drain_interval must be > 0 (it paces the fluid "
+                "aggregate's single periodic event)",
+                path="%s.drain_interval" % path, source=source,
+            )
+    return out
+
+
 _WORKLOAD_FIELDS = {
     "streaming": ("kind", "messages", "size", "interval", "qos", "datapath"),
     "pingpong": ("kind", "rounds", "size", "qos", "datapath"),
     "bulk": ("kind", "messages", "size", "interval", "window", "qos"),
-    "fanout": ("kind", "messages", "size", "sinks", "qos", "datapath"),
+    "fanout": ("kind", "messages", "size", "sinks", "subscribers",
+               "fidelity", "interval", "qos", "datapath"),
     "baseline": ("kind", "system", "baseline", "rounds", "size"),
     "closed_loop": ("kind", "clients", "think", "think_dist", "size",
                     "outstanding", "warmup", "window", "windows",
@@ -379,10 +431,45 @@ def _validate_workload(section, source):
         count_field("window", 8)
         out["qos"] = _validate_qos(section.get("qos"), "workload.qos", source)
     elif kind == "fanout":
-        count_field("messages", 300)
+        hybrid = "subscribers" in section
+        if hybrid and "sinks" in section:
+            raise ScenarioError(
+                "a fanout workload takes either 'sinks' (every sink "
+                "packet-accurate) or 'subscribers' (hybrid fidelity: a hot "
+                "fraction packet-accurate, the cold tail fluid) — not both",
+                path="workload.subscribers", source=source,
+            )
+        if not hybrid:
+            for field in ("fidelity", "interval"):
+                if field in section:
+                    raise ScenarioError(
+                        "workload.%s requires the hybrid fan-out mode — "
+                        "set 'subscribers' instead of 'sinks'" % field,
+                        path="workload.%s" % field, source=source,
+                    )
+        # hybrid runs pace the publisher per the calibrated envelope, so
+        # their natural message count is far below the classic default
+        count_field("messages", 64 if hybrid else 300)
         size_field(1024)
-        count_field("sinks", 4)
+        if hybrid:
+            count_field("subscribers", None)
+            if "interval" in section:
+                out["interval"] = parse_duration(
+                    section["interval"], "workload.interval", source)
+            if "fidelity" in section:
+                out["fidelity"] = _validate_fidelity(
+                    section["fidelity"], "workload.fidelity", source)
+        else:
+            count_field("sinks", 4)
         out["qos"] = _validate_qos(section.get("qos"), "workload.qos", source)
+        if hybrid and out["qos"]["time_sensitivity"] == "time-sensitive" \
+                and out.get("fidelity", {}).get("hot_fraction") != 1.0:
+            raise ScenarioError(
+                "time-sensitive flows are always packet-accurate: the fluid "
+                "tier aggregates away per-packet TSN guarantees — use "
+                "'sinks', or set fidelity.hot_fraction to 1.0",
+                path="workload.qos.time_sensitivity", source=source,
+            )
     elif kind == "closed_loop":
         out["clients"] = _validate_clients(section.get("clients", 4), source)
         out["think"] = parse_duration(section.get("think", 10_000.0),

@@ -61,6 +61,8 @@ SLO_CATALOG = {
                          ("closed_loop",)),
     "knee_clients_min": ("min", "count", ("capacity", "knee_clients"),
                          ("closed_loop",)),
+    "promotions_min": ("min", "count", ("fluid", "promotions"),
+                       ("fanout",)),
 }
 
 SLO_NAMES = tuple(sorted(SLO_CATALOG))
@@ -165,6 +167,23 @@ def validate_slo_section(section, spec, source):
                 "largest swept count" % (normalized["knee_clients_min"],
                                          max(clients)),
                 path="slo.knee_clients_min", source=source,
+            )
+    if "promotions_min" in normalized:
+        fidelity = workload.get("fidelity") or {}
+        if "subscribers" not in workload:
+            raise ScenarioError(
+                "promotions_min needs a hybrid fan-out (a subscribers "
+                "population with a fluid tier); this workload models every "
+                "sink packet-accurately, so nothing can be promoted",
+                path="slo.promotions_min", source=source,
+            )
+        if (normalized["promotions_min"] > 0
+                and fidelity.get("promote_threshold") is None):
+            raise ScenarioError(
+                "conflicting SLOs: promotions_min > 0 but the workload sets "
+                "no fidelity.promote_threshold — the fidelity controller is "
+                "disabled and can never promote",
+                path="slo.promotions_min", source=source,
             )
     if normalized.get("failovers_min", 0) > 0:
         if not any(fault["kind"] == "datapath_failure"

@@ -16,7 +16,7 @@ from repro.simnet.errors import (
     StoreFullError,
 )
 from repro.simnet.events import Signal
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import PeriodicHandle, Simulator
 from repro.simnet.process import (
     AnyOf, Get, Join, Process, Put, Timeout, TimeoutAt, Wait,
 )
@@ -31,6 +31,7 @@ __all__ = [
     "DegenerateWindowError",
     "Get",
     "Join",
+    "PeriodicHandle",
     "Process",
     "Put",
     "RateMeter",

@@ -85,6 +85,51 @@ class EventHandle:
             sim._compact()
 
 
+class PeriodicHandle:
+    """A self-rearming aggregate event (fluid-tier drains, batched stats).
+
+    The callback runs every ``interval_ns`` of virtual time and returns a
+    truthy value to stay armed; a falsy return parks the handle (the heap
+    entry is *not* re-created, so an idle periodic never keeps an
+    unbounded :meth:`Simulator.run` alive).  :meth:`kick` re-arms a parked
+    handle — producers call it when new work arrives; :meth:`cancel`
+    stops the cycle for good.
+    """
+
+    __slots__ = ("sim", "interval_ns", "fn", "cancelled", "_armed")
+
+    def __init__(self, sim, interval_ns, fn):
+        if interval_ns <= 0:
+            raise SimulationError(
+                "periodic interval must be > 0, got %r" % (interval_ns,)
+            )
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.fn = fn
+        self.cancelled = False
+        self._armed = False
+
+    def kick(self, delay=None):
+        """Arm the next tick (no-op while already armed or cancelled)."""
+        if self.cancelled or self._armed:
+            return
+        self._armed = True
+        self.sim.schedule(
+            self.interval_ns if delay is None else delay, self._fire
+        )
+
+    def _fire(self):
+        self._armed = False
+        if self.cancelled:
+            return
+        if self.fn():
+            self.kick()
+
+    def cancel(self):
+        """Stop the cycle; a pending tick becomes a no-op."""
+        self.cancelled = True
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -218,6 +263,20 @@ class Simulator:
         if -_PAST_EPSILON_NS < delay < 0:
             delay = 0
         return self.schedule_cancellable(delay, fn, *args)
+
+    def schedule_periodic(self, interval_ns, fn, start=False):
+        """A :class:`PeriodicHandle` running ``fn()`` every ``interval_ns``.
+
+        The handle starts parked unless ``start`` is true; ``fn`` returning
+        falsy parks it again (see :class:`PeriodicHandle`).  This is the
+        engine-side aggregate event used by the fluid fidelity tier: one
+        heap entry per (host, datapath) aggregate, regardless of how many
+        flows it models.
+        """
+        handle = PeriodicHandle(self, interval_ns, fn)
+        if start:
+            handle.kick()
+        return handle
 
     def process(self, generator, name=None):
         """Start a cooperative process; see :mod:`repro.simnet.process`."""

@@ -11,6 +11,9 @@ Subcommands::
     insane-validate partitioned  [--topology smoke64] [--partitions 2,4]
                                  [--transport process|inline] [--json PATH]
     insane-validate repro        --seed 17 [--json SPEC_JSON]
+    insane-validate fanout       [--subscribers 64,256,1024] [--n 32]
+                                 [--epsilon 0.15] [--hot-fraction 0.05]
+                                 [--json PATH]
 
 Also reachable as ``python -m repro.validate`` and as the ``validate``
 experiment of ``insane-bench``.  Exit status is 0 iff every check passed.
@@ -268,6 +271,30 @@ def _cmd_repro(args):
     return 1 if failed else 0
 
 
+def _cmd_fanout(args):
+    """Fluid-tier differential: hybrid fan-out vs full DES, ε-bounded."""
+    from repro.validate.fanout import (
+        format_fanout_differential,
+        run_fanout_differential,
+    )
+
+    counts = tuple(int(part) for part in args.subscribers.split(","))
+    result = run_fanout_differential(
+        subscribers=counts, messages=args.n, size=args.size,
+        hot_fraction=args.hot_fraction, epsilon=args.epsilon,
+        seed=args.seed, profile=args.profile, datapath=args.datapath,
+    )
+    print(format_fanout_differential(result))
+    if args.json:
+        from repro.report import RunReport, write_reports
+
+        write_reports(args.json, [RunReport(
+            kind="validate.fanout", data=result,
+            meta={"subscribers": list(counts)},
+        )])
+    return 0 if result["ok"] else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="insane-validate",
@@ -372,6 +399,28 @@ def build_parser():
     repro.add_argument("--json", default=None,
                        help="a WorkloadSpec JSON (from a shrunken failure)")
     repro.set_defaults(func=_cmd_repro)
+
+    fanout = sub.add_parser(
+        "fanout",
+        help="bound the fluid tier's error against full DES on sampled "
+             "fan-out sub-scenarios",
+    )
+    fanout.add_argument("--subscribers", default="64,256,1024",
+                        metavar="N[,N...]",
+                        help="comma-separated subscriber counts to sample")
+    fanout.add_argument("--n", type=int, default=32,
+                        help="messages per sampled run")
+    fanout.add_argument("--size", type=int, default=512)
+    fanout.add_argument("--epsilon", type=float, default=0.15,
+                        help="relative p50/p99 error bound")
+    fanout.add_argument("--hot-fraction", type=float, default=0.05)
+    fanout.add_argument("--seed", type=int, default=0)
+    fanout.add_argument("--profile", default="local")
+    fanout.add_argument("--datapath", default=None)
+    fanout.add_argument("--json", metavar="PATH", default=None,
+                        help="append a validate.fanout RunReport to this "
+                             "JSON file")
+    fanout.set_defaults(func=_cmd_fanout)
     return parser
 
 

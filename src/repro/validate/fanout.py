@@ -1,0 +1,127 @@
+"""Differential validation of the fluid tier against full DES.
+
+For each sampled sub-scenario (small subscriber counts where a full
+packet-accurate run is cheap) the validator runs the *same* workload —
+same seed, same message count, same explicit emit interval — once at
+``hot_fraction=1.0`` (pure DES, the reference) and once per hybrid
+configuration (the piggyback split and the pure-analytic ``0.0`` mode),
+then checks the two fidelity contracts:
+
+* **delivered counts are exact** — the hybrid run must deliver exactly
+  the reference's count (fan-out delivery is conservative across the
+  fidelity boundary, not approximately so);
+* **latency percentiles are ε-bounded** — hybrid p50/p99 must land
+  within a declared relative ``epsilon`` of the DES percentiles;
+* **wire conservation** — the reference's transmitted frame count must
+  equal the hybrid's simulated + fluid-accounted frames.
+
+The cells and the overall verdict go into the ``bench.fanout`` report,
+so every benchmark run carries its own error bound.
+"""
+
+from repro.fluid import calibrate_envelope, run_hybrid_fanout
+
+DEFAULT_SUBSCRIBERS = (64, 256, 1024)
+
+
+def _rel_err(hybrid, reference):
+    if reference == 0:
+        return 0.0 if hybrid == 0 else float("inf")
+    return abs(hybrid - reference) / reference
+
+
+def run_fanout_differential(subscribers=DEFAULT_SUBSCRIBERS, messages=32,
+                            size=512, hot_fraction=0.05, epsilon=0.15,
+                            seed=0, profile="local", datapath=None,
+                            envelope=None, progress=None):
+    """Bound the fluid tier's error on sampled sub-scenarios.
+
+    Returns a JSON-native dict: per-cell results plus the aggregate
+    verdict (``ok`` — every cell delivered exactly, conserved its wire
+    frames, and stayed within ``epsilon`` on p50/p99).
+    """
+    if envelope is None:
+        envelope = calibrate_envelope(profile=profile, size=size,
+                                      datapath=datapath, seed=seed + 7919)
+    cells = []
+    for count in subscribers:
+        # the reference and every hybrid run share one explicit interval,
+        # so pacing never differs across fidelity modes
+        interval = envelope.safe_interval_ns(count)
+        reference = run_hybrid_fanout(
+            count, messages=messages, size=size, hot_fraction=1.0,
+            interval_ns=interval, profile=profile, seed=seed,
+            datapath=datapath, envelope=envelope)
+        for fraction in (hot_fraction, 0.0):
+            hybrid = run_hybrid_fanout(
+                count, messages=messages, size=size, hot_fraction=fraction,
+                interval_ns=interval, profile=profile, seed=seed,
+                datapath=datapath, envelope=envelope)
+            p50_err = _rel_err(hybrid["latency"]["p50_ns"],
+                               reference["latency"]["p50_ns"])
+            p99_err = _rel_err(hybrid["latency"]["p99_ns"],
+                               reference["latency"]["p99_ns"])
+            delivered_exact = hybrid["delivered"] == reference["delivered"]
+            conserved = (
+                hybrid["wire"]["tx_frames"]
+                + hybrid["wire"]["fluid_tx_frames"]
+                == reference["wire"]["tx_frames"])
+            cell = {
+                "subscribers": count,
+                "hot_fraction": fraction,
+                "mode": hybrid["fluid"]["mode"] if hybrid["fluid"] else "des",
+                "delivered_des": reference["delivered"],
+                "delivered_hybrid": hybrid["delivered"],
+                "delivered_exact": delivered_exact,
+                "wire_conserved": conserved,
+                "p50_des_ns": reference["latency"]["p50_ns"],
+                "p50_hybrid_ns": hybrid["latency"]["p50_ns"],
+                "p50_rel_err": p50_err,
+                "p99_des_ns": reference["latency"]["p99_ns"],
+                "p99_hybrid_ns": hybrid["latency"]["p99_ns"],
+                "p99_rel_err": p99_err,
+                "ok": (delivered_exact and conserved
+                       and p50_err <= epsilon and p99_err <= epsilon),
+            }
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return {
+        "epsilon": epsilon,
+        "messages": messages,
+        "size": size,
+        "seed": seed,
+        "profile": profile,
+        "cells": cells,
+        "delivered_exact": all(cell["delivered_exact"] for cell in cells),
+        "wire_conserved": all(cell["wire_conserved"] for cell in cells),
+        "max_p50_rel_err": max(cell["p50_rel_err"] for cell in cells),
+        "max_p99_rel_err": max(cell["p99_rel_err"] for cell in cells),
+        "ok": all(cell["ok"] for cell in cells),
+    }
+
+
+def format_fanout_differential(result):
+    """Human-readable table of a differential result."""
+    lines = [
+        "fluid-vs-DES differential (epsilon %.2f, %d msgs, %dB)"
+        % (result["epsilon"], result["messages"], result["size"]),
+        "%10s %6s %10s %12s %12s %10s %10s %4s"
+        % ("subs", "hot", "mode", "del(des)", "del(hyb)",
+           "p50 err", "p99 err", "ok"),
+    ]
+    for cell in result["cells"]:
+        lines.append(
+            "%10d %6.2f %10s %12d %12d %9.2f%% %9.2f%% %4s"
+            % (cell["subscribers"], cell["hot_fraction"], cell["mode"],
+               cell["delivered_des"], cell["delivered_hybrid"],
+               100.0 * cell["p50_rel_err"], 100.0 * cell["p99_rel_err"],
+               "yes" if cell["ok"] else "NO"))
+    lines.append(
+        "delivered exact: %s  wire conserved: %s  max p50 err %.2f%%  "
+        "max p99 err %.2f%%  => %s"
+        % (result["delivered_exact"], result["wire_conserved"],
+           100.0 * result["max_p50_rel_err"],
+           100.0 * result["max_p99_rel_err"],
+           "OK" if result["ok"] else "FAILED"))
+    return "\n".join(lines)

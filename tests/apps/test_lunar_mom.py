@@ -22,7 +22,19 @@ class TestTopicHashing:
         assert topic_id("a") != topic_id("b")
 
     def test_topic_id_is_a_valid_channel(self):
-        assert 0 <= topic_id("any/topic/name") < 2**31
+        # 63-bit id space: collisions at ~1M topics are ~5e-8 probable,
+        # where the old crc32/2^31 mapping made them statistically certain
+        assert 0 <= topic_id("any/topic/name") < 2**63
+
+    def test_crc32_colliding_topics_get_distinct_ids(self):
+        # these two names collide in the old crc32 & 0x7FFFFFFF space
+        # (both hash to 617102762) and used to share one channel
+        import zlib
+
+        a, b = "topic-3985819", "topic-4420602"
+        assert (zlib.crc32(a.encode()) & 0x7FFFFFFF
+                == zlib.crc32(b.encode()) & 0x7FFFFFFF)
+        assert topic_id(a) != topic_id(b)
 
 
 class TestPubSub:
@@ -142,3 +154,39 @@ class TestPubSub:
         deployment = InsaneDeployment(testbed)
         with pytest.raises(ValueError):
             LunarMom(deployment.runtime(0), "warp")
+
+
+class TestCollisionRegression:
+    """The crc32 cross-delivery bug: two distinct topics sharing one
+    channel id silently delivered each other's messages."""
+
+    # known crc32 & 0x7FFFFFFF collision pair (both -> 617102762)
+    COLLIDING = ("topic-3985819", "topic-4420602")
+
+    def test_colliding_topics_no_longer_cross_deliver(self):
+        testbed, (pub, sub) = make(seed=11)
+        sim = testbed.sim
+        a, b = self.COLLIDING
+        got_a, got_b = [], []
+        sub.subscribe(a, lambda t, p: got_a.append(bytes(p)))
+        sub.subscribe(b, lambda t, p: got_b.append(bytes(p)))
+
+        def publisher():
+            yield from pub.publish(a, data=b"for-a")
+            yield from pub.publish(b, data=b"for-b")
+
+        sim.process(publisher())
+        sim.run()
+        assert got_a == [b"for-a"]
+        assert got_b == [b"for-b"]
+
+    def test_residual_collision_detected_and_raised(self, monkeypatch):
+        # force a hash collision to prove the guard still catches the
+        # (astronomically unlikely) residual 63-bit case loudly
+        import repro.apps.lunar_mom as mom
+
+        monkeypatch.setattr(mom, "topic_id", lambda topic: 42)
+        testbed, (_pub, sub) = make(seed=12)
+        sub.subscribe("first", lambda t, p: None)
+        with pytest.raises(mom.TopicCollisionError):
+            sub.subscribe("second", lambda t, p: None)

@@ -1,0 +1,103 @@
+"""FidelityController hysteresis unit tests (fake aggregate, no sim)."""
+
+import pytest
+
+from repro.fluid import FidelityController
+
+
+class FakeAggregate:
+    def __init__(self, subscribers):
+        self.subscribers = subscribers
+        self.controller = None
+
+    def set_subscribers(self, count):
+        self.subscribers = count
+
+
+def make(subscribers=100, threshold=1000.0, **kwargs):
+    aggregate = FakeAggregate(subscribers)
+    moves = {"promoted": 0, "demoted": 0}
+
+    def on_promote(want):
+        moves["promoted"] += want
+        return want
+
+    def on_demote(want):
+        granted = min(want, moves["promoted"] - moves["demoted"])
+        moves["demoted"] += granted
+        return granted
+
+    controller = FidelityController(aggregate, threshold, on_promote,
+                                    on_demote, **kwargs)
+    return controller, aggregate, moves
+
+
+class TestHysteresis:
+    def test_dwell_delays_promotion(self):
+        controller, aggregate, moves = make(dwell_ticks=3, promote_batch=10)
+        controller.on_tick(0.0, 5000.0)
+        controller.on_tick(1.0, 5000.0)
+        assert moves["promoted"] == 0
+        controller.on_tick(2.0, 5000.0)
+        assert moves["promoted"] == 10
+        assert aggregate.subscribers == 90
+        assert controller.promotions == 10
+
+    def test_dead_band_resets_both_streaks(self):
+        controller, aggregate, moves = make(dwell_ticks=2, promote_batch=10)
+        controller.on_tick(0.0, 5000.0)
+        controller.on_tick(1.0, 700.0)  # between demote (500) and promote
+        controller.on_tick(2.0, 5000.0)
+        assert moves["promoted"] == 0  # streak was reset by the dead band
+        controller.on_tick(3.0, 5000.0)
+        assert moves["promoted"] == 10
+
+    def test_demotion_needs_strict_undershoot(self):
+        controller, aggregate, moves = make(dwell_ticks=1, promote_batch=10)
+        controller.on_tick(0.0, 5000.0)
+        assert moves["promoted"] == 10
+        # exactly at the demote line: rate < demote_hz is strict, no move
+        controller.on_tick(1.0, 500.0)
+        assert moves["demoted"] == 0
+        controller.on_tick(2.0, 499.0)
+        assert moves["demoted"] == 10
+        assert aggregate.subscribers == 100
+        assert controller.demotions == 10
+
+    def test_min_cold_floor_blocks_full_promotion(self):
+        controller, aggregate, moves = make(
+            subscribers=5, dwell_ticks=1, promote_batch=100, min_cold=2)
+        controller.on_tick(0.0, 5000.0)
+        assert moves["promoted"] == 3  # 5 - min_cold
+        assert aggregate.subscribers == 2
+        controller.on_tick(1.0, 5000.0)
+        assert moves["promoted"] == 3  # no room left
+
+    def test_default_batch_is_one_percent(self):
+        controller, _, _ = make(subscribers=5000)
+        assert controller.batch == 50
+        controller, _, _ = make(subscribers=10)
+        assert controller.batch == 1  # never zero
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        aggregate = FakeAggregate(10)
+        noop = lambda want: 0
+        with pytest.raises(ValueError):
+            FidelityController(aggregate, 0, noop, noop)
+        with pytest.raises(ValueError):
+            FidelityController(aggregate, None, noop, noop)
+        with pytest.raises(ValueError):
+            FidelityController(aggregate, 100.0, noop, noop, demote_ratio=1.0)
+        with pytest.raises(ValueError):
+            FidelityController(aggregate, 100.0, noop, noop, dwell_ticks=0)
+        with pytest.raises(ValueError):
+            FidelityController(aggregate, 100.0, noop, noop, min_cold=0)
+
+    def test_registers_itself_on_the_aggregate(self):
+        controller, aggregate, _ = make()
+        assert aggregate.controller is controller
+        stats = controller.stats()
+        assert stats["promote_threshold_hz"] == 1000.0
+        assert stats["demote_threshold_hz"] == 500.0

@@ -1,0 +1,127 @@
+"""Metamorphic + differential tests for the hybrid-fidelity fan-out.
+
+The invariants the fluid tier is not allowed to break:
+
+* delivered count is *exact* — ``messages x subscribers`` — at every
+  ``hot_fraction``, including the pure-analytic (0.0) and pure-DES (1.0)
+  endpoints and mid-run promotion/demotion churn;
+* raising ``subscribers`` never lowers any sink's delivery ratio
+  (fan-out is replication, not contention, at drop-free pacing);
+* hybrid latency percentiles stay within the declared epsilon of the
+  full-DES reference;
+* wire accounting is conserved: DES tx frames == hybrid simulated +
+  fluid-accounted tx frames.
+"""
+
+import pytest
+
+from repro.fluid import calibrate_envelope, run_hybrid_fanout
+from repro.validate.fanout import run_fanout_differential
+
+EPSILON = 0.15
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    # one calibration probe shared by the whole module; seed matches the
+    # seed=0 convention used by run_hybrid_fanout's auto-calibration
+    return calibrate_envelope(profile="local", size=512, seed=7919)
+
+
+def run(envelope, subscribers, hot_fraction, messages=12, **kwargs):
+    kwargs.setdefault("interval_ns", envelope.safe_interval_ns(subscribers))
+    return run_hybrid_fanout(subscribers, messages=messages, size=512,
+                             hot_fraction=hot_fraction, envelope=envelope,
+                             **kwargs)
+
+
+class TestDeliveredCountInvariant:
+    @pytest.mark.parametrize("hot_fraction", [0.0, 0.1, 1.0])
+    def test_exact_at_every_fidelity_split(self, envelope, hot_fraction):
+        metrics = run(envelope, 48, hot_fraction)
+        assert metrics["delivered"] == metrics["expected"] == 48 * 12
+        assert metrics["delivery_ratio"] == 1.0
+        # hot + cold deliveries partition the total, no double counting
+        assert (metrics["delivered_hot"] + metrics["delivered_cold"]
+                == metrics["delivered"])
+
+    def test_analytic_mode_at_zero_hot(self, envelope):
+        metrics = run(envelope, 48, 0.0)
+        assert metrics["hot"] == 0
+        assert metrics["fluid"]["mode"] == "analytic"
+        # nothing crossed the simulated wire; everything was accounted
+        assert metrics["wire"]["tx_frames"] == 0
+        assert metrics["wire"]["fluid_tx_frames"] == metrics["emitted"]
+
+    def test_million_subscriber_analytic_is_exact_and_fast(self, envelope):
+        metrics = run(envelope, 1_000_000, 0.0, messages=4)
+        assert metrics["delivered"] == 4_000_000
+        assert metrics["fluid"]["mode"] == "analytic"
+
+
+class TestMonotoneSubscribers:
+    def test_growing_population_never_lowers_delivery_ratio(self, envelope):
+        ratios = []
+        for count in (16, 64, 256):
+            metrics = run(envelope, count, 0.1)
+            ratios.append(metrics["delivery_ratio"])
+            assert metrics["min_sink_goodput_gbps"] > 0.0
+        assert ratios == sorted(ratios, reverse=True) or \
+            all(r == 1.0 for r in ratios)
+
+
+class TestDifferential:
+    def test_hybrid_percentiles_within_epsilon_of_full_des(self, envelope):
+        result = run_fanout_differential(
+            subscribers=(64, 256), messages=16, size=512,
+            hot_fraction=0.05, epsilon=EPSILON, envelope=envelope)
+        assert result["ok"], result
+        assert result["delivered_exact"]
+        assert result["max_p50_rel_err"] <= EPSILON
+        assert result["max_p99_rel_err"] <= EPSILON
+
+    def test_wire_frames_conserved(self, envelope):
+        result = run_fanout_differential(
+            subscribers=(64,), messages=16, size=512,
+            hot_fraction=0.05, epsilon=EPSILON, envelope=envelope)
+        assert result["wire_conserved"]
+        for cell in result["cells"]:
+            assert cell["delivered_exact"]
+            assert cell["wire_conserved"]
+
+
+class TestPromotionDemotion:
+    def test_controller_churn_keeps_delivered_exact(self, envelope):
+        slow = envelope.safe_interval_ns(200) * 4
+        # fast phase well above the 1 kHz threshold, slow phase well
+        # below the 500 Hz demote line (EWMA needs strict undershoot)
+        metrics = run_hybrid_fanout(
+            200, messages=60, size=512, hot_fraction=0.0,
+            promote_threshold_hz=1000.0, promote_batch=20,
+            interval_ns=lambda i: 50_000.0 if i < 40 else max(slow, 4e6),
+            envelope=envelope)
+        fluid = metrics["fluid"]
+        assert metrics["delivered"] == metrics["expected"] == 200 * 60
+        assert fluid["promotions"] > 0
+        assert fluid["demotions"] > 0
+
+    def test_promote_threshold_forces_piggyback_signal(self, envelope):
+        # analytic mode cannot observe arrival rate, so arming the
+        # controller bumps at least one sink to packet-accurate
+        metrics = run_hybrid_fanout(
+            64, messages=8, size=512, hot_fraction=0.0,
+            promote_threshold_hz=10_000.0, envelope=envelope,
+            interval_ns=envelope.safe_interval_ns(64))
+        assert metrics["hot"] >= 1
+        assert metrics["fluid"]["mode"] == "piggyback"
+        assert metrics["delivered"] == metrics["expected"]
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, envelope):
+        with pytest.raises(ValueError):
+            run_hybrid_fanout(0, envelope=envelope)
+        with pytest.raises(ValueError):
+            run_hybrid_fanout(8, messages=0, envelope=envelope)
+        with pytest.raises(ValueError):
+            run_hybrid_fanout(8, hot_fraction=1.5, envelope=envelope)

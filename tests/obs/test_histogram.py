@@ -161,3 +161,46 @@ class TestWindowEdgeCases:
         with pytest.raises(ValueError):
             LogHistogram.merged([LogHistogram(lo=10, hi=100),
                                  LogHistogram(lo=10, hi=1000)])
+
+
+class TestCachedCumulativePercentile:
+    """The bisect-over-cached-cumulative path must be bit-identical to
+    the original linear scan, across every mutation that invalidates
+    the cache (record, record_many, merge)."""
+
+    PS = (0, 1, 10, 25, 50, 75, 90, 99, 99.9, 100)
+
+    def assert_identical(self, histogram):
+        for p in self.PS:
+            assert histogram.percentile(p) == histogram._percentile_scan(p)
+
+    def test_identical_after_record_sequences(self):
+        histogram = LogHistogram(lo=10, hi=1_000_000)
+        rng = [float(3 + (i * 7919) % 500_000) for i in range(4000)]
+        for i, value in enumerate(rng):
+            histogram.record(value)
+            if i % 997 == 0:  # interleave queries with mutations
+                self.assert_identical(histogram)
+        self.assert_identical(histogram)
+
+    def test_identical_after_record_many_and_merge(self):
+        histogram = LogHistogram()
+        histogram.record_many(1234.5, 100_000)
+        self.assert_identical(histogram)
+        other = LogHistogram()
+        other.record_many(98_765.0, 250_000)
+        other.record(12.0)
+        histogram.merge(other)
+        self.assert_identical(histogram)
+        histogram.record(5.0)  # mutation after a cached query
+        self.assert_identical(histogram)
+
+    def test_record_many_weight_validation(self):
+        histogram = LogHistogram()
+        histogram.record_many(50.0, 0)  # zero weight is a no-op
+        assert histogram.count == 0
+        with pytest.raises(ValueError):
+            histogram.record_many(50.0, -1)
+        histogram.record_many(50.0, 3)
+        assert histogram.count == 3
+        assert histogram.total == 150.0

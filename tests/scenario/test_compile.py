@@ -5,6 +5,7 @@ import pytest
 from repro.core.errors import ScenarioError
 from repro.scenario.compile import compile_scenario, run_scenario
 from repro.scenario.runner import metrics_digest
+from repro.scenario.slo import evaluate_slos
 from repro.scenario.schema import validate_scenario
 
 
@@ -113,3 +114,63 @@ class TestWorkloadDrivers:
         assert metrics["speedup_mean"] > 1.0
         assert metrics["slowdown_mean"] == pytest.approx(
             1.0 / metrics["speedup_mean"])
+
+
+class TestHybridFanout:
+    """subscribers-mode fanout scenarios route to the fluid engine."""
+
+    def test_hybrid_scenario_delivers_exactly(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "fanout", "subscribers": 64, "messages": 8,
+                      "fidelity": {"hot_fraction": 0.1}},
+            slo={"delivery_ratio_min": 1.0},
+        ))
+        assert metrics["kind"] == "fanout"
+        assert metrics["mode"] == "hybrid"
+        assert metrics["delivered"] == metrics["expected"] == 512
+        assert metrics["fluid"] is not None
+        assert metrics["fluid"]["mode"] == "piggyback"
+        # the compiler's fault bookkeeping rides along like any driver
+        assert "faults" in metrics
+
+    def test_promotions_min_slo_evaluates(self):
+        document = spec(
+            workload={"kind": "fanout", "subscribers": 100, "messages": 50,
+                      "interval": "50us",  # 20 kHz >> the 1 kHz threshold
+                      "fidelity": {"hot_fraction": 0.0,
+                                   "promote_threshold": 1000}},
+            slo={"promotions_min": 1, "delivery_ratio_min": 1.0},
+        )
+        metrics = run_scenario(document)
+        assertions, ok = evaluate_slos(document["slo"], metrics)
+        assert ok, assertions
+        assert metrics["fluid"]["promotions"] >= 1
+        assert metrics["delivered"] == metrics["expected"]
+
+    def test_goodput_uses_delivery_window_not_absolute_time(self):
+        metrics = run_scenario(spec(
+            workload={"kind": "fanout", "messages": 30, "size": 512,
+                      "sinks": 3},
+            slo={"sink_goodput_min": 0.001},
+        ))
+        # the reported rate must be the identity over its own window —
+        # dividing by absolute end time instead would break this whenever
+        # the run has an idle prefix
+        expected = metrics["delivered"] * 512 * 8.0 / metrics["duration_ns"]
+        assert metrics["goodput_gbps"] == pytest.approx(expected)
+        assert metrics["duration_ns"] > 0
+
+    def test_compile_guards_cite_dotted_paths(self):
+        # the schema floors these at 1 already; the driver's own guard is
+        # defence in depth for hand-built specs
+        from repro.scenario.compile import _drive_fanout
+
+        document = spec(workload={"kind": "fanout", "messages": 5,
+                                  "sinks": 2})
+        compiled = compile_scenario(document)
+        for field in ("messages", "sinks"):
+            bad = {**document, "workload": {**document["workload"],
+                                            field: 0}}
+            with pytest.raises(ScenarioError) as excinfo:
+                _drive_fanout(bad, compiled.testbed, compiled.deployment)
+            assert excinfo.value.path == "workload.%s" % field

@@ -180,3 +180,85 @@ class TestParsing:
         )
         assert spec["workload"]["size"] == 64
         assert spec["slo"]["p99_latency_max"] == 99_000.0
+
+
+class TestHybridFanout:
+    """The subscribers/fidelity hybrid mode of the fanout workload."""
+
+    def workload(self, **fields):
+        section = {"kind": "fanout"}
+        section.update(fields)
+        return minimal(workload=section)
+
+    def test_subscribers_normalizes_with_defaults(self):
+        spec = validate_scenario(self.workload(subscribers=1000))
+        workload = spec["workload"]
+        assert workload["subscribers"] == 1000
+        assert workload["messages"] == 64  # hybrid default, not 300
+        assert "sinks" not in workload
+
+    def test_fidelity_block_normalizes(self):
+        spec = validate_scenario(self.workload(
+            subscribers=1000,
+            fidelity={"hot_fraction": 0.05, "promote_threshold": 2000,
+                      "drain_interval": "250us"}))
+        fidelity = spec["workload"]["fidelity"]
+        assert fidelity["hot_fraction"] == 0.05
+        assert fidelity["promote_threshold"] == 2000.0
+        assert fidelity["drain_interval"] == 250_000.0
+
+    def test_subscribers_and_sinks_conflict(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(self.workload(subscribers=10, sinks=3))
+        assert excinfo.value.path == "workload.subscribers"
+
+    def test_fidelity_requires_subscribers(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(self.workload(
+                sinks=3, fidelity={"hot_fraction": 0.5}))
+        assert excinfo.value.path == "workload.fidelity"
+
+    def test_interval_requires_subscribers(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(self.workload(sinks=3, interval="10us"))
+        assert excinfo.value.path == "workload.interval"
+
+    def test_hot_fraction_range_checked(self):
+        for bad in (-0.1, 1.5, True):
+            with pytest.raises(ScenarioError) as excinfo:
+                validate_scenario(self.workload(
+                    subscribers=10, fidelity={"hot_fraction": bad}))
+            assert excinfo.value.path == "workload.fidelity.hot_fraction"
+
+    def test_unknown_fidelity_field_rejected(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(self.workload(
+                subscribers=10, fidelity={"hotness": 0.5}))
+        assert "hotness" in str(excinfo.value)
+
+    def test_time_sensitive_qos_needs_full_packet_accuracy(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(self.workload(
+                subscribers=10,
+                qos={"time_sensitivity": "time_sensitive"}))
+        assert excinfo.value.path == "workload.qos.time_sensitivity"
+        # hot_fraction == 1.0 restores per-packet guarantees: accepted
+        validate_scenario(self.workload(
+            subscribers=10, fidelity={"hot_fraction": 1.0},
+            qos={"time_sensitivity": "time_sensitive"}))
+
+    def test_promotions_min_needs_hybrid_and_threshold(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(minimal(
+                workload={"kind": "fanout", "sinks": 3},
+                slo={"promotions_min": 1}))
+        assert excinfo.value.path == "slo.promotions_min"
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_scenario(minimal(
+                workload={"kind": "fanout", "subscribers": 10},
+                slo={"promotions_min": 1}))
+        assert "promote_threshold" in str(excinfo.value)
+        validate_scenario(minimal(
+            workload={"kind": "fanout", "subscribers": 10,
+                      "fidelity": {"promote_threshold": 500}},
+            slo={"promotions_min": 1}))

@@ -1,0 +1,33 @@
+"""Fluid-vs-DES fan-out differential: the hybrid engine's error bound."""
+
+import json
+
+from repro.fluid import calibrate_envelope
+from repro.validate.cli import main
+from repro.validate.fanout import (
+    format_fanout_differential,
+    run_fanout_differential,
+)
+
+
+class TestDifferential:
+    def test_small_populations_agree(self):
+        envelope = calibrate_envelope(profile="local", size=512, seed=7919)
+        result = run_fanout_differential(
+            subscribers=(64, 128), messages=12, size=512,
+            hot_fraction=0.05, epsilon=0.15, envelope=envelope)
+        assert result["ok"], result
+        assert result["delivered_exact"]
+        assert result["wire_conserved"]
+        assert len(result["cells"]) == 4  # 2 populations x 2 hybrid splits
+        table = format_fanout_differential(result)
+        assert "p50" in table
+
+    def test_cli_subcommand_reports_and_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "fanout.json"
+        assert main(["fanout", "--subscribers", "64", "--n", "8",
+                     "--size", "512", "--json", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "fan-out differential" in captured.lower() or "64" in captured
+        reports = json.loads(out.read_text())
+        assert any(r["kind"] == "validate.fanout" for r in reports)
